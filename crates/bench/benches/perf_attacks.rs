@@ -1,0 +1,33 @@
+//! Criterion benches for full attack runs (wall-clock cost of key
+//! recovery against the simulated device).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_attacks::lisa::LisaAttack;
+use ropuf_attacks::Oracle;
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
+use ropuf_constructions::Device;
+use ropuf_sim::{ArrayDims, RoArrayBuilder};
+use std::hint::black_box;
+
+fn bench_lisa_attack(c: &mut Criterion) {
+    let config = LisaConfig::default();
+    c.bench_function("attack_lisa_full_key_recovery_16x8", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+            let mut device =
+                Device::provision(array, Box::new(LisaScheme::new(config)), 8).unwrap();
+            let mut oracle = Oracle::new(&mut device);
+            black_box(LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lisa_attack
+}
+criterion_main!(benches);

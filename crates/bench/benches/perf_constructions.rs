@@ -1,0 +1,48 @@
+//! Criterion benches for enrollment and reconstruction of every
+//! construction — the device-side cost the attacks amortize over
+//! thousands of queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_constructions::cooperative::{CooperativeConfig, CooperativeScheme};
+use ropuf_constructions::fuzzy::{FuzzyConfig, FuzzyExtractorScheme};
+use ropuf_constructions::group::{GroupBasedConfig, GroupBasedScheme};
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
+use ropuf_constructions::HelperDataScheme;
+use ropuf_sim::{ArrayDims, Environment, RoArrayBuilder};
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+    let schemes: Vec<Box<dyn HelperDataScheme>> = vec![
+        Box::new(LisaScheme::new(LisaConfig::default())),
+        Box::new(GroupBasedScheme::new(GroupBasedConfig::default())),
+        Box::new(CooperativeScheme::new(CooperativeConfig::default())),
+        Box::new(FuzzyExtractorScheme::new(FuzzyConfig::default())),
+    ];
+    for scheme in &schemes {
+        c.bench_function(&format!("enroll_{}", scheme.name()), |b| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(4);
+                black_box(scheme.enroll(black_box(&array), &mut r).unwrap())
+            })
+        });
+        let mut r = StdRng::seed_from_u64(5);
+        let e = scheme.enroll(&array, &mut r).unwrap();
+        c.bench_function(&format!("reconstruct_{}", scheme.name()), |b| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(6);
+                black_box(
+                    scheme
+                        .reconstruct(black_box(&array), &e.helper, Environment::nominal(), &mut r)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! §VI-A end-to-end sweep: LISA key recovery success rate and query
+//! complexity across array sizes and ECC strengths.
+
+use rand::SeedableRng;
+use ropuf_attacks::lisa::LisaAttack;
+use ropuf_attacks::Oracle;
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
+use ropuf_constructions::Device;
+use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+fn main() {
+    ropuf_bench::header(
+        "§VI-A — LISA attack sweep",
+        "full key recovery with ~3(P−1)+O(1) queries, independent of ECC strength t",
+    );
+    println!("{:>10} {:>4} {:>8} {:>10} {:>12} {:>10}", "array", "t", "devices", "recovered", "avg queries", "key bits");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    for (cols, rows) in [(8usize, 8usize), (16, 8), (16, 16)] {
+        for t in [2usize, 3, 5] {
+            let config = LisaConfig {
+                ecc_t: t,
+                ..LisaConfig::default()
+            };
+            let devices = 5;
+            let mut recovered = 0;
+            let mut queries = 0u64;
+            let mut key_bits = 0usize;
+            for seed in 0..devices {
+                let mut arng = rand::rngs::StdRng::seed_from_u64(1000 + seed);
+                let array = RoArrayBuilder::new(ArrayDims::new(cols, rows)).build(&mut arng);
+                let Ok(mut device) =
+                    Device::provision(array, Box::new(LisaScheme::new(config)), 2000 + seed)
+                else {
+                    continue;
+                };
+                let truth = device.enrolled_key().clone();
+                key_bits = truth.len();
+                let mut oracle = Oracle::new(&mut device);
+                if let Ok(report) = LisaAttack::new(config).run(&mut oracle, &mut rng) {
+                    queries += report.queries;
+                    if report.recovered_key == truth {
+                        recovered += 1;
+                    }
+                }
+            }
+            println!(
+                "{:>10} {t:>4} {devices:>8} {recovered:>10} {:>12.0} {key_bits:>10}",
+                format!("{rows}x{cols}"),
+                queries as f64 / devices as f64
+            );
+        }
+    }
+    println!("\nshape check: recovery succeeds across sizes and t; queries scale ≈ 3 × key bits.");
+}

@@ -1,0 +1,18 @@
+//! Regenerates the paper's **Fig. 1 / Section II claim**: a pairwise
+//! comparator offers N(N−1)/2 response bits, but the total PUF entropy is
+//! only log₂(N!) — the bits are heavily interdependent.
+
+use ropuf_attacks::analysis::{pairwise_comparisons, total_entropy_bits};
+
+fn main() {
+    ropuf_bench::header(
+        "FIG 1 / §II — RO PUF entropy accounting",
+        "N(N−1)/2 comparison bits vs log2(N!) true entropy",
+    );
+    println!("{:>6} {:>14} {:>16} {:>8}", "N", "comparisons", "entropy [bits]", "ratio");
+    for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
+        let c = pairwise_comparisons(n);
+        let h = total_entropy_bits(n);
+        println!("{n:>6} {c:>14} {h:>16.1} {:>8.3}", h / c as f64);
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates the paper's **Fig. 3**: classification of RO pairs of a
+//! temperature-aware cooperative PUF into good / bad / cooperating, with
+//! an example Δf(T) series per class.
+
+use rand::SeedableRng;
+use ropuf_constructions::cooperative::{classify_pair, CooperativeConfig, CooperativeScheme, PairClass};
+use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+fn main() {
+    ropuf_bench::header(
+        "FIG 3 — temperature-aware pair classification",
+        "good: |Δf|>th across range; bad: |Δf|≤th across range; cooperating: crossover interval [Tl, Th]",
+    );
+    let config = CooperativeConfig::default();
+    let scheme = CooperativeScheme::new(config);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut counts = [0usize; 3];
+    let mut example: [Option<(usize, ropuf_constructions::cooperative::DeltaLine)>; 3] =
+        [None, None, None];
+    for seed in 0..8u64 {
+        let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+        let _ = seed;
+        let lines = scheme.measure_lines(&array, &mut rng);
+        for (i, (_, line)) in lines.into_iter().enumerate() {
+            let idx = match classify_pair(line, config.range, config.delta_f_th) {
+                PairClass::Good { .. } => 0,
+                PairClass::Bad => 1,
+                PairClass::Cooperating { .. } => 2,
+            };
+            counts[idx] += 1;
+            if example[idx].is_none() {
+                example[idx] = Some((i, line));
+            }
+        }
+    }
+    let total: usize = counts.iter().sum();
+    for (name, c) in [("good", counts[0]), ("bad", counts[1]), ("cooperating", counts[2])] {
+        println!("{name:>12}: {c:>4} pairs ({:.1}%)", 100.0 * c as f64 / total as f64);
+    }
+    println!("\nexample Δf(T) series per class [kHz]:");
+    print!("{:>14}", "T [°C]:");
+    let temps: Vec<f64> = config.range.linspace(8);
+    for t in &temps {
+        print!("{t:>9.1}");
+    }
+    println!();
+    for (name, ex) in [("good", example[0]), ("bad", example[1]), ("cooperating", example[2])] {
+        if let Some((_, line)) = ex {
+            print!("{name:>14}");
+            for &t in &temps {
+                print!("{:>9.1}", line.at(t) / 1e3);
+            }
+            println!();
+        }
+    }
+}

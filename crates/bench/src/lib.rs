@@ -1,0 +1,22 @@
+//! Shared helpers for the figure/table regeneration binaries and the
+//! Criterion benches.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_sim::{ArrayDims, RoArray, RoArrayBuilder};
+
+/// A deterministic device array for the harness binaries.
+pub fn standard_array(seed: u64, dims: ArrayDims) -> RoArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RoArrayBuilder::new(dims).build(&mut rng)
+}
+
+/// Prints a standard experiment header.
+pub fn header(id: &str, claim: &str) {
+    println!("================================================================");
+    println!("{id}");
+    println!("paper claim: {claim}");
+    println!("================================================================");
+}

@@ -1,0 +1,268 @@
+//! ECC redundancy helper data (parity construction).
+//!
+//! Every construction in the paper finishes with an ECC whose redundancy is
+//! stored as public helper data ("ECC Redundancy" box in Figs. 4 and 7).
+//! [`ParityHelper`] implements the systematic variant: the reference
+//! response is the message of a systematic codeword and the stored helper
+//! data is the parity part. On reconstruction, the stored parity plus the
+//! regenerated (noisy) message bits are decoded; errors live only in the
+//! message positions (the parity comes from NVM and is error-free unless
+//! the *attacker* flips it — flipping one stored parity bit adds exactly
+//! one error at the decoder input, the paper's acceleration trick).
+
+use ropuf_ecc::{BchCode, BinaryCode, BlockCode, DecodeError};
+use ropuf_numeric::BitVec;
+
+/// Systematic-parity ECC helper data over block-composed BCH codes.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_constructions::ParityHelper;
+/// use ropuf_numeric::BitVec;
+///
+/// let ecc = ParityHelper::new(20, 2).unwrap();
+/// let reference = BitVec::from_bools((0..20).map(|i| i % 3 == 0));
+/// let parity = ecc.parity(&reference);
+/// let mut noisy = reference.clone();
+/// noisy.flip(4);
+/// assert_eq!(ecc.correct(&noisy, &parity).unwrap(), reference);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParityHelper {
+    code: BlockCode<BchCode>,
+    response_len: usize,
+}
+
+impl ParityHelper {
+    /// Builds a parity helper for responses of `response_len` bits with
+    /// per-block correction capability `t`.
+    ///
+    /// Picks the smallest BCH field whose full message length can carry a
+    /// block of the response; the response is split into as few blocks as
+    /// possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when no supported BCH code fits.
+    pub fn new(response_len: usize, t: usize) -> Result<Self, String> {
+        if response_len == 0 {
+            return Err("response length must be positive".into());
+        }
+        // Prefer a single block when a field can hold the whole response;
+        // otherwise block-compose over the largest supported field.
+        let inner = BchCode::for_message_len(response_len.min(64), t)
+            .or_else(|_| BchCode::for_message_len(response_len.min(32), t))
+            .or_else(|_| BchCode::for_message_len(response_len.min(16), t))
+            .map_err(|e| e.to_string())?;
+        let code = BlockCode::new(inner, response_len);
+        Ok(Self {
+            code,
+            response_len,
+        })
+    }
+
+    /// Response length protected by this helper.
+    pub fn response_len(&self) -> usize {
+        self.response_len
+    }
+
+    /// Per-block correction capability.
+    pub fn t(&self) -> usize {
+        self.code.t()
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.code.blocks()
+    }
+
+    /// Number of parity bits produced.
+    pub fn parity_len(&self) -> usize {
+        self.code.n() - self.code.blocks() * self.code.inner().k()
+    }
+
+    /// Parity bits stored per block.
+    pub fn parity_per_block(&self) -> usize {
+        self.code.inner().n() - self.code.inner().k()
+    }
+
+    /// Message (response) bits carried per block.
+    pub fn message_per_block(&self) -> usize {
+        self.code.inner().k()
+    }
+
+    /// Index of the ECC block protecting response bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.response_len()`.
+    pub fn block_of_bit(&self, i: usize) -> usize {
+        assert!(i < self.response_len, "bit index out of range");
+        i / self.code.inner().k()
+    }
+
+    /// Computes the public parity bits for a reference response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference.len() != self.response_len()`.
+    pub fn parity(&self, reference: &BitVec) -> BitVec {
+        assert_eq!(reference.len(), self.response_len, "response length mismatch");
+        let cw = self.code.encode(reference);
+        // Extract parity positions: each inner block stores parity in its
+        // low n−k positions (systematic encoding places the message high).
+        let (ni, ki) = (self.code.inner().n(), self.code.inner().k());
+        let mut parity = BitVec::new();
+        for b in 0..self.code.blocks() {
+            parity.extend_bits(&cw.slice(b * ni, ni - ki));
+        }
+        parity
+    }
+
+    /// Corrects a noisy response toward the reference encoded in `parity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when any block holds more than `t` errors
+    /// (counting both response noise and attacker-flipped parity bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noisy.len() != self.response_len()`.
+    pub fn correct(&self, noisy: &BitVec, parity: &BitVec) -> Result<BitVec, DecodeError> {
+        assert_eq!(noisy.len(), self.response_len, "response length mismatch");
+        if parity.len() != self.parity_len() {
+            return Err(DecodeError::LengthMismatch {
+                expected: self.parity_len(),
+                got: parity.len(),
+            });
+        }
+        let word = self.assemble(noisy, parity);
+        let decoded = self.code.decode(&word)?;
+        Ok(decoded.message)
+    }
+
+    /// Number of errors the decoder sees (diagnostic, for Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when decoding fails.
+    pub fn observed_errors(&self, noisy: &BitVec, parity: &BitVec) -> Result<usize, DecodeError> {
+        let word = self.assemble(noisy, parity);
+        self.code.decode(&word).map(|d| d.corrected)
+    }
+
+    /// Interleaves stored parity and (zero-padded) noisy message bits into
+    /// the block codeword layout.
+    fn assemble(&self, noisy: &BitVec, parity: &BitVec) -> BitVec {
+        let (ni, ki) = (self.code.inner().n(), self.code.inner().k());
+        let blocks = self.code.blocks();
+        let mut padded = noisy.clone();
+        while padded.len() < blocks * ki {
+            padded.push(false);
+        }
+        let mut word = BitVec::new();
+        for b in 0..blocks {
+            word.extend_bits(&parity.slice(b * (ni - ki), ni - ki));
+            word.extend_bits(&padded.slice(b * ki, ki));
+        }
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_no_noise() {
+        let ecc = ParityHelper::new(40, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = BitVec::from_bools((0..40).map(|_| rng.random()));
+        let p = ecc.parity(&r);
+        assert_eq!(ecc.correct(&r, &p).unwrap(), r);
+        assert_eq!(ecc.observed_errors(&r, &p).unwrap(), 0);
+    }
+
+    #[test]
+    fn corrects_t_errors_per_block() {
+        let ecc = ParityHelper::new(30, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = BitVec::from_bools((0..30).map(|_| rng.random()));
+        let p = ecc.parity(&r);
+        let mut noisy = r.clone();
+        noisy.flip(0);
+        noisy.flip(29);
+        assert_eq!(ecc.correct(&noisy, &p).unwrap(), r);
+    }
+
+    #[test]
+    fn parity_flip_adds_one_error() {
+        let ecc = ParityHelper::new(24, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = BitVec::from_bools((0..24).map(|_| rng.random()));
+        let p = ecc.parity(&r);
+        for flips in 1..=ecc.t() {
+            let mut p2 = p.clone();
+            for i in 0..flips {
+                p2.flip(i);
+            }
+            assert_eq!(
+                ecc.observed_errors(&r, &p2).unwrap(),
+                flips,
+                "{flips} parity flips"
+            );
+            assert_eq!(ecc.correct(&r, &p2).unwrap(), r);
+        }
+        // t+1 flips in one block break it.
+        let mut p2 = p.clone();
+        for i in 0..=ecc.t() {
+            p2.flip(i);
+        }
+        assert!(ecc.correct(&r, &p2).is_err());
+    }
+
+    #[test]
+    fn too_many_response_errors_fail() {
+        let ecc = ParityHelper::new(16, 1).unwrap();
+        let r = BitVec::zeros(16);
+        let p = ecc.parity(&r);
+        let mut noisy = r.clone();
+        noisy.flip(1);
+        noisy.flip(2);
+        assert!(ecc.correct(&noisy, &p).is_err());
+    }
+
+    #[test]
+    fn long_response_multi_block() {
+        let ecc = ParityHelper::new(300, 2).unwrap();
+        assert!(ecc.blocks() > 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = BitVec::from_bools((0..300).map(|_| rng.random()));
+        let p = ecc.parity(&r);
+        assert_eq!(p.len(), ecc.parity_len());
+        let mut noisy = r.clone();
+        noisy.flip(5);
+        noisy.flip(150);
+        noisy.flip(299);
+        assert_eq!(ecc.correct(&noisy, &p).unwrap(), r);
+    }
+
+    #[test]
+    fn wrong_parity_length_is_error() {
+        let ecc = ParityHelper::new(16, 1).unwrap();
+        let r = BitVec::zeros(16);
+        assert!(matches!(
+            ecc.correct(&r, &BitVec::zeros(3)),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(ParityHelper::new(0, 2).is_err());
+    }
+}

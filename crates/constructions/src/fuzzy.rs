@@ -1,0 +1,332 @@
+//! The fuzzy extractor reference construction (paper Section VII-A,
+//! Fig. 7) and a manipulation-detecting *robust* variant.
+//!
+//! The paper's recommended alternative to the attacked ad-hoc schemes:
+//! an ECC deals with reliability, a cryptographic hash with entropy, "in a
+//! sequential manner". The robust variant (in the spirit of Boyen et al.
+//! [1]) additionally binds the helper data to the PUF response with a hash
+//! tag so that *any* manipulation is detected before a key is released —
+//! turning the paper's differential failure-rate signal into a constant
+//! (no-information) reject.
+
+use rand::RngCore;
+use ropuf_hash::sha256;
+use ropuf_numeric::BitVec;
+use ropuf_sim::{Environment, RoArray};
+
+use crate::ecc_helper::ParityHelper;
+use crate::pairing::neighbor::{disjoint_chain_pairs, pair_bits};
+use crate::scheme::{EnrollError, Enrollment, HelperDataScheme, ReconstructError};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Wire-format scheme tag for fuzzy-extractor helper data.
+pub const FUZZY_TAG: u8 = 0x46; // 'F'
+
+/// Configuration of the [`FuzzyExtractorScheme`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzyConfig {
+    /// Averaged measurements per RO at enrollment.
+    pub enroll_avg: usize,
+    /// Per-block ECC correction capability.
+    pub ecc_t: usize,
+    /// Enable the robust (helper-authenticating) variant.
+    pub robust: bool,
+}
+
+impl Default for FuzzyConfig {
+    fn default() -> Self {
+        Self {
+            enroll_avg: 16,
+            // Raw chain bits carry no reliability selection, so the code
+            // must absorb the full worst-case error rate — the reason the
+            // fuzzy-extractor literature uses strong codes.
+            ecc_t: 8,
+            robust: false,
+        }
+    }
+}
+
+/// Parsed fuzzy-extractor helper data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzyHelper {
+    /// Number of ROs the helper was generated for.
+    pub array_len: u16,
+    /// ECC redundancy over the response bits.
+    pub parity: BitVec,
+    /// Authentication tag binding helper data to the response (robust
+    /// variant only; empty otherwise).
+    pub auth_tag: Vec<u8>,
+}
+
+impl FuzzyHelper {
+    /// Serializes to the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new(FUZZY_TAG);
+        w.put_u16(self.array_len);
+        w.put_bits(&self.parity);
+        w.put_u8(self.auth_tag.len() as u8);
+        for &b in &self.auth_tag {
+            w.put_u8(b);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes, FUZZY_TAG)?;
+        let array_len = r.take_u16()?;
+        let parity = r.take_bits()?;
+        let tag_len = r.take_u8()? as usize;
+        if tag_len != 0 && tag_len != 32 {
+            return Err(WireError::BadLength {
+                what: "auth tag",
+                value: tag_len as u64,
+            });
+        }
+        let mut auth_tag = Vec::with_capacity(tag_len);
+        for _ in 0..tag_len {
+            auth_tag.push(r.take_u8()?);
+        }
+        r.finish()?;
+        Ok(Self {
+            array_len,
+            parity,
+            auth_tag,
+        })
+    }
+
+    /// The authenticated portion of the helper bytes (everything except
+    /// the tag itself).
+    fn authenticated_bytes(&self) -> Vec<u8> {
+        let untagged = FuzzyHelper {
+            auth_tag: Vec::new(),
+            ..self.clone()
+        };
+        untagged.to_bytes()
+    }
+}
+
+/// The fuzzy-extractor key generator (Fig. 7).
+#[derive(Debug, Clone)]
+pub struct FuzzyExtractorScheme {
+    config: FuzzyConfig,
+}
+
+impl FuzzyExtractorScheme {
+    /// Creates the scheme.
+    pub fn new(config: FuzzyConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FuzzyConfig {
+        &self.config
+    }
+
+    fn response(&self, array: &RoArray, env: Environment, rng: &mut dyn RngCore, avg: usize) -> BitVec {
+        let freqs = if avg > 1 {
+            array.measure_all_averaged(env, avg, rng)
+        } else {
+            array.measure_all(env, rng)
+        };
+        let pairs = disjoint_chain_pairs(array.dims());
+        BitVec::from_bools(pair_bits(&pairs, &freqs))
+    }
+
+    fn derive_key(w: &BitVec) -> BitVec {
+        let digest = sha256(&w.to_bytes());
+        BitVec::from_bytes(&digest, 256)
+    }
+
+    fn auth_tag(w: &BitVec, authenticated: &[u8]) -> Vec<u8> {
+        let mut input = w.to_bytes();
+        input.extend_from_slice(authenticated);
+        sha256(&input).to_vec()
+    }
+}
+
+impl HelperDataScheme for FuzzyExtractorScheme {
+    fn name(&self) -> &'static str {
+        "fuzzy-extractor"
+    }
+
+    fn enroll(&self, array: &RoArray, rng: &mut dyn RngCore) -> Result<Enrollment, EnrollError> {
+        let w = self.response(array, Environment::nominal(), rng, self.config.enroll_avg);
+        if w.len() < 8 {
+            return Err(EnrollError::InsufficientEntropy {
+                got: w.len(),
+                needed: 8,
+            });
+        }
+        let ecc = ParityHelper::new(w.len(), self.config.ecc_t).map_err(EnrollError::Ecc)?;
+        let parity = ecc.parity(&w);
+        let mut helper = FuzzyHelper {
+            array_len: array.len() as u16,
+            parity,
+            auth_tag: Vec::new(),
+        };
+        if self.config.robust {
+            helper.auth_tag = Self::auth_tag(&w, &helper.authenticated_bytes());
+        }
+        Ok(Enrollment {
+            key: Self::derive_key(&w),
+            helper: helper.to_bytes(),
+        })
+    }
+
+    fn reconstruct(
+        &self,
+        array: &RoArray,
+        helper: &[u8],
+        env: Environment,
+        rng: &mut dyn RngCore,
+    ) -> Result<BitVec, ReconstructError> {
+        let parsed = FuzzyHelper::from_bytes(helper)?;
+        if parsed.array_len as usize != array.len() {
+            return Err(WireError::Semantic {
+                what: "array length mismatch",
+            }
+            .into());
+        }
+        if self.config.robust && parsed.auth_tag.is_empty() {
+            return Err(ReconstructError::ManipulationDetected);
+        }
+        let w_noisy = self.response(array, env, rng, 1);
+        if parsed.parity.len() == 0 && w_noisy.len() > 0 {
+            return Err(ReconstructError::EccFailure);
+        }
+        let ecc = ParityHelper::new(w_noisy.len(), self.config.ecc_t)
+            .map_err(|_| ReconstructError::EccFailure)?;
+        let w = ecc
+            .correct(&w_noisy, &parsed.parity)
+            .map_err(|_| ReconstructError::EccFailure)?;
+        if self.config.robust {
+            let expect = Self::auth_tag(&w, &parsed.authenticated_bytes());
+            if expect != parsed.auth_tag {
+                return Err(ReconstructError::ManipulationDetected);
+            }
+        }
+        Ok(Self::derive_key(&w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+    fn array(seed: u64) -> RoArray {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng)
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let a = array(1);
+        let scheme = FuzzyExtractorScheme::new(FuzzyConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = scheme.enroll(&a, &mut rng).unwrap();
+        assert_eq!(e.key.len(), 256);
+        for _ in 0..5 {
+            let k = scheme
+                .reconstruct(&a, &e.helper, Environment::nominal(), &mut rng)
+                .unwrap();
+            assert_eq!(k, e.key);
+        }
+    }
+
+    #[test]
+    fn roundtrip_robust() {
+        let a = array(3);
+        let scheme = FuzzyExtractorScheme::new(FuzzyConfig {
+            robust: true,
+            ..FuzzyConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = scheme.enroll(&a, &mut rng).unwrap();
+        let k = scheme
+            .reconstruct(&a, &e.helper, Environment::nominal(), &mut rng)
+            .unwrap();
+        assert_eq!(k, e.key);
+    }
+
+    #[test]
+    fn robust_detects_any_parity_flip() {
+        let a = array(5);
+        let scheme = FuzzyExtractorScheme::new(FuzzyConfig {
+            robust: true,
+            ..FuzzyConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(6);
+        let e = scheme.enroll(&a, &mut rng).unwrap();
+        let mut parsed = FuzzyHelper::from_bytes(&e.helper).unwrap();
+        parsed.parity.flip(0);
+        let r = scheme.reconstruct(&a, &parsed.to_bytes(), Environment::nominal(), &mut rng);
+        // A single parity flip is *corrected* by the ECC, so w is still
+        // recovered — and the tag check then exposes the manipulation.
+        assert!(matches!(r, Err(ReconstructError::ManipulationDetected)), "{r:?}");
+    }
+
+    #[test]
+    fn robust_rejects_stripped_tag() {
+        let a = array(7);
+        let scheme = FuzzyExtractorScheme::new(FuzzyConfig {
+            robust: true,
+            ..FuzzyConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(8);
+        let e = scheme.enroll(&a, &mut rng).unwrap();
+        let mut parsed = FuzzyHelper::from_bytes(&e.helper).unwrap();
+        parsed.auth_tag.clear();
+        let r = scheme.reconstruct(&a, &parsed.to_bytes(), Environment::nominal(), &mut rng);
+        assert!(matches!(r, Err(ReconstructError::ManipulationDetected)));
+    }
+
+    #[test]
+    fn plain_variant_accepts_manipulated_parity() {
+        // Contrast case: the non-robust extractor still reconstructs (or
+        // fails) under flipped parity without detecting anything — the
+        // paper's Section VI error-injection surface.
+        let a = array(9);
+        let scheme = FuzzyExtractorScheme::new(FuzzyConfig::default());
+        let mut rng = StdRng::seed_from_u64(10);
+        let e = scheme.enroll(&a, &mut rng).unwrap();
+        let mut parsed = FuzzyHelper::from_bytes(&e.helper).unwrap();
+        parsed.parity.flip(0);
+        let r = scheme.reconstruct(&a, &parsed.to_bytes(), Environment::nominal(), &mut rng);
+        assert!(r.is_ok(), "single flip is silently corrected: {r:?}");
+        assert_eq!(r.unwrap(), e.key);
+    }
+
+    #[test]
+    fn key_is_hash_of_response_not_response() {
+        let a = array(11);
+        let scheme = FuzzyExtractorScheme::new(FuzzyConfig::default());
+        let mut rng = StdRng::seed_from_u64(12);
+        let e = scheme.enroll(&a, &mut rng).unwrap();
+        // 256-bit key from a 64-bit response: must be the hash.
+        assert_eq!(e.key.len(), 256);
+        assert_ne!(e.key.count_ones(), 0);
+    }
+
+    #[test]
+    fn helper_wire_roundtrip() {
+        let h = FuzzyHelper {
+            array_len: 64,
+            parity: BitVec::from_bools((0..10).map(|i| i % 2 == 0)),
+            auth_tag: vec![7u8; 32],
+        };
+        assert_eq!(FuzzyHelper::from_bytes(&h.to_bytes()).unwrap(), h);
+        let bad_tag = FuzzyHelper {
+            auth_tag: vec![1u8; 5],
+            ..h.clone()
+        };
+        assert!(FuzzyHelper::from_bytes(&bad_tag.to_bytes()).is_err());
+    }
+}

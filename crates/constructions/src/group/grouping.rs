@@ -1,0 +1,216 @@
+//! The grouping algorithm (paper Section V-B, Algorithm 2).
+//!
+//! ROs are partitioned strictly into groups such that **every** pair of
+//! ROs within a group exceeds the frequency-discrepancy threshold `Δf_th`.
+//! The greedy algorithm walks the ROs in descending frequency order and
+//! assigns each to the first group whose most recently added member is
+//! more than `Δf_th` above it; this maximizes the available entropy
+//! `Σ_j log₂(|G_j|!)` by preferring few large groups.
+
+/// A strict partition of RO indices into groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grouping {
+    /// `groups[j]` lists the RO indices of group `j`, in descending
+    /// frequency order (the order Algorithm 2 added them).
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl Grouping {
+    /// Group id of each RO (inverse mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grouping does not cover `0..n` exactly.
+    pub fn assignments(&self, n: usize) -> Vec<usize> {
+        let mut out = vec![usize::MAX; n];
+        for (g, members) in self.groups.iter().enumerate() {
+            for &i in members {
+                assert!(i < n && out[i] == usize::MAX, "grouping is not a partition");
+                out[i] = g;
+            }
+        }
+        assert!(out.iter().all(|&g| g != usize::MAX), "grouping misses ROs");
+        out
+    }
+
+    /// Rebuilds a [`Grouping`] from per-RO group ids (used when parsing
+    /// helper data). Group member lists are ordered by `values` descending
+    /// when provided, else by RO index.
+    pub fn from_assignments(assignments: &[usize]) -> Self {
+        let ngroups = assignments.iter().copied().max().map_or(0, |m| m + 1);
+        let mut groups = vec![Vec::new(); ngroups];
+        for (i, &g) in assignments.iter().enumerate() {
+            groups[g].push(i);
+        }
+        Self { groups }
+    }
+
+    /// Available entropy `Σ_j log₂(|G_j|!)` in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| {
+                ropuf_numeric::stats::ln_factorial(g.len() as u64) / std::f64::consts::LN_2
+            })
+            .sum()
+    }
+
+    /// Number of Kendall bits the grouping produces:
+    /// `Σ_j |G_j|(|G_j|−1)/2`.
+    pub fn kendall_bits(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| ropuf_numeric::permutation::kendall_code_bits(g.len()))
+            .sum()
+    }
+
+    /// Checks the defining invariant against a value map: every in-group
+    /// pair differs by more than `delta_f_th`.
+    pub fn is_valid(&self, values: &[f64], delta_f_th: f64) -> bool {
+        self.groups.iter().all(|g| {
+            g.iter().enumerate().all(|(a, &i)| {
+                g.iter()
+                    .skip(a + 1)
+                    .all(|&j| (values[i] - values[j]).abs() > delta_f_th)
+            })
+        })
+    }
+}
+
+/// Algorithm 2 (paper Section V-B): greedy grouping of `values` (measured
+/// frequencies or distiller residuals) with threshold `delta_f_th`.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_constructions::group::group_ros;
+///
+/// let values = [10.0, 7.0, 9.5, 6.5];
+/// let g = group_ros(&values, 2.0);
+/// // 10.0 and 7.0 fit one group (gap 3 > 2); 9.5 collides with 10.0 so it
+/// // opens group 2, which then takes 6.5 (gap 3 > 2).
+/// assert_eq!(g.groups, vec![vec![0, 1], vec![2, 3]]);
+/// ```
+pub fn group_ros(values: &[f64], delta_f_th: f64) -> Grouping {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // last[j] = value of the RO last added to group j (descending walk ⇒
+    // this is the group's minimum so far). The virtual group "0" of the
+    // paper's pseudocode (RO₀.f = ∞) is modelled by pushing new groups on
+    // demand.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut last: Vec<f64> = Vec::new();
+    for &i in &order {
+        let mut j = 0;
+        while j < groups.len() && last[j] - values[i] <= delta_f_th {
+            j += 1;
+        }
+        if j == groups.len() {
+            groups.push(Vec::new());
+            last.push(0.0);
+        }
+        groups[j].push(i);
+        last[j] = values[i];
+    }
+    Grouping { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_numeric::sampling::Normal;
+
+    #[test]
+    fn partition_is_strict() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values = Normal::new(0.0, 500e3).sample_n(&mut rng, 128);
+        let g = group_ros(&values, 100e3);
+        let assign = g.assignments(128); // panics if not a partition
+        assert_eq!(assign.len(), 128);
+    }
+
+    #[test]
+    fn in_group_pairs_exceed_threshold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values = Normal::new(0.0, 500e3).sample_n(&mut rng, 256);
+        let th = 150e3;
+        let g = group_ros(&values, th);
+        assert!(g.is_valid(&values, th));
+    }
+
+    #[test]
+    fn members_in_descending_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let values = Normal::new(0.0, 1.0).sample_n(&mut rng, 64);
+        let g = group_ros(&values, 0.2);
+        for members in &g.groups {
+            for w in members.windows(2) {
+                assert!(values[w[0]] > values[w[1]]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_single_group() {
+        // With Δf_th = 0 and distinct values, everything fits group 1.
+        let values = [3.0, 1.0, 2.0];
+        let g = group_ros(&values, 0.0);
+        assert_eq!(g.groups.len(), 1);
+        assert_eq!(g.groups[0], vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn huge_threshold_all_singletons() {
+        let values = [3.0, 1.0, 2.0];
+        let g = group_ros(&values, 100.0);
+        assert_eq!(g.groups.len(), 3);
+        assert!(g.groups.iter().all(|m| m.len() == 1));
+        assert_eq!(g.entropy_bits(), 0.0);
+        assert_eq!(g.kendall_bits(), 0);
+    }
+
+    #[test]
+    fn greedy_prefers_large_groups() {
+        // Values 10, 8, 6, 4 with th = 1: all in one group (gaps 2 > 1).
+        let g = group_ros(&[10.0, 8.0, 6.0, 4.0], 1.0);
+        assert_eq!(g.groups.len(), 1);
+        assert!((g.entropy_bits() - (24f64).log2()).abs() < 1e-9);
+        assert_eq!(g.kendall_bits(), 6);
+    }
+
+    #[test]
+    fn assignments_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let values = Normal::new(0.0, 1.0).sample_n(&mut rng, 50);
+        let g = group_ros(&values, 0.3);
+        let assign = g.assignments(50);
+        let g2 = Grouping::from_assignments(&assign);
+        // Same partition (member order may differ: re-sort to compare).
+        for (a, b) in g.groups.iter().zip(&g2.groups) {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn paper_example_entropy_monotone() {
+        // Few large groups beat many small ones at equal total size.
+        let one_big = Grouping {
+            groups: vec![vec![0, 1, 2, 3]],
+        };
+        let two_small = Grouping {
+            groups: vec![vec![0, 1], vec![2, 3]],
+        };
+        assert!(one_big.entropy_bits() > two_small.entropy_bits());
+    }
+}

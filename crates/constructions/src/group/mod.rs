@@ -1,0 +1,18 @@
+//! The group-based RO PUF (paper Section V, Fig. 4; DATE 2013) and its
+//! entropy distiller (DAC 2013).
+//!
+//! Pipeline: RO array → [`distiller`] (polynomial regression removes
+//! systematic variation) → [`grouping`] (Algorithm 2 partitions ROs into
+//! reliability groups) → [`kendall`] (one bit per in-group RO pair,
+//! Table I) → ECC → [`packing`] (conversion to compact coding) → key.
+
+pub mod distiller;
+pub mod grouping;
+pub mod kendall;
+pub mod packing;
+pub mod pipeline;
+
+pub use distiller::Distiller;
+pub use grouping::{group_ros, Grouping};
+pub use kendall::{group_kendall_bits, group_order};
+pub use pipeline::{GroupBasedConfig, GroupBasedHelper, GroupBasedScheme, GROUP_TAG};

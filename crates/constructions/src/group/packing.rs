@@ -1,0 +1,171 @@
+//! Entropy packing (paper Section V-E).
+//!
+//! Kendall coding is non-uniform — many bit vectors never occur — so the
+//! paper proposes converting the (error-corrected) Kendall bits to a
+//! compact coding (Table I, column 2) to maintain entropy. The compact
+//! code of a `g`-member group is the lexicographic rank of its frequency
+//! order in `⌈log₂(g!)⌉` bits. As the paper notes, the fix is partial:
+//! `g!` is not a power of two for `g > 2`, so a small bias remains.
+//!
+//! For groups beyond 20 members (where the rank overflows `u64`) the
+//! packing falls back to per-digit Lehmer coding: digit `i ∈ [0, g−i)`
+//! packed in `⌈log₂(g−i)⌉` bits — slightly longer but overflow-free.
+
+use ropuf_numeric::permutation::{compact_code_bits, factorial, Permutation};
+use ropuf_numeric::BitVec;
+
+/// Number of packed bits produced for a `g`-member group.
+pub fn packed_bits(g: usize) -> usize {
+    if g < 2 {
+        0
+    } else if g <= 20 {
+        compact_code_bits(g)
+    } else {
+        (0..g).map(|i| bits_for(g - i)).sum()
+    }
+}
+
+fn bits_for(radix: usize) -> usize {
+    if radix <= 1 {
+        0
+    } else {
+        usize::BITS as usize - (radix - 1).leading_zeros() as usize
+    }
+}
+
+/// Packs a group's frequency order into compact bits (little-endian rank
+/// for `g ≤ 20`, Lehmer digits beyond).
+pub fn pack_order(order: &Permutation) -> BitVec {
+    let g = order.len();
+    if g < 2 {
+        return BitVec::new();
+    }
+    if g <= 20 {
+        let rank = order.lehmer_rank();
+        let nbits = compact_code_bits(g);
+        return BitVec::from_bools((0..nbits).map(|b| (rank >> b) & 1 == 1));
+    }
+    // Lehmer digit fallback.
+    let mut out = BitVec::new();
+    let perm = order.as_slice();
+    for i in 0..g {
+        let digit = perm[i + 1..].iter().filter(|&&v| v < perm[i]).count() as u64;
+        let nbits = bits_for(g - i);
+        for b in 0..nbits {
+            out.push((digit >> b) & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Unpacks compact bits back into the frequency order (inverse of
+/// [`pack_order`]). Returns `None` when the bits encode an out-of-range
+/// rank or digit — possible because `g!` is not a power of two (the
+/// residual non-uniformity the paper points out).
+pub fn unpack_order(bits: &BitVec, g: usize) -> Option<Permutation> {
+    if g < 2 {
+        return Some(Permutation::identity(g));
+    }
+    if bits.len() != packed_bits(g) {
+        return None;
+    }
+    if g <= 20 {
+        let mut rank: u64 = 0;
+        for b in (0..bits.len()).rev() {
+            rank = (rank << 1) | bits.get(b) as u64;
+        }
+        if rank >= factorial(g) {
+            return None;
+        }
+        return Some(Permutation::from_lehmer_rank(rank, g));
+    }
+    // Lehmer digit fallback.
+    let mut avail: Vec<usize> = (0..g).collect();
+    let mut perm = Vec::with_capacity(g);
+    let mut pos = 0usize;
+    for i in 0..g {
+        let nbits = bits_for(g - i);
+        let mut digit = 0usize;
+        for b in 0..nbits {
+            digit |= (bits.get(pos + b) as usize) << b;
+        }
+        pos += nbits;
+        if digit >= avail.len() {
+            return None;
+        }
+        perm.push(avail.remove(digit));
+    }
+    Some(Permutation::from_slice(&perm).expect("constructed from available set"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_compact_widths() {
+        assert_eq!(packed_bits(4), 5);
+        assert_eq!(packed_bits(2), 1);
+        assert_eq!(packed_bits(1), 0);
+        assert_eq!(packed_bits(0), 0);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_g4() {
+        for r in 0..24 {
+            let p = Permutation::from_lehmer_rank(r, 4);
+            let packed = pack_order(&p);
+            assert_eq!(packed.len(), 5);
+            assert_eq!(unpack_order(&packed, 4), Some(p));
+        }
+    }
+
+    #[test]
+    fn roundtrip_mid_sizes() {
+        for g in [2usize, 3, 7, 12, 20] {
+            let p = Permutation::sorting_desc(
+                &(0..g).map(|i| ((i * 31 + 7) % g) as f64).collect::<Vec<_>>(),
+            );
+            let packed = pack_order(&p);
+            assert_eq!(packed.len(), packed_bits(g), "g = {g}");
+            assert_eq!(unpack_order(&packed, g), Some(p), "g = {g}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_group_digit_fallback() {
+        for g in [21usize, 33, 50] {
+            let values: Vec<f64> = (0..g).map(|i| ((i * 37 + 11) % g) as f64).collect();
+            let p = Permutation::sorting_desc(&values);
+            let packed = pack_order(&p);
+            assert_eq!(packed.len(), packed_bits(g), "g = {g}");
+            assert_eq!(unpack_order(&packed, g), Some(p), "g = {g}");
+        }
+    }
+
+    #[test]
+    fn invalid_rank_detected() {
+        // g = 3: ranks 0..5 valid in 3 bits; ranks 6,7 invalid.
+        let bits = BitVec::from_bools([false, true, true]); // rank 6
+        assert_eq!(unpack_order(&bits, 3), None);
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let bits = BitVec::zeros(4);
+        assert_eq!(unpack_order(&bits, 4), None); // needs 5 bits
+    }
+
+    #[test]
+    fn residual_bias_exists_for_g3() {
+        // The paper's caveat: ⌈log2 3!⌉ = 3 bits cover 8 patterns but only
+        // 6 orders exist ⇒ 2 of 8 patterns are invalid.
+        let invalid = (0u64..8)
+            .filter(|&r| {
+                let bits = BitVec::from_bools((0..3).map(|b| (r >> b) & 1 == 1));
+                unpack_order(&bits, 3).is_none()
+            })
+            .count();
+        assert_eq!(invalid, 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! 1-out-of-k masking (paper Section IV-B).
+//!
+//! A fixed pair set (here: the disjoint neighbor chain) is partitioned into
+//! groups of `k` pairs. At enrollment, the pair maximizing `|Δf|` within
+//! each group is selected — favoring reliability — and the selected indices
+//! are stored as public helper data. `k` trades reliability against
+//! efficiency.
+
+use super::neighbor::RoPair;
+
+/// Groups a fixed pair list into consecutive runs of `k`; a final partial
+/// group is dropped (it cannot offer the full reliability margin).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn mask_groups(pairs: &[RoPair], k: usize) -> Vec<&[RoPair]> {
+    assert!(k > 0, "k must be positive");
+    pairs.chunks_exact(k).collect()
+}
+
+/// Enrollment-time selection: for each group of `k` pairs, the in-group
+/// index (`0..k`) of the pair with the largest `|Δf|`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or a pair index exceeds `values`.
+pub fn select_max_delta(pairs: &[RoPair], k: usize, values: &[f64]) -> Vec<usize> {
+    mask_groups(pairs, k)
+        .iter()
+        .map(|group| {
+            let mut best = 0;
+            let mut best_delta = f64::MIN;
+            for (idx, &(a, b)) in group.iter().enumerate() {
+                let d = (values[a] - values[b]).abs();
+                if d > best_delta {
+                    best_delta = d;
+                    best = idx;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Resolves stored selections into the concrete pair per group.
+///
+/// Returns `None` when a selection index is `≥ k` or the selection count
+/// does not match the group count — the parse-time sanity condition.
+pub fn selected_pairs(pairs: &[RoPair], k: usize, selections: &[usize]) -> Option<Vec<RoPair>> {
+    let groups = mask_groups(pairs, k);
+    if selections.len() != groups.len() {
+        return None;
+    }
+    selections
+        .iter()
+        .zip(groups)
+        .map(|(&s, g)| g.get(s).copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs6() -> Vec<RoPair> {
+        vec![(0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (10, 11)]
+    }
+
+    #[test]
+    fn groups_are_consecutive() {
+        let pairs = pairs6();
+        let g = mask_groups(&pairs, 3);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0], &pairs[..3]);
+    }
+
+    #[test]
+    fn partial_group_dropped() {
+        let pairs = pairs6();
+        let g = mask_groups(&pairs, 4);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn selects_largest_gap() {
+        let pairs = pairs6();
+        // |Δ| per pair: 1, 9, 2 | 1, 1, 30
+        let values = [0.0, 1.0, 10.0, 1.0, 3.0, 1.0, 0.0, 1.0, 5.0, 4.0, 31.0, 1.0];
+        let sel = select_max_delta(&pairs, 3, &values);
+        assert_eq!(sel, vec![1, 2]);
+    }
+
+    #[test]
+    fn resolve_selection_roundtrip() {
+        let pairs = pairs6();
+        let sel = vec![1usize, 2];
+        let resolved = selected_pairs(&pairs, 3, &sel).unwrap();
+        assert_eq!(resolved, vec![(2, 3), (10, 11)]);
+    }
+
+    #[test]
+    fn out_of_range_selection_rejected() {
+        let pairs = pairs6();
+        assert!(selected_pairs(&pairs, 3, &[3, 0]).is_none());
+        assert!(selected_pairs(&pairs, 3, &[0]).is_none());
+    }
+}

@@ -1,0 +1,12 @@
+//! RO pair-selection methods (paper Section IV).
+//!
+//! * [`neighbor`] — chains of neighboring ROs (IV-A);
+//! * [`masking`] — 1-out-of-k masking on top of a fixed pair set (IV-B);
+//! * [`lisa`] — the sequential pairing algorithm (IV-C, Algorithm 1);
+//! * [`distilled`] — any of the above pair sources behind an entropy
+//!   distiller (the DAC 2013 combination attacked in Section VI-D).
+
+pub mod distilled;
+pub mod lisa;
+pub mod masking;
+pub mod neighbor;

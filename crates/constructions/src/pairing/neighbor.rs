@@ -1,0 +1,104 @@
+//! Chains of neighboring ROs (paper Section IV-A).
+//!
+//! Pairing neighboring ROs reduces the impact of spatial correlation. Two
+//! variants over the serpentine RO chain:
+//!
+//! * **disjoint**: pairs `(chain[0], chain[1]), (chain[2], chain[3]), …` —
+//!   `⌊N/2⌋` independent bits;
+//! * **overlapping**: pairs `(chain[i], chain[i+1])` for every `i` —
+//!   up to `N − 1` bits which share ROs (the case of the paper's Fig. 6c).
+
+use ropuf_sim::ArrayDims;
+
+/// An ordered RO pair `(a, b)`; the response bit is `f_a > f_b`.
+pub type RoPair = (usize, usize);
+
+/// Disjoint neighbor pairs along the serpentine chain: `⌊N/2⌋` pairs, no
+/// shared ROs.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_constructions::pairing::neighbor::disjoint_chain_pairs;
+/// use ropuf_sim::ArrayDims;
+///
+/// let pairs = disjoint_chain_pairs(ArrayDims::new(4, 2));
+/// assert_eq!(pairs.len(), 4);
+/// ```
+pub fn disjoint_chain_pairs(dims: ArrayDims) -> Vec<RoPair> {
+    let chain = dims.serpentine();
+    chain.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+}
+
+/// Overlapping neighbor pairs along the serpentine chain: `N − 1` pairs,
+/// each RO (except the chain ends) shared by two pairs.
+pub fn overlapping_chain_pairs(dims: ArrayDims) -> Vec<RoPair> {
+    let chain = dims.serpentine();
+    chain.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Response bits of a pair list over a measured frequency (or residual)
+/// vector: bit `p` is `values[a] > values[b]`. Exact ties (possible after
+/// counter quantization, paper §III-B) resolve to `false`.
+///
+/// # Panics
+///
+/// Panics if any index is out of range.
+pub fn pair_bits(pairs: &[RoPair], values: &[f64]) -> Vec<bool> {
+    pairs.iter().map(|&(a, b)| values[a] > values[b]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_pairs_cover_each_ro_once() {
+        let dims = ArrayDims::new(6, 4);
+        let pairs = disjoint_chain_pairs(dims);
+        assert_eq!(pairs.len(), 12);
+        let mut seen = vec![false; dims.len()];
+        for &(a, b) in &pairs {
+            assert!(!seen[a] && !seen[b], "RO reused");
+            seen[a] = true;
+            seen[b] = true;
+        }
+    }
+
+    #[test]
+    fn disjoint_pairs_are_neighbors() {
+        let dims = ArrayDims::new(5, 3);
+        for (a, b) in disjoint_chain_pairs(dims) {
+            assert!(dims.neighbors4(a).contains(&b));
+        }
+    }
+
+    #[test]
+    fn overlapping_pairs_count_and_sharing() {
+        let dims = ArrayDims::new(4, 3);
+        let pairs = overlapping_chain_pairs(dims);
+        assert_eq!(pairs.len(), dims.len() - 1);
+        // Consecutive pairs share one RO.
+        for w in pairs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn odd_chain_drops_last() {
+        let dims = ArrayDims::new(3, 3); // 9 ROs
+        assert_eq!(disjoint_chain_pairs(dims).len(), 4);
+    }
+
+    #[test]
+    fn pair_bits_compare_values() {
+        let pairs = vec![(0, 1), (2, 3)];
+        let values = [5.0, 3.0, 1.0, 2.0];
+        assert_eq!(pair_bits(&pairs, &values), vec![true, false]);
+    }
+
+    #[test]
+    fn tie_resolves_to_false() {
+        assert_eq!(pair_bits(&[(0, 1)], &[2.0, 2.0]), vec![false]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Entropy accounting for RO PUFs (paper Sections II and V).
+
+use ropuf_numeric::stats::ln_factorial;
+
+/// Total entropy of an `n`-RO PUF under the ideal model: `log₂(n!)` bits
+/// (paper Section II — all `n!` frequency orders equally likely).
+pub fn total_entropy_bits(n: usize) -> f64 {
+    ln_factorial(n as u64) / std::f64::consts::LN_2
+}
+
+/// Number of pairwise comparisons `n(n−1)/2` — the raw (interdependent)
+/// response bit count of Fig. 1.
+pub fn pairwise_comparisons(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Bits leaked by the deterministic-scan assist selection (paper
+/// Section IV-D): each skipped candidate reveals one inequality relation,
+/// worth up to one bit.
+pub fn deterministic_scan_leakage_bits(skipped_candidates: usize) -> f64 {
+    skipped_candidates as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_matches_small_cases() {
+        assert!((total_entropy_bits(1)).abs() < 1e-9);
+        assert!((total_entropy_bits(3) - (6f64).log2()).abs() < 1e-9);
+        assert!((total_entropy_bits(4) - (24f64).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_grows_subquadratically() {
+        // log2(n!) ≪ n(n-1)/2 for large n — the paper's point that the
+        // N(N−1)/2 comparison bits are heavily interdependent.
+        let n = 128;
+        assert!(total_entropy_bits(n) < pairwise_comparisons(n) as f64 / 8.0);
+    }
+
+    #[test]
+    fn comparisons_counts() {
+        assert_eq!(pairwise_comparisons(0), 0);
+        assert_eq!(pairwise_comparisons(3), 3);
+        assert_eq!(pairwise_comparisons(128), 8128);
+    }
+}

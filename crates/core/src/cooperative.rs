@@ -1,0 +1,449 @@
+//! Relation recovery on the temperature-aware cooperative RO PUF (paper
+//! Section VI-B).
+//!
+//! "An attacker can retrieve the response bit relations for all
+//! cooperating pairs." For a target cooperating pair `c` (requesting
+//! assistance, reference bit `r_c`, original donor `a` with
+//! `r_c ⊕ r_g = r_a`), the attacker re-points the assist link at another
+//! cooperating pair `d`: the device then reconstructs
+//! `r_g ⊕ r_d = r_c ⊕ (r_a ⊕ r_d)`. H0 (`r_d = r_a`): failure rate
+//! unchanged; H1: one bit error. Error injection (parity flips into the
+//! target bit's block) and manipulation of the interval bounds `Tl`/`Th`
+//! (to force assistance at an attacker-chosen temperature) accelerate the
+//! attack, exactly as the paper sketches.
+
+use rand::RngCore;
+use ropuf_constructions::cooperative::{CooperativeConfig, CooperativeHelper, PairEntry};
+use ropuf_constructions::ecc_helper::ParityHelper;
+use ropuf_constructions::SanityPolicy;
+use ropuf_sim::Environment;
+
+use crate::framework::inject_parity_errors;
+use crate::lisa::AttackError;
+use crate::oracle::Oracle;
+use crate::relations::ParityUnionFind;
+
+/// Result of the cooperative relation-recovery attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooperativeReport {
+    /// Pair indices (into the helper's pair list) of the cooperating
+    /// pairs whose bits were related.
+    pub coop_pairs: Vec<usize>,
+    /// For every cooperating pair `j` (aligned with `coop_pairs`):
+    /// `r_cj ⊕ r_anchor` relative to the anchor pair, or `None` when the
+    /// relation graph did not connect that pair.
+    pub relative_bits: Vec<Option<bool>>,
+    /// Pair index of the anchor (the first target's original donor).
+    pub anchor_pair: usize,
+    /// Oracle queries spent.
+    pub queries: u64,
+}
+
+/// The Section VI-B attack.
+#[derive(Debug, Clone)]
+pub struct CooperativeAttack {
+    config: CooperativeConfig,
+    trials: usize,
+}
+
+impl CooperativeAttack {
+    /// Creates the attack against a device with the given public
+    /// configuration.
+    pub fn new(config: CooperativeConfig) -> Self {
+        Self { config, trials: 5 }
+    }
+
+    /// Overrides the per-test query count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        self.trials = trials;
+        self
+    }
+
+    /// Picks the range extreme farthest from the crossover intervals of
+    /// **both** the substituted donor and the original assist — both
+    /// appear in the paired test (substituted vs control helper), and a
+    /// cooperating pair's `|Δf|` grows linearly away from its interval,
+    /// so maximal distance minimizes noise flips. Returns `None` when
+    /// neither extreme is at least 5 °C clear of both intervals.
+    fn donor_safe_temperature(
+        helper: &CooperativeHelper,
+        donor: usize,
+        orig_assist: usize,
+    ) -> Option<f64> {
+        let interval = |idx: usize| -> Option<(f64, f64)> {
+            match helper.entries[idx] {
+                PairEntry::Coop { tl, th, .. } | PairEntry::CoopDiscarded { tl, th } => {
+                    Some((tl, th))
+                }
+                _ => None,
+            }
+        };
+        let (dtl, dth) = interval(donor)?;
+        let (atl, ath) = interval(orig_assist)?;
+        // A cooperating pair's |Δf| grows as slope × distance beyond its
+        // band edge, and the band width is public: width = 2·Δf_th /
+        // |slope|. Requiring clearance ≥ 0.65 × width therefore
+        // guarantees |Δf| ≳ 2.3 × Δf_th at the test point — far enough
+        // above the noise floor for a dependable donor bit. Interior
+        // temperatures are preferred over the range extremes: the rest of
+        // the key (the common-mode baseline of the paired test) is most
+        // fragile exactly at the extremes, where every good pair attains
+        // its worst-case margin.
+        let need = |tl: f64, th: f64| (0.65 * (th - tl)).max(5.0);
+        let slack_at = |temp: f64| -> f64 {
+            let d_clear = if temp <= dtl { dtl - temp } else { temp - dth };
+            let a_clear = if temp <= atl { atl - temp } else { temp - ath };
+            if (dtl..=dth).contains(&temp) || (atl..=ath).contains(&temp) {
+                return f64::MIN;
+            }
+            (d_clear - need(dtl, dth)).min(a_clear - need(atl, ath))
+        };
+        let mut best: Option<(f64, f64)> = None;
+        let steps = 29;
+        for i in 0..=steps {
+            let temp =
+                helper.t_min + (helper.t_max - helper.t_min) * i as f64 / steps as f64;
+            let slack = slack_at(temp);
+            // Clearance beyond ~5 °C of slack adds nothing (the donor bit
+            // is already firmly outside its band), so cap it — otherwise
+            // the range extremes always win on raw slack, and the
+            // extremes are exactly where the rest of the key is noisiest.
+            let interior_bonus = (temp - helper.t_min)
+                .min(helper.t_max - temp)
+                .min(20.0)
+                / 100.0;
+            let score = slack.min(5.0) + interior_bonus;
+            if slack >= 0.0 && best.map_or(true, |(s, _)| score > s) {
+                best = Some((score, temp));
+            }
+        }
+        best.map(|(_, temp)| temp)
+    }
+
+    /// Runs the attack, learning the XOR relations among all cooperating
+    /// pairs' response bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`] when the helper data is not a cooperative
+    /// blob, fewer than two cooperating pairs exist, or the device has no
+    /// stable reference behavior.
+    pub fn run(
+        &self,
+        oracle: &mut Oracle<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<CooperativeReport, AttackError> {
+        let parsed =
+            CooperativeHelper::from_bytes(oracle.original_helper(), SanityPolicy::Lenient)
+                .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
+
+        // Cooperating pairs that carry key bits, in key order.
+        let good_count = parsed
+            .entries
+            .iter()
+            .filter(|e| matches!(e, PairEntry::Good))
+            .count();
+        let coop_pairs: Vec<usize> = parsed
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, PairEntry::Coop { .. }).then_some(i))
+            .collect();
+        if coop_pairs.len() < 2 {
+            return Err(AttackError::InsufficientTargets {
+                got: coop_pairs.len(),
+            });
+        }
+        let key_len = good_count + coop_pairs.len();
+        let ecc = ParityHelper::new(key_len, self.config.ecc_t)
+            .map_err(AttackError::UnexpectedHelper)?;
+
+        let reference = oracle.query_original(Environment::nominal());
+        if reference.is_failure() {
+            return Err(AttackError::NoReference);
+        }
+
+        // All pairs that can act as donors (their reference bit is
+        // measurable outside their interval), including cooperating pairs
+        // that were discarded from the key.
+        let cooperating: Vec<usize> = parsed
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                matches!(e, PairEntry::Coop { .. } | PairEntry::CoopDiscarded { .. })
+                    .then_some(i)
+            })
+            .collect();
+
+        let mut uf = ParityUnionFind::new(parsed.entries.len());
+
+        // One hypothesis test: re-point `target`'s assist link at `donor`,
+        // force the cooperative path at a donor-safe temperature, inject
+        // t parity errors into the target's block, and compare the
+        // failure rate against a *control* helper that is identical except
+        // that it keeps the original assist — the paper's "intentionally
+        // and symmetrically introduced" errors. Common-mode noise (a
+        // marginal mask or background bit flipping at the test
+        // temperature) hits both helpers equally; only a genuine bit
+        // difference (H1) separates them. Ambiguous margins escalate to
+        // more trials.
+        #[allow(unused_mut)]
+        let mut test = |oracle: &mut Oracle<'_>,
+                        uf: &mut ParityUnionFind,
+                        target: usize,
+                        donor: usize|
+         -> bool {
+            let PairEntry::Coop { assist, mask, .. } = parsed.entries[target] else {
+                return false;
+            };
+            if donor == target || donor == assist as usize {
+                return false;
+            }
+            let Some(temp) = Self::donor_safe_temperature(&parsed, donor, assist as usize)
+            else {
+                return false;
+            };
+            let coop_rank = coop_pairs
+                .iter()
+                .position(|&c| c == target)
+                .expect("target is a keyed coop pair");
+            let make = |assist_link: usize| -> Vec<u8> {
+                let mut m = parsed.clone();
+                m.entries[target] = PairEntry::Coop {
+                    tl: temp - 0.5,
+                    th: temp + 0.5,
+                    assist: assist_link as u16,
+                    mask,
+                };
+                inject_parity_errors(
+                    &mut m.parity,
+                    ecc.block_of_bit(good_count + coop_rank),
+                    ecc.parity_per_block(),
+                    ecc.t(),
+                );
+                m.to_bytes()
+            };
+            let substituted = make(donor);
+            let control = make(assist as usize);
+            let env = Environment::at_temperature(temp);
+            // Decision: under H1 the substituted helper holds t+1 errors
+            // and fails (essentially) every query, while the control
+            // fails only at the common-mode baseline rate; under H0 both
+            // share the baseline. So H1 requires a near-certain failure
+            // rate *and* a clear gap to the control. Ambiguous outcomes
+            // escalate to more trials; H1 verdicts (the error-prone
+            // direction when the baseline is high) are re-confirmed by a
+            // best-of-three majority — a true H1 is deterministic, so
+            // re-confirmation is nearly free in accuracy.
+            let mut decide = |oracle: &mut Oracle<'_>| -> bool {
+                let mut n = 0u64;
+                let mut f_sub = 0u64;
+                let mut f_ctl = 0u64;
+                loop {
+                    let round = self.trials.max(8) as u64;
+                    f_sub += oracle.failure_count(&substituted, env, &reference, round as usize);
+                    f_ctl += oracle.failure_count(&control, env, &reference, round as usize);
+                    n += round;
+                    let rate_sub = f_sub as f64 / n as f64;
+                    let diff = rate_sub - f_ctl as f64 / n as f64;
+                    if n >= 2 * self.trials.max(8) as u64 && rate_sub >= 0.9 && diff >= 0.3 {
+                        break true;
+                    }
+                    if rate_sub <= 0.7 {
+                        break false;
+                    }
+                    if n >= 4 * self.trials.max(8) as u64 {
+                        break rate_sub >= 0.85 && diff >= 0.3;
+                    }
+                }
+            };
+            let mut differs = decide(oracle);
+            if differs {
+                let second = decide(oracle);
+                if second != differs {
+                    differs = decide(oracle);
+                }
+                let _ = second;
+            }
+            // H0: r_donor = r_orig_assist.
+            uf.relate(donor, assist as usize, differs);
+            true
+        };
+
+        // Round 1: first keyed coop pair relates every other cooperating
+        // pair to its original donor (the anchor).
+        let target1 = coop_pairs[0];
+        let PairEntry::Coop { assist: anchor, .. } = parsed.entries[target1] else {
+            unreachable!("coop_pairs holds Coop entries");
+        };
+        let anchor = anchor as usize;
+        for &donor in &cooperating {
+            test(oracle, &mut uf, target1, donor);
+        }
+        // Round 2: connect target1's own bit via a second target whose
+        // original donor is not target1 itself.
+        for &target2 in coop_pairs.iter().skip(1) {
+            let PairEntry::Coop { assist, .. } = parsed.entries[target2] else {
+                continue;
+            };
+            if assist as usize != target1 && test(oracle, &mut uf, target2, target1) {
+                break;
+            }
+        }
+        oracle.restore();
+
+        let relative_bits: Vec<Option<bool>> = coop_pairs
+            .iter()
+            .map(|&c| uf.relation(c, anchor))
+            .collect();
+        Ok(CooperativeReport {
+            coop_pairs,
+            relative_bits,
+            anchor_pair: anchor,
+            queries: oracle.queries(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_constructions::cooperative::{classify_pair, CooperativeScheme, PairClass};
+    use ropuf_constructions::Device;
+    use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+    /// Provisions a device and returns it with the ground-truth bits of
+    /// its cooperating pairs (by pair index).
+    fn provision(seed: u64, config: CooperativeConfig) -> Option<(Device, Vec<(usize, bool)>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+        let scheme = CooperativeScheme::new(config);
+        // Ground truth from noise-free lines.
+        let mut truth_rng = StdRng::seed_from_u64(seed ^ 0x5555);
+        let lines = scheme.measure_lines(&array, &mut truth_rng);
+        let truths: Vec<(usize, bool)> = lines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(_, line))| {
+                match classify_pair(line, config.range, config.delta_f_th) {
+                    PairClass::Cooperating { bit, .. } => Some((i, bit)),
+                    _ => None,
+                }
+            })
+            .collect();
+        let device = Device::provision(array, Box::new(scheme), seed ^ 0x1234).ok()?;
+        Some((device, truths))
+    }
+
+    #[test]
+    fn recovers_coop_relations() {
+        let config = CooperativeConfig::default();
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut verified_devices = 0;
+        let mut total_checked = 0u64;
+        let mut total_wrong = 0u64;
+        for seed in 0..12u64 {
+            let Some((mut device, truths)) = provision(seed, config) else {
+                continue;
+            };
+            let mut oracle = Oracle::new(&mut device);
+            let report = match CooperativeAttack::new(config).run(&mut oracle, &mut rng) {
+                Ok(r) => r,
+                Err(AttackError::InsufficientTargets { .. }) => continue,
+                Err(e) => panic!("seed {seed}: {e}"),
+            };
+            // Verify every *connected* relative relation against ground
+            // truth: r_i ⊕ r_j as reported must match the true bits.
+            let truth_of = |pair: usize| -> Option<bool> {
+                truths.iter().find(|&&(i, _)| i == pair).map(|&(_, b)| b)
+            };
+            let mut checked = 0u64;
+            let mut wrong = 0u64;
+            for (idx_i, &ci) in report.coop_pairs.iter().enumerate() {
+                for (idx_j, &cj) in report.coop_pairs.iter().enumerate().skip(idx_i + 1) {
+                    let (Some(ri), Some(rj)) =
+                        (report.relative_bits[idx_i], report.relative_bits[idx_j])
+                    else {
+                        continue;
+                    };
+                    let (Some(ti), Some(tj)) = (truth_of(ci), truth_of(cj)) else {
+                        continue;
+                    };
+                    checked += 1;
+                    if ri ^ rj != ti ^ tj {
+                        wrong += 1;
+                    }
+                }
+            }
+            total_checked += checked;
+            total_wrong += wrong;
+            if checked > 0 {
+                verified_devices += 1;
+            }
+        }
+        assert!(verified_devices >= 3, "verified only {verified_devices} devices");
+        // The attack is statistical; demand ≥ 95% correct relations
+        // across the population (the paper claims relation recovery, not
+        // a zero error rate at finite query budgets).
+        assert!(total_checked >= 20, "too few relations checked: {total_checked}");
+        assert!(
+            (total_wrong as f64) <= 0.05 * total_checked as f64,
+            "{total_wrong}/{total_checked} relations wrong"
+        );
+    }
+
+    #[test]
+    fn too_few_coop_pairs_rejected() {
+        // A huge threshold makes (almost) everything bad/good.
+        let config = CooperativeConfig {
+            delta_f_th: 1.0, // virtually no cooperating pairs
+            ..CooperativeConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(51);
+        if let Some((mut device, _)) = provision(999, config) {
+            let mut oracle = Oracle::new(&mut device);
+            let r = CooperativeAttack::new(config).run(&mut oracle, &mut rng);
+            if let Err(e) = r {
+                assert!(matches!(e, AttackError::InsufficientTargets { .. }), "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn donor_safe_temperature_avoids_interval() {
+        let helper = CooperativeHelper {
+            array_len: 8,
+            t_min: 0.0,
+            t_max: 70.0,
+            entries: vec![
+                PairEntry::CoopDiscarded { tl: 30.0, th: 40.0 }, // covers midpoint
+                PairEntry::CoopDiscarded { tl: 60.0, th: 70.0 },
+                PairEntry::Good,
+            ],
+            parity: ropuf_numeric::BitVec::zeros(4),
+        };
+        // Intervals [30, 40] and [60, 70], clearance requirement 6.5 °C
+        // each: the chosen point must be outside both intervals with the
+        // required clearance.
+        for (d, a) in [(0usize, 1usize), (1, 0)] {
+            let t = CooperativeAttack::donor_safe_temperature(&helper, d, a).unwrap();
+            assert!((0.0..=70.0).contains(&t));
+            assert!(!(30.0..=40.0).contains(&t), "t = {t}");
+            assert!(!(60.0..=70.0).contains(&t), "t = {t}");
+            assert!(
+                (30.0 - t >= 6.5) || (t - 40.0 >= 6.5 && 60.0 - t >= 6.5),
+                "clearance violated at t = {t}"
+            );
+        }
+        // A good pair has no interval ⇒ no safe donor temperature.
+        assert!(CooperativeAttack::donor_safe_temperature(&helper, 2, 0).is_none());
+    }
+}

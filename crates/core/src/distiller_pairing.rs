@@ -1,0 +1,411 @@
+//! Attacks on entropy distillers combined with RO pairing (paper
+//! Section VI-D, Figs. 6b and 6c).
+//!
+//! Same pattern-injection methodology as the group-based attack, applied
+//! to the two pairing front-ends the paper illustrates:
+//!
+//! * **1-out-of-k masking** (Fig. 6b): the attacker also rewrites the
+//!   per-group selections so every non-target group compares a pair the
+//!   pattern forces; the target group keeps its original selection, whose
+//!   comparison the symmetric pattern leaves to the genuine variation.
+//! * **overlapping chain of neighbors** (Fig. 6c): the pair set is fixed,
+//!   so several comparisons around the pattern extremum stay undetermined
+//!   — "by increasing the number of hypotheses (2⁴), one can still
+//!   perform the attack". Unknown bits recovered earlier are reused to
+//!   keep the hypothesis space small.
+
+use rand::RngCore;
+use ropuf_constructions::ecc_helper::ParityHelper;
+use ropuf_constructions::pairing::distilled::{DistilledConfig, DistilledHelper, PairSource};
+use ropuf_constructions::pairing::neighbor::{
+    disjoint_chain_pairs, overlapping_chain_pairs, RoPair,
+};
+use ropuf_numeric::polyfit::Poly2d;
+use ropuf_numeric::BitVec;
+use ropuf_sim::{ArrayDims, Environment};
+
+use crate::framework::inject_parity_errors;
+use crate::injection::{pattern_values, ridge_for_pair, superimpose};
+use crate::lisa::AttackError;
+use crate::oracle::Oracle;
+
+/// Result of a distiller+pairing key-recovery attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistillerPairingReport {
+    /// The recovered key (the response bits of the original pair list).
+    pub recovered_key: BitVec,
+    /// Oracle queries spent.
+    pub queries: u64,
+    /// Largest hypothesis set enumerated for a single target.
+    pub max_hypotheses: usize,
+}
+
+/// The Section VI-D attack.
+#[derive(Debug, Clone)]
+pub struct DistillerPairingAttack {
+    config: DistilledConfig,
+    trials: usize,
+    scale: f64,
+    tilt: f64,
+    margin: f64,
+    /// Cap on jointly enumerated unknown bits.
+    max_unknowns: usize,
+}
+
+impl DistillerPairingAttack {
+    /// Creates the attack against a device with the given public
+    /// configuration.
+    pub fn new(config: DistilledConfig) -> Self {
+        Self {
+            config,
+            trials: 3,
+            scale: 50.0e6,
+            tilt: 15.0e6,
+            margin: 10.0e6,
+            max_unknowns: 8,
+        }
+    }
+
+    /// Overrides the per-hypothesis query count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        self.trials = trials;
+        self
+    }
+
+    /// Runs the attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`] on foreign helper data, an unexpected pair
+    /// source, or a hypothesis space larger than the configured cap.
+    pub fn run(
+        &self,
+        oracle: &mut Oracle<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<DistillerPairingReport, AttackError> {
+        let original = DistilledHelper::from_bytes(oracle.original_helper())
+            .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
+        let dims = ArrayDims::new(original.cols as usize, original.rows as usize);
+        let orig_poly = Poly2d::from_coefficients(
+            original.degree as usize,
+            original.coefficients.clone(),
+        )
+        .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
+
+        match self.config.source {
+            PairSource::OneOutOfK { k } => self.attack_masking(oracle, &original, dims, &orig_poly, k),
+            PairSource::OverlappingChain | PairSource::DisjointChain => {
+                self.attack_chain(oracle, &original, dims, &orig_poly)
+            }
+        }
+    }
+
+    /// Fig. 6b: distiller + 1-out-of-k masking.
+    fn attack_masking(
+        &self,
+        oracle: &mut Oracle<'_>,
+        original: &DistilledHelper,
+        dims: ArrayDims,
+        orig_poly: &Poly2d,
+        k: usize,
+    ) -> Result<DistillerPairingReport, AttackError> {
+        let base = disjoint_chain_pairs(dims);
+        let groups: Vec<&[RoPair]> = base.chunks_exact(k).collect();
+        if original.selections.len() != groups.len() {
+            return Err(AttackError::UnexpectedHelper(
+                "selection count mismatch".into(),
+            ));
+        }
+        let orig_sel: Vec<usize> = original.selections.iter().map(|&s| s as usize).collect();
+        let mut key = BitVec::new();
+        let mut max_hyp = 1usize;
+        for target_group in 0..groups.len() {
+            let (tu, tv) = groups[target_group][orig_sel[target_group]];
+            let pattern = ridge_for_pair(dims, tu, tv, self.scale, self.tilt);
+            let poly = superimpose(orig_poly, &pattern);
+            let values = pattern_values(dims, &pattern);
+            // Selections: target keeps its original pair; other groups
+            // pick the pair the pattern forces hardest.
+            let mut selections = Vec::with_capacity(groups.len());
+            let mut bits = BitVec::new();
+            let mut unknowns = vec![target_group];
+            for (gi, group) in groups.iter().enumerate() {
+                if gi == target_group {
+                    selections.push(orig_sel[gi] as u16);
+                    bits.push(false); // placeholder (unknown)
+                    continue;
+                }
+                let (best, &(a, b)) = group
+                    .iter()
+                    .enumerate()
+                    .max_by(|&(_, &(a1, b1)), &(_, &(a2, b2))| {
+                        let d1 = (values[a1] - values[b1]).abs();
+                        let d2 = (values[a2] - values[b2]).abs();
+                        d1.partial_cmp(&d2).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("k ≥ 1");
+                selections.push(best as u16);
+                if (values[a] - values[b]).abs() >= self.margin {
+                    // residual' ≈ −pattern: first wins iff its pattern is
+                    // smaller.
+                    bits.push(values[a] < values[b]);
+                } else {
+                    bits.push(false);
+                    unknowns.push(gi);
+                }
+            }
+            max_hyp = max_hyp.max(1 << unknowns.len());
+            let bit = self.solve(
+                oracle,
+                &bits,
+                &unknowns,
+                target_group,
+                |_reference, parity| {
+                    DistilledHelper {
+                        cols: original.cols,
+                        rows: original.rows,
+                        degree: poly.degree() as u8,
+                        coefficients: poly.coefficients().to_vec(),
+                        selections: selections.clone(),
+                        parity,
+                    }
+                    .to_bytes()
+                },
+            )?;
+            key.push(bit);
+        }
+        oracle.restore();
+        Ok(DistillerPairingReport {
+            recovered_key: key,
+            queries: oracle.queries(),
+            max_hypotheses: max_hyp,
+        })
+    }
+
+    /// Fig. 6c: distiller + (overlapping or disjoint) neighbor chain.
+    fn attack_chain(
+        &self,
+        oracle: &mut Oracle<'_>,
+        original: &DistilledHelper,
+        dims: ArrayDims,
+        orig_poly: &Poly2d,
+    ) -> Result<DistillerPairingReport, AttackError> {
+        let pairs = match self.config.source {
+            PairSource::OverlappingChain => overlapping_chain_pairs(dims),
+            PairSource::DisjointChain => disjoint_chain_pairs(dims),
+            PairSource::OneOutOfK { .. } => unreachable!("dispatched in run()"),
+        };
+        let mut known: Vec<Option<bool>> = vec![None; pairs.len()];
+        let mut max_hyp = 1usize;
+        for target in 0..pairs.len() {
+            if known[target].is_some() {
+                continue;
+            }
+            let (tu, tv) = pairs[target];
+            let pattern = ridge_for_pair(dims, tu, tv, self.scale, self.tilt);
+            let poly = superimpose(orig_poly, &pattern);
+            let values = pattern_values(dims, &pattern);
+            // Forced pairs take the pattern-dictated bit; every pair the
+            // pattern leaves partially undetermined (|ΔP| < margin) is a
+            // nuisance unknown — its device-side bit mixes pattern and
+            // genuine variation, so it can be neither predicted nor
+            // reused, only enumerated. Exactly the target (ΔP = 0)
+            // reveals a *genuine* comparison.
+            let mut bits = BitVec::new();
+            let mut unknowns = Vec::new();
+            for (pi, &(a, b)) in pairs.iter().enumerate() {
+                if pi != target && (values[a] - values[b]).abs() >= self.margin {
+                    bits.push(values[a] < values[b]);
+                } else {
+                    bits.push(false);
+                    unknowns.push(pi);
+                }
+            }
+            max_hyp = max_hyp.max(1 << unknowns.len());
+            if unknowns.len() > self.max_unknowns {
+                return Err(AttackError::UnexpectedHelper(format!(
+                    "hypothesis space 2^{} exceeds cap",
+                    unknowns.len()
+                )));
+            }
+            let build = |_reference: &BitVec, parity: BitVec| {
+                DistilledHelper {
+                    cols: original.cols,
+                    rows: original.rows,
+                    degree: poly.degree() as u8,
+                    coefficients: poly.coefficients().to_vec(),
+                    selections: Vec::new(),
+                    parity,
+                }
+                .to_bytes()
+            };
+            let winning = self.solve_multi(oracle, &bits, &unknowns, build)?;
+            // Refinement: chain pairs carry no reliability margin, so a
+            // marginal target comparison flips under noise. With the
+            // nuisance bits settled, re-test the target alone with a
+            // larger majority vote.
+            let refined = self
+                .clone()
+                .with_trials(self.trials * 3)
+                .solve(oracle, &winning, &[target], target, build)?;
+            known[target] = Some(refined);
+        }
+        oracle.restore();
+        let key = BitVec::from_bools(known.into_iter().map(|b| b.expect("all targets visited")));
+        Ok(DistillerPairingReport {
+            recovered_key: key,
+            queries: oracle.queries(),
+            max_hypotheses: max_hyp,
+        })
+    }
+
+    /// Solves for a single target bit (possibly with nuisance unknowns)
+    /// and returns the target's value.
+    fn solve(
+        &self,
+        oracle: &mut Oracle<'_>,
+        bits: &BitVec,
+        unknowns: &[usize],
+        target: usize,
+        build: impl Fn(&BitVec, BitVec) -> Vec<u8>,
+    ) -> Result<bool, AttackError> {
+        let winning = self.solve_multi(oracle, bits, unknowns, build)?;
+        Ok(winning.get(target))
+    }
+
+    /// Enumerates all assignments of the unknown bits, injects `t` parity
+    /// errors into every block containing an unknown, and returns the
+    /// assignment with the fewest failures.
+    fn solve_multi(
+        &self,
+        oracle: &mut Oracle<'_>,
+        bits: &BitVec,
+        unknowns: &[usize],
+        build: impl Fn(&BitVec, BitVec) -> Vec<u8>,
+    ) -> Result<BitVec, AttackError> {
+        if unknowns.len() > self.max_unknowns {
+            return Err(AttackError::UnexpectedHelper(format!(
+                "hypothesis space 2^{} exceeds cap",
+                unknowns.len()
+            )));
+        }
+        let ecc = ParityHelper::new(bits.len(), self.config.ecc_t)
+            .map_err(AttackError::UnexpectedHelper)?;
+        let mut blocks: Vec<usize> = unknowns.iter().map(|&u| ecc.block_of_bit(u)).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+
+        let mut best: Option<(u64, BitVec)> = None;
+        for assignment in 0u64..(1 << unknowns.len()) {
+            let mut reference = bits.clone();
+            for (bi, &pos) in unknowns.iter().enumerate() {
+                reference.set(pos, (assignment >> bi) & 1 == 1);
+            }
+            let mut parity = ecc.parity(&reference);
+            for &b in &blocks {
+                inject_parity_errors(&mut parity, b, ecc.parity_per_block(), ecc.t());
+            }
+            let helper = build(&reference, parity);
+            let expected = oracle.expected_response(&reference);
+            let failures =
+                oracle.failure_count(&helper, Environment::nominal(), &expected, self.trials);
+            if best.as_ref().is_none_or(|(f, _)| failures < *f) {
+                best = Some((failures, reference));
+            }
+            // Early exit: a perfect hypothesis cannot be beaten.
+            if best.as_ref().is_some_and(|(f, _)| *f == 0) {
+                break;
+            }
+        }
+        best.map(|(_, r)| r).ok_or(AttackError::Ambiguous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_constructions::pairing::distilled::DistilledPairingScheme;
+    use ropuf_constructions::Device;
+    use ropuf_sim::RoArrayBuilder;
+
+    fn provision(seed: u64, config: DistilledConfig) -> Device {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let array = RoArrayBuilder::new(ArrayDims::new(10, 4)).build(&mut rng);
+        Device::provision(
+            array,
+            Box::new(DistilledPairingScheme::new(config)),
+            seed ^ 0xCAFE,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig6b_masking_key_recovery() {
+        let config = DistilledConfig {
+            source: PairSource::OneOutOfK { k: 5 },
+            ..DistilledConfig::default()
+        };
+        let mut device = provision(1, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = DistillerPairingAttack::new(config)
+            .run(&mut oracle, &mut rng)
+            .unwrap();
+        assert_eq!(report.recovered_key, truth);
+    }
+
+    #[test]
+    fn fig6c_overlapping_chain_key_recovery() {
+        let config = DistilledConfig {
+            source: PairSource::OverlappingChain,
+            ..DistilledConfig::default()
+        };
+        let mut device = provision(3, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = DistillerPairingAttack::new(config)
+            .run(&mut oracle, &mut rng)
+            .unwrap();
+        assert_eq!(report.recovered_key, truth);
+        // The paper's observation: several bits stay undetermined at once.
+        assert!(report.max_hypotheses >= 2, "{}", report.max_hypotheses);
+    }
+
+    #[test]
+    fn disjoint_chain_key_recovery() {
+        let config = DistilledConfig {
+            source: PairSource::DisjointChain,
+            ..DistilledConfig::default()
+        };
+        let mut device = provision(5, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = DistillerPairingAttack::new(config)
+            .run(&mut oracle, &mut rng)
+            .unwrap();
+        assert_eq!(report.recovered_key, truth);
+    }
+
+    #[test]
+    fn rejects_foreign_helper() {
+        let config = DistilledConfig::default();
+        let mut device = provision(7, config);
+        device.write_helper(vec![1u8; 6]);
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(matches!(
+            DistillerPairingAttack::new(config).run(&mut oracle, &mut rng),
+            Err(AttackError::UnexpectedHelper(_))
+        ));
+    }
+}

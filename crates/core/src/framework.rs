@@ -1,0 +1,195 @@
+//! The statistical attack framework (paper Section VI, Fig. 5).
+//!
+//! Each hypothesis about a set of response bits corresponds to a
+//! manipulated helper blob. The attacker estimates the key-regeneration
+//! failure rate of every blob and picks the hypothesis with the lowest
+//! rate; with calibrated error injection the correct hypothesis sits at
+//! `t` errors (rarely failing) while every wrong one sits at `> t`
+//! (almost always failing), so few queries suffice.
+
+use ropuf_constructions::DeviceResponse;
+use ropuf_numeric::stats::two_proportion_z;
+use ropuf_sim::Environment;
+
+use crate::oracle::Oracle;
+
+/// One hypothesis: a label plus the helper bytes that encode it.
+#[derive(Debug, Clone)]
+pub struct Hypothesis {
+    /// Attacker-side label (e.g. the assumed bit values).
+    pub label: u64,
+    /// Manipulated helper blob.
+    pub helper: Vec<u8>,
+    /// Response the attacker expects when this hypothesis is correct
+    /// (`None`: expect the nominal reference behavior).
+    pub expected: Option<DeviceResponse>,
+}
+
+/// Outcome of a hypothesis tournament.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestOutcome {
+    /// Index of the winning hypothesis.
+    pub winner: usize,
+    /// Failure counts per hypothesis.
+    pub failures: Vec<u64>,
+    /// Trials per hypothesis.
+    pub trials: usize,
+    /// Pooled z-statistic between the best and second-best hypothesis
+    /// (larger ⇒ more confident decision).
+    pub confidence_z: f64,
+}
+
+/// Failure-rate hypothesis tester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HypothesisTester {
+    /// Queries per hypothesis.
+    pub trials: usize,
+}
+
+impl Default for HypothesisTester {
+    fn default() -> Self {
+        Self { trials: 5 }
+    }
+}
+
+impl HypothesisTester {
+    /// Creates a tester issuing `trials` queries per hypothesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        Self { trials }
+    }
+
+    /// Runs the tournament: queries every hypothesis `trials` times and
+    /// returns the one with the fewest failures.
+    ///
+    /// `reference` is the expected nominal response used for hypotheses
+    /// with `expected: None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hypotheses` is empty.
+    pub fn run(
+        &self,
+        oracle: &mut Oracle<'_>,
+        hypotheses: &[Hypothesis],
+        env: Environment,
+        reference: &DeviceResponse,
+    ) -> TestOutcome {
+        assert!(!hypotheses.is_empty(), "need at least one hypothesis");
+        let failures: Vec<u64> = hypotheses
+            .iter()
+            .map(|h| {
+                let expected = h.expected.as_ref().unwrap_or(reference);
+                oracle.failure_count(&h.helper, env, expected, self.trials)
+            })
+            .collect();
+        let winner = failures
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, f)| *f)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let mut sorted = failures.clone();
+        sorted.sort_unstable();
+        let confidence_z = if failures.len() > 1 {
+            two_proportion_z(
+                sorted[1],
+                self.trials as u64,
+                sorted[0],
+                self.trials as u64,
+            )
+        } else {
+            0.0
+        };
+        TestOutcome {
+            winner,
+            failures,
+            trials: self.trials,
+            confidence_z,
+        }
+    }
+}
+
+/// Flips the first `count` parity bits of ECC block `block` inside a
+/// parity bit-vector laid out as consecutive per-block parity runs of
+/// `parity_per_block` bits — the paper's error-injection primitive
+/// ("we just compute the ECC redundancy given some inverted bit values").
+///
+/// # Panics
+///
+/// Panics if the requested range exceeds the block's parity run.
+pub fn inject_parity_errors(
+    parity: &mut ropuf_numeric::BitVec,
+    block: usize,
+    parity_per_block: usize,
+    count: usize,
+) {
+    assert!(count <= parity_per_block, "cannot flip more bits than a block holds");
+    let start = block * parity_per_block;
+    assert!(start + count <= parity.len(), "block out of range");
+    for i in 0..count {
+        parity.flip(start + i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_constructions::pairing::lisa::{LisaConfig, LisaHelper, LisaScheme};
+    use ropuf_constructions::{Device, SanityPolicy};
+    use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+    #[test]
+    fn tournament_picks_unmanipulated_helper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+        let mut device =
+            Device::provision(array, Box::new(LisaScheme::new(LisaConfig::default())), 2).unwrap();
+        let mut oracle = Oracle::new(&mut device);
+        let reference = oracle.query_original(Environment::nominal());
+
+        let good = oracle.original_helper().to_vec();
+        // A destructive manipulation: flip many parity bits.
+        let mut parsed = LisaHelper::from_bytes(&good, SanityPolicy::Lenient).unwrap();
+        for i in 0..parsed.parity.len().min(20) {
+            parsed.parity.flip(i);
+        }
+        let bad = parsed.to_bytes();
+
+        let hypotheses = vec![
+            Hypothesis { label: 0, helper: good, expected: None },
+            Hypothesis { label: 1, helper: bad, expected: None },
+        ];
+        let outcome = HypothesisTester::new(4).run(
+            &mut oracle,
+            &hypotheses,
+            Environment::nominal(),
+            &reference,
+        );
+        assert_eq!(outcome.winner, 0);
+        assert_eq!(outcome.failures[0], 0);
+        assert!(outcome.failures[1] > 0);
+        assert!(outcome.confidence_z > 0.0);
+    }
+
+    #[test]
+    fn inject_flips_requested_range() {
+        let mut parity = ropuf_numeric::BitVec::zeros(24);
+        inject_parity_errors(&mut parity, 1, 8, 3);
+        assert_eq!(parity.count_ones(), 3);
+        assert!(parity.get(8) && parity.get(9) && parity.get(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot flip more bits")]
+    fn inject_overflow_panics() {
+        let mut parity = ropuf_numeric::BitVec::zeros(16);
+        inject_parity_errors(&mut parity, 0, 8, 9);
+    }
+}

@@ -1,0 +1,273 @@
+//! Full key recovery on group-based RO PUFs (paper Section VI-C,
+//! Fig. 6a).
+//!
+//! The attacker rewrites all three helper fields: a steep quadratic is
+//! superimposed onto the original distiller coefficients, the groups are
+//! repartitioned into two-RO groups whose order the pattern forces, and
+//! fresh ECC redundancy is computed per hypothesis. One group — the
+//! target pair, chosen inside an *original* group — is left symmetric
+//! under the pattern, so its single bit is decided by the genuine random
+//! variation: exactly one original Kendall bit. Iterating the target over
+//! all in-group pairs recovers every original Kendall bit, hence the full
+//! key.
+
+use rand::RngCore;
+use ropuf_constructions::ecc_helper::ParityHelper;
+use ropuf_constructions::group::packing::pack_order;
+use ropuf_constructions::group::{GroupBasedConfig, GroupBasedHelper};
+use ropuf_numeric::{BitVec, Permutation};
+use ropuf_sim::Environment;
+
+use crate::framework::inject_parity_errors;
+use crate::injection::{forced_pairs, pattern_values, ridge_for_pair, superimpose};
+use crate::lisa::AttackError;
+use crate::oracle::Oracle;
+
+/// Result of the group-based key-recovery attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBasedReport {
+    /// The recovered key (matches the device's enrolled key on success).
+    pub recovered_key: BitVec,
+    /// Number of original Kendall bits recovered.
+    pub bits_recovered: usize,
+    /// Oracle queries spent.
+    pub queries: u64,
+}
+
+/// The Section VI-C attack.
+#[derive(Debug, Clone)]
+pub struct GroupBasedAttack {
+    config: GroupBasedConfig,
+    trials: usize,
+    /// Ridge steepness in Hz per squared grid unit.
+    scale: f64,
+    /// Orthogonal tilt in Hz per grid unit.
+    tilt: f64,
+    /// Minimum pattern gap for a comparison to count as forced, in Hz.
+    margin: f64,
+}
+
+impl GroupBasedAttack {
+    /// Creates the attack against a device with the given public
+    /// configuration. The injection magnitudes default to values that
+    /// overshadow the default variability profile by more than an order
+    /// of magnitude.
+    pub fn new(config: GroupBasedConfig) -> Self {
+        Self {
+            config,
+            trials: 3,
+            scale: 50.0e6,
+            tilt: 8.0e6,
+            margin: 10.0e6,
+        }
+    }
+
+    /// Overrides the per-hypothesis query count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        self.trials = trials;
+        self
+    }
+
+    /// Recovers one original Kendall bit: the comparison of the original
+    /// residuals of ROs `u < v` (1 iff `v` is faster).
+    fn recover_comparison(
+        &self,
+        oracle: &mut Oracle<'_>,
+        original: &GroupBasedHelper,
+        dims: ropuf_sim::ArrayDims,
+        u: usize,
+        v: usize,
+    ) -> Result<bool, AttackError> {
+        let pattern = ridge_for_pair(dims, u, v, self.scale, self.tilt);
+        let poly = superimpose(&original.poly(), &pattern);
+        let values = pattern_values(dims, &pattern);
+        let (pairs, singles) = forced_pairs(dims, &values, &[u, v], self.margin);
+
+        // Repartition: group 0 = target {u, v}; then one group per forced
+        // pair; then singletons.
+        let mut assignments = vec![0u16; dims.len()];
+        let mut next = 1u16;
+        for &(a, b) in &pairs {
+            assignments[a] = next;
+            assignments[b] = next;
+            next += 1;
+        }
+        for &s in &singles {
+            assignments[s] = next;
+            next += 1;
+        }
+        // Forced Kendall bit of a pair group {a, b}: with residual' ≈
+        // −pattern dominant, the canonical bit (min, max) is 1 iff
+        // pattern(max) < pattern(min).
+        let forced_bit = |a: usize, b: usize| -> bool {
+            let (lo, hi) = (a.min(b), a.max(b));
+            values[hi] < values[lo]
+        };
+        // Kendall vector layout: groups ascending id, only ≥2-member
+        // groups contribute. Group 0 (target) is bit 0.
+        let mut template = BitVec::new();
+        template.push(false); // placeholder for the target bit
+        for &(a, b) in &pairs {
+            template.push(forced_bit(a, b));
+        }
+        let ecc = ParityHelper::new(template.len(), self.config.ecc_t)
+            .map_err(AttackError::UnexpectedHelper)?;
+
+        let mut failures = [0u64; 2];
+        for hyp in 0..2u8 {
+            let mut reference = template.clone();
+            reference.set(0, hyp == 1);
+            let mut parity = ecc.parity(&reference);
+            inject_parity_errors(&mut parity, ecc.block_of_bit(0), ecc.parity_per_block(), ecc.t());
+            let helper = GroupBasedHelper {
+                cols: original.cols,
+                rows: original.rows,
+                degree: poly.degree() as u8,
+                coefficients: poly.coefficients().to_vec(),
+                assignments: assignments.clone(),
+                parity,
+            };
+            // Under the correct hypothesis the device reconstructs exactly
+            // `reference` (packed two-RO groups reproduce the Kendall
+            // bits), so the expected tag is attacker-computable.
+            let expected = oracle.expected_response(&reference);
+            failures[hyp as usize] = oracle.failure_count(
+                &helper.to_bytes(),
+                Environment::nominal(),
+                &expected,
+                self.trials,
+            );
+        }
+        Ok(failures[1] < failures[0])
+    }
+
+    /// Runs the attack to full key recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`] when the device's helper data is not a
+    /// group-based blob or carries no multi-member groups.
+    pub fn run(
+        &self,
+        oracle: &mut Oracle<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<GroupBasedReport, AttackError> {
+        let original = GroupBasedHelper::from_bytes(oracle.original_helper())
+            .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
+        let dims = ropuf_sim::ArrayDims::new(original.cols as usize, original.rows as usize);
+        let grouping = original.grouping();
+        if grouping.groups.iter().all(|g| g.len() < 2) {
+            return Err(AttackError::InsufficientTargets { got: 0 });
+        }
+
+        // Recover every original Kendall bit, group by group.
+        let mut bits_recovered = 0usize;
+        let mut key = BitVec::new();
+        for members in &grouping.groups {
+            let mut canon = members.clone();
+            canon.sort_unstable();
+            let g = canon.len();
+            if g < 2 {
+                continue;
+            }
+            let mut group_bits = Vec::with_capacity(g * (g - 1) / 2);
+            for a in 0..g {
+                for b in a + 1..g {
+                    let bit = self.recover_comparison(oracle, &original, dims, canon[a], canon[b])?;
+                    group_bits.push(bit);
+                    bits_recovered += 1;
+                }
+            }
+            // Rebuild this group's contribution to the key.
+            let order = Permutation::from_kendall_bits(&group_bits)
+                .unwrap_or_else(|| Permutation::nearest_from_kendall_bits(&group_bits));
+            if self.config.packing {
+                key.extend_bits(&pack_order(&order));
+            } else {
+                key.extend(order.kendall_bits());
+            }
+        }
+        oracle.restore();
+        Ok(GroupBasedReport {
+            recovered_key: key,
+            bits_recovered,
+            queries: oracle.queries(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_constructions::group::GroupBasedScheme;
+    use ropuf_constructions::Device;
+    use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+    fn provision(seed: u64, config: GroupBasedConfig) -> Device {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // The paper's Fig. 6a uses a 4×10 array.
+        let array = RoArrayBuilder::new(ArrayDims::new(10, 4)).build(&mut rng);
+        Device::provision(array, Box::new(GroupBasedScheme::new(config)), seed ^ 0xBEEF).unwrap()
+    }
+
+    #[test]
+    fn recovers_full_key_fig6a() {
+        let config = GroupBasedConfig::default();
+        let mut device = provision(1, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = GroupBasedAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        assert_eq!(report.recovered_key, truth);
+        assert!(report.bits_recovered > 0);
+    }
+
+    #[test]
+    fn recovers_key_without_packing() {
+        let config = GroupBasedConfig {
+            packing: false,
+            ..GroupBasedConfig::default()
+        };
+        let mut device = provision(3, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = GroupBasedAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        assert_eq!(report.recovered_key, truth);
+    }
+
+    #[test]
+    fn recovers_across_devices() {
+        let config = GroupBasedConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 10..13u64 {
+            let mut device = provision(seed, config);
+            let truth = device.enrolled_key().clone();
+            let mut oracle = Oracle::new(&mut device);
+            let report = GroupBasedAttack::new(config)
+                .run(&mut oracle, &mut rng)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(report.recovered_key, truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_helper() {
+        let config = GroupBasedConfig::default();
+        let mut device = provision(20, config);
+        device.write_helper(vec![9u8; 12]);
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(21);
+        assert!(matches!(
+            GroupBasedAttack::new(config).run(&mut oracle, &mut rng),
+            Err(AttackError::UnexpectedHelper(_))
+        ));
+    }
+}

@@ -1,0 +1,192 @@
+//! Attack polynomial construction (paper Section VI-C/D, Fig. 6).
+//!
+//! "By injecting steep polynomials into the entropy distiller, one can
+//! completely overshadow random frequency variations. The attacker's
+//! intended pattern can be superimposed onto the original spatial
+//! correlation map."
+//!
+//! The workhorse is a quadratic *ridge*: for a target RO pair `(u, v)`
+//! the pattern value is `c·(proj − m)² + ε·orth`, where `proj` projects
+//! positions onto the `u → v` direction and `m` is the pair's midpoint
+//! projection. The pattern is **symmetric in `u` and `v`** (their values
+//! are exactly equal, so their residual comparison is untouched — the
+//! "free" bit) and steep everywhere else; the orthogonal tilt `ε·orth`
+//! breaks mirror degeneracies for ROs displaced off the `u → v` axis.
+
+use ropuf_numeric::polyfit::{coefficient_count, Poly2d};
+use ropuf_sim::ArrayDims;
+
+/// Sum of two polynomials, embedded at the larger degree (the attacker
+/// superimposes the steep pattern onto the original coefficients so the
+/// genuine systematic component stays cancelled).
+///
+/// # Panics
+///
+/// Panics if either polynomial is internally inconsistent (cannot happen
+/// for values produced by [`Poly2d::fit`]).
+pub fn superimpose(base: &Poly2d, pattern: &Poly2d) -> Poly2d {
+    let degree = base.degree().max(pattern.degree());
+    let mut coeffs = vec![0.0; coefficient_count(degree)];
+    for (poly, _) in [(base, 0), (pattern, 1)] {
+        let mut c = 0;
+        for i in 0..=poly.degree() {
+            for j in 0..=i {
+                // Position of β_{i,j} in the target layout.
+                let pos = i * (i + 1) / 2 + j;
+                coeffs[pos] += poly.coefficients()[c];
+                c += 1;
+            }
+        }
+    }
+    Poly2d::from_coefficients(degree, coeffs).expect("count matches degree")
+}
+
+/// Builds the quadratic ridge pattern for target pair `(u, v)`:
+/// `P(x, y) = c·(proj − m)² + ε·orth` with `proj` along `u → v`.
+///
+/// `scale` is `c` in Hz per squared grid unit; `tilt` is `ε` in Hz per
+/// grid unit. `P(u) == P(v)` exactly.
+///
+/// # Panics
+///
+/// Panics if `u == v` or either index is out of range.
+pub fn ridge_for_pair(dims: ArrayDims, u: usize, v: usize, scale: f64, tilt: f64) -> Poly2d {
+    assert_ne!(u, v, "target pair must be two distinct ROs");
+    let (ux, uy) = dims.xy(u);
+    let (vx, vy) = dims.xy(v);
+    let (ux, uy, vx, vy) = (ux as f64, uy as f64, vx as f64, vy as f64);
+    let (dx, dy) = (vx - ux, vy - uy);
+    let norm = (dx * dx + dy * dy).sqrt();
+    let (dx, dy) = (dx / norm, dy / norm);
+    // proj(x, y) = dx·x + dy·y ; m = proj(midpoint).
+    let m = dx * (ux + vx) / 2.0 + dy * (uy + vy) / 2.0;
+    // P = c·(dx·x + dy·y − m)² + ε·(−dy·x + dx·y)
+    // expand: c·(dx²x² + dy²y² + m² + 2dxdy·xy − 2mdx·x − 2mdy·y) + …
+    let c = scale;
+    let coeffs = vec![
+        c * m * m,                     // 1
+        -2.0 * c * m * dx - tilt * dy, // x
+        -2.0 * c * m * dy + tilt * dx, // y
+        c * dx * dx,                   // x²
+        2.0 * c * dx * dy,             // xy
+        c * dy * dy,                   // y²
+    ];
+    Poly2d::from_coefficients(2, coeffs).expect("six quadratic coefficients")
+}
+
+/// Pattern values at every RO position.
+pub fn pattern_values(dims: ArrayDims, pattern: &Poly2d) -> Vec<f64> {
+    dims.iter_coords()
+        .map(|(_, x, y)| pattern.eval(x as f64, y as f64))
+        .collect()
+}
+
+/// Forced pairing: sorts all ROs except `exclude` by pattern value and
+/// pairs the low half against the high half (`L[i]` with `H[i]`), keeping
+/// only pairs whose pattern gap reaches `margin` (forced comparisons).
+/// Low-vs-high pairing sidesteps the mirror degeneracy of quadratic
+/// patterns — ROs at symmetric positions around the extremum share a
+/// pattern value and could never be forced against each other.
+///
+/// Returns `(pairs, singletons)` where each pair is `(lower-value RO,
+/// higher-value RO)` in *pattern* terms.
+pub fn forced_pairs(
+    dims: ArrayDims,
+    pattern_values: &[f64],
+    exclude: &[usize],
+    margin: f64,
+) -> (Vec<(usize, usize)>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..dims.len()).filter(|i| !exclude.contains(i)).collect();
+    order.sort_by(|&a, &b| {
+        pattern_values[a]
+            .partial_cmp(&pattern_values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let n = order.len();
+    let half = n / 2;
+    let mut pairs = Vec::new();
+    let mut singletons = Vec::new();
+    if n % 2 == 1 {
+        singletons.push(order[half]);
+    }
+    for i in 0..half {
+        let lo = order[i];
+        let hi = order[i + half + n % 2];
+        if pattern_values[hi] - pattern_values[lo] >= margin {
+            pairs.push((lo, hi));
+        } else {
+            singletons.push(lo);
+            singletons.push(hi);
+        }
+    }
+    (pairs, singletons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superimpose_adds_coefficients() {
+        let a = Poly2d::from_coefficients(1, vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Poly2d::from_coefficients(2, vec![0.5, 0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
+        let s = superimpose(&a, &b);
+        assert_eq!(s.degree(), 2);
+        assert!((s.eval(2.0, 1.0) - (a.eval(2.0, 1.0) + b.eval(2.0, 1.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_is_symmetric_in_target_pair() {
+        let dims = ArrayDims::new(10, 4);
+        for (u, v) in [(0usize, 1usize), (5, 15), (3, 24), (12, 13)] {
+            let ridge = ridge_for_pair(dims, u, v, 1e7, 1e6);
+            let vals = pattern_values(dims, &ridge);
+            assert!(
+                (vals[u] - vals[v]).abs() < 1e-3,
+                "pair ({u},{v}): {} vs {}",
+                vals[u],
+                vals[v]
+            );
+        }
+    }
+
+    #[test]
+    fn ridge_is_steep_away_from_target() {
+        let dims = ArrayDims::new(10, 4);
+        let ridge = ridge_for_pair(dims, 4, 5, 1e7, 1e6);
+        let vals = pattern_values(dims, &ridge);
+        let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
+            - vals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1e8, "spread {spread}");
+    }
+
+    #[test]
+    fn forced_pairs_respect_margin_and_partition() {
+        let dims = ArrayDims::new(10, 4);
+        let ridge = ridge_for_pair(dims, 4, 5, 1e7, 1e6);
+        let vals = pattern_values(dims, &ridge);
+        let margin = 5e6;
+        let (pairs, singles) = forced_pairs(dims, &vals, &[4, 5], margin);
+        let mut covered = vec![false; dims.len()];
+        covered[4] = true;
+        covered[5] = true;
+        for &(a, b) in &pairs {
+            assert!(vals[b] - vals[a] >= margin);
+            assert!(!covered[a] && !covered[b]);
+            covered[a] = true;
+            covered[b] = true;
+        }
+        for &s in &singles {
+            assert!(!covered[s]);
+            covered[s] = true;
+        }
+        assert!(covered.iter().all(|&c| c), "not a partition");
+        assert!(pairs.len() >= dims.len() / 2 - 6, "too few forced pairs: {}", pairs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn identical_target_rejected() {
+        ridge_for_pair(ArrayDims::new(4, 4), 3, 3, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Key-recovery attacks on RO PUF constructions via helper-data
+//! manipulation — the primary contribution of the DATE 2014 paper,
+//! reproduced end-to-end against black-box [`Device`] oracles.
+//!
+//! The common statistical framework (paper Section VI, Fig. 5): response
+//! bits are considered one by one (or in small groups); two or more
+//! hypotheses make a statement about them, each mapped to a specific
+//! manipulation of the public helper data; differences in **key
+//! regeneration failure rate** reveal the correct hypothesis. Errors are
+//! injected "intentionally and symmetrically" — here by flipping stored
+//! ECC parity bits, each flip adding exactly one error at the decoder
+//! input — to push the error count against the correction bound `t` where
+//! a single hypothesis-dependent error becomes observable.
+//!
+//! | module | attack | paper |
+//! |--------|--------|-------|
+//! | [`lisa`] | full key recovery on the sequential pairing algorithm by swapping pair positions | VI-A |
+//! | [`cooperative`] | recovery of all cooperating-pair bit relations by substituting assist links (plus `Tl`/`Th` manipulation) | VI-B |
+//! | [`group_based`] | full key recovery on group-based RO PUFs via steep polynomial injection and group repartitioning | VI-C, Fig. 6a |
+//! | [`distiller_pairing`] | key recovery on distiller + 1-out-of-k masking and distiller + neighbor chains (multi-bit hypotheses) | VI-D, Fig. 6b/6c |
+//! | [`framework`] | failure-rate hypothesis testing, error injection | VI, Fig. 5 |
+//! | [`injection`] | attack polynomial construction (superimposed quadratic ridges) | VI-C/D |
+//! | [`relations`] | parity union-find for combining learned bit relations | VI-A |
+//! | [`analysis`] | entropy accounting (`log₂ N!`, Fig. 1) | II |
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ropuf_attacks::lisa::LisaAttack;
+//! use ropuf_attacks::oracle::Oracle;
+//! use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
+//! use ropuf_constructions::Device;
+//! use ropuf_sim::{ArrayDims, RoArrayBuilder};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+//! let config = LisaConfig::default();
+//! let mut device = Device::provision(array, Box::new(LisaScheme::new(config)), 2).unwrap();
+//! let truth = device.enrolled_key().clone();
+//! let mut oracle = Oracle::new(&mut device);
+//! let report = LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+//! assert_eq!(report.recovered_key, truth);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cooperative;
+pub mod distiller_pairing;
+pub mod framework;
+pub mod group_based;
+pub mod injection;
+pub mod lisa;
+pub mod oracle;
+pub mod relations;
+
+pub use oracle::Oracle;
+pub use ropuf_constructions::{Device, DeviceResponse};

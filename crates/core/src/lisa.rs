@@ -1,0 +1,300 @@
+//! Full key recovery on the sequential pairing algorithm (paper
+//! Section VI-A).
+//!
+//! "Key recovery is fairly straightforward for the sequential pairing
+//! algorithm." For pairs `p` and `q` the attacker swaps their positions
+//! in public helper NVM: if `r_p = r_q` the response vector — and thus
+//! the key — is unchanged (H0); if `r_p ≠ r_q` two bit errors appear at
+//! the ECC input (H1). To make the two-error difference observable, `t`
+//! additional errors are injected into the block holding bit `p` by
+//! flipping stored parity bits, so H0 sits exactly at the correction
+//! bound and H1 exceeds it.
+//!
+//! Matching bit 0 against every other bit leaves two key candidates;
+//! "the performance of two corresponding sets of ECC helper data can be
+//! compared" for the final decision: the attacker writes a fresh parity
+//! blob computed for each candidate and the matching one reconstructs
+//! without failure.
+
+use rand::RngCore;
+use ropuf_constructions::ecc_helper::ParityHelper;
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaHelper};
+use ropuf_constructions::SanityPolicy;
+use ropuf_numeric::BitVec;
+use ropuf_sim::Environment;
+
+use crate::framework::inject_parity_errors;
+use crate::oracle::Oracle;
+use crate::relations::ParityUnionFind;
+
+/// Errors the attack itself can hit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// The device's genuine helper data failed to parse — not a LISA
+    /// device or wrong configuration assumption.
+    UnexpectedHelper(String),
+    /// The device fails even with genuine helper data (no stable
+    /// reference behavior to compare against).
+    NoReference,
+    /// The final candidate resolution was ambiguous (both or neither
+    /// candidate behaved consistently).
+    Ambiguous,
+    /// Too few usable targets to attack.
+    InsufficientTargets {
+        /// Targets found.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackError::UnexpectedHelper(s) => write!(f, "unexpected helper data: {s}"),
+            AttackError::NoReference => write!(f, "device has no stable reference behavior"),
+            AttackError::Ambiguous => write!(f, "candidate resolution ambiguous"),
+            AttackError::InsufficientTargets { got } => {
+                write!(f, "too few attackable targets ({got})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+/// Result of a completed LISA attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LisaReport {
+    /// The recovered key.
+    pub recovered_key: BitVec,
+    /// Learned relations `r_0 ⊕ r_m` for `m = 1..P`.
+    pub relations: Vec<bool>,
+    /// Oracle queries spent.
+    pub queries: u64,
+}
+
+/// The Section VI-A attack.
+#[derive(Debug, Clone)]
+pub struct LisaAttack {
+    /// The device's (public) scheme parameters.
+    config: LisaConfig,
+    /// Queries per hypothesis test (majority vote).
+    trials: usize,
+}
+
+impl LisaAttack {
+    /// Creates the attack against a device with the given public
+    /// configuration.
+    pub fn new(config: LisaConfig) -> Self {
+        Self { config, trials: 3 }
+    }
+
+    /// Overrides the per-test query count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        self.trials = trials;
+        self
+    }
+
+    /// Runs the attack to full key recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`] when the device is not attackable (wrong
+    /// scheme, unstable reference, …). The `rng` parameter is unused by
+    /// the decision logic and only kept for interface symmetry with the
+    /// randomized attacks.
+    pub fn run(
+        &self,
+        oracle: &mut Oracle<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<LisaReport, AttackError> {
+        let env = Environment::nominal();
+        let parsed = LisaHelper::from_bytes(oracle.original_helper(), SanityPolicy::Lenient)
+            .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
+        let p = parsed.pairs.len();
+        if p < 2 {
+            return Err(AttackError::InsufficientTargets { got: p });
+        }
+        // Reference behavior with genuine helper data.
+        let reference = oracle.query_original(env);
+        if reference.is_failure() {
+            return Err(AttackError::NoReference);
+        }
+
+        let ecc = ParityHelper::new(p, self.config.ecc_t)
+            .map_err(AttackError::UnexpectedHelper)?;
+        let t = ecc.t();
+        let ppb = ecc.parity_per_block();
+
+        // Phase 1: learn r_0 ⊕ r_m for every m.
+        let mut uf = ParityUnionFind::new(p);
+        let mut relations = Vec::with_capacity(p - 1);
+        for m in 1..p {
+            let mut manipulated = parsed.clone();
+            manipulated.pairs.swap(0, m);
+            // Inject t errors into the block of bit 0: H0 → exactly t
+            // errors (corrected); H1 → t+1 or t+2 (failure).
+            inject_parity_errors(&mut manipulated.parity, ecc.block_of_bit(0), ppb, t);
+            let helper = manipulated.to_bytes();
+            let failures = oracle.failure_count(&helper, env, &reference, self.trials);
+            let differs = failures * 2 > self.trials as u64;
+            relations.push(differs);
+            uf.relate(0, m, differs);
+        }
+
+        // Phase 2: two candidates; compare two sets of ECC helper data.
+        let c0: Vec<bool> = uf
+            .candidate(false)
+            .into_iter()
+            .map(|b| b.expect("all bits related to bit 0"))
+            .collect();
+        let mut best: Option<(BitVec, u64)> = None;
+        let mut ambiguous = false;
+        for anchor in [false, true] {
+            let key = BitVec::from_bools(c0.iter().map(|&b| b ^ anchor));
+            let mut candidate_helper = parsed.clone();
+            candidate_helper.parity = ecc.parity(&key);
+            let expected = oracle.expected_response(&key);
+            let fails = oracle.failure_count(
+                &candidate_helper.to_bytes(),
+                env,
+                &expected,
+                self.trials,
+            );
+            let ok = fails * 2 <= self.trials as u64;
+            match (&best, ok) {
+                (None, true) => best = Some((key, fails)),
+                (Some(_), true) => ambiguous = true,
+                _ => {}
+            }
+        }
+        oracle.restore();
+        if ambiguous {
+            return Err(AttackError::Ambiguous);
+        }
+        let (recovered_key, _) = best.ok_or(AttackError::Ambiguous)?;
+        Ok(LisaReport {
+            recovered_key,
+            relations,
+            queries: oracle.queries(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_constructions::pairing::lisa::LisaScheme;
+    use ropuf_constructions::Device;
+    use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+    fn provision(seed: u64, config: LisaConfig) -> Device {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+        Device::provision(array, Box::new(LisaScheme::new(config)), seed ^ 0xABCD).unwrap()
+    }
+
+    #[test]
+    fn recovers_full_key() {
+        let config = LisaConfig::default();
+        let mut device = provision(1, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(99);
+        let report = LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        assert_eq!(report.recovered_key, truth);
+        assert!(report.queries > 0);
+    }
+
+    #[test]
+    fn recovers_across_multiple_devices() {
+        let config = LisaConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 10..15u64 {
+            let mut device = provision(seed, config);
+            let truth = device.enrolled_key().clone();
+            let mut oracle = Oracle::new(&mut device);
+            let report = LisaAttack::new(config)
+                .run(&mut oracle, &mut rng)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(report.recovered_key, truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn relations_match_ground_truth() {
+        let config = LisaConfig::default();
+        let mut device = provision(2, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        for (m, &rel) in report.relations.iter().enumerate() {
+            assert_eq!(rel, truth.get(0) != truth.get(m + 1), "relation 0↔{}", m + 1);
+        }
+    }
+
+    #[test]
+    fn query_complexity_is_linear_in_pairs() {
+        let config = LisaConfig::default();
+        let mut device = provision(3, config);
+        let p = device.enrolled_key().len() as u64;
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(4);
+        let attack = LisaAttack::new(config).with_trials(3);
+        let report = attack.run(&mut oracle, &mut rng).unwrap();
+        // 1 reference + 3(P−1) relation + ≤ 2·3 resolution queries.
+        assert!(
+            report.queries <= 3 * (p - 1) + 7,
+            "queries {} for {p} pairs",
+            report.queries
+        );
+    }
+
+    #[test]
+    fn works_with_stronger_ecc() {
+        // Error injection adapts to t: the attack succeeds regardless.
+        let config = LisaConfig {
+            ecc_t: 5,
+            ..LisaConfig::default()
+        };
+        let mut device = provision(5, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        assert_eq!(report.recovered_key, truth);
+    }
+
+    #[test]
+    fn device_left_functional_after_attack() {
+        let config = LisaConfig::default();
+        let mut device = provision(6, config);
+        {
+            let mut oracle = Oracle::new(&mut device);
+            let mut rng = StdRng::seed_from_u64(7);
+            LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        }
+        // restore() ran: the device still answers with its genuine key.
+        assert!(!device
+            .respond(b"post", Environment::nominal())
+            .is_failure());
+    }
+
+    #[test]
+    fn rejects_non_lisa_helper() {
+        let config = LisaConfig::default();
+        let mut device = provision(8, config);
+        device.write_helper(vec![0u8; 16]);
+        let mut oracle = Oracle::new(&mut device);
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = LisaAttack::new(config).run(&mut oracle, &mut rng);
+        assert!(matches!(r, Err(AttackError::UnexpectedHelper(_))));
+    }
+}

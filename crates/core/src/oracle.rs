@@ -1,0 +1,145 @@
+//! The attacker's interface to a device.
+//!
+//! An [`Oracle`] wraps a [`Device`] and restricts the attacker to the
+//! paper's capabilities: read the original helper data once, write
+//! arbitrary helper bytes, query the application at a chosen operating
+//! point, and observe the response. It also counts queries, the attack's
+//! cost metric.
+
+use ropuf_constructions::{Device, DeviceResponse};
+use ropuf_sim::Environment;
+
+/// Attacker-side device handle.
+///
+/// The fixed nonce means the application output is deterministic given
+/// the reconstructed key, so "behavior changed" reduces to "tag changed".
+#[derive(Debug)]
+pub struct Oracle<'a> {
+    device: &'a mut Device,
+    original_helper: Vec<u8>,
+    nonce: Vec<u8>,
+    queries: u64,
+}
+
+impl<'a> Oracle<'a> {
+    /// Captures the device, reading (and keeping a copy of) its helper
+    /// NVM.
+    pub fn new(device: &'a mut Device) -> Self {
+        let original_helper = device.helper().to_vec();
+        Self {
+            device,
+            original_helper,
+            nonce: b"attack-nonce".to_vec(),
+            queries: 0,
+        }
+    }
+
+    /// The helper bytes as found on the device.
+    pub fn original_helper(&self) -> &[u8] {
+        &self.original_helper
+    }
+
+    /// Total queries issued through this oracle.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Writes helper bytes and performs one application query.
+    pub fn query(&mut self, helper: &[u8], env: Environment) -> DeviceResponse {
+        self.queries += 1;
+        self.device.write_helper(helper.to_vec());
+        self.device.respond(&self.nonce, env)
+    }
+
+    /// Queries with the *original* helper data (e.g. to capture the
+    /// nominal reference tag).
+    pub fn query_original(&mut self, env: Environment) -> DeviceResponse {
+        let helper = self.original_helper.clone();
+        self.query(&helper, env)
+    }
+
+    /// Restores the original helper data on the device (covering tracks).
+    pub fn restore(&mut self) {
+        self.device.write_helper(self.original_helper.clone());
+    }
+
+    /// The response the device *would* give if it reconstructed exactly
+    /// `key` — computable attacker-side because the application function
+    /// (HMAC over the public nonce) is known. Used by attacks that
+    /// reprogram the key and predict the resulting behavior (paper
+    /// Sections VI-C/D and the LISA candidate resolution).
+    pub fn expected_response(&self, key: &ropuf_numeric::BitVec) -> DeviceResponse {
+        DeviceResponse::Tag(ropuf_hash::hmac_sha256(&key.to_bytes(), &self.nonce))
+    }
+
+    /// Counts failures among `trials` queries of the same helper, where
+    /// "failure" means the response differs from `expected`.
+    pub fn failure_count(
+        &mut self,
+        helper: &[u8],
+        env: Environment,
+        expected: &DeviceResponse,
+        trials: usize,
+    ) -> u64 {
+        (0..trials)
+            .filter(|_| &self.query(helper, env) != expected)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
+    use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+    fn device(seed: u64) -> Device {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+        Device::provision(array, Box::new(LisaScheme::new(LisaConfig::default())), seed).unwrap()
+    }
+
+    #[test]
+    fn query_counting_and_reference() {
+        let mut d = device(1);
+        let mut o = Oracle::new(&mut d);
+        let r1 = o.query_original(Environment::nominal());
+        let r2 = o.query_original(Environment::nominal());
+        assert_eq!(r1, r2);
+        assert_eq!(o.queries(), 2);
+    }
+
+    #[test]
+    fn failure_count_zero_for_genuine_helper() {
+        let mut d = device(2);
+        let mut o = Oracle::new(&mut d);
+        let expected = o.query_original(Environment::nominal());
+        let helper = o.original_helper().to_vec();
+        let f = o.failure_count(&helper, Environment::nominal(), &expected, 10);
+        assert_eq!(f, 0);
+    }
+
+    #[test]
+    fn failure_count_full_for_garbage() {
+        let mut d = device(3);
+        let mut o = Oracle::new(&mut d);
+        let expected = o.query_original(Environment::nominal());
+        let f = o.failure_count(&[1, 2, 3], Environment::nominal(), &expected, 5);
+        assert_eq!(f, 5);
+    }
+
+    #[test]
+    fn restore_recovers_original_behavior() {
+        let mut d = device(4);
+        let expected;
+        {
+            let mut o = Oracle::new(&mut d);
+            expected = o.query_original(Environment::nominal());
+            o.query(&[0xFF; 8], Environment::nominal());
+            o.restore();
+        }
+        assert_eq!(d.respond(b"attack-nonce", Environment::nominal()), expected);
+    }
+}

@@ -1,0 +1,181 @@
+//! Parity union-find: combining learned XOR relations between secret
+//! bits.
+//!
+//! The LISA attack (paper Section VI-A) learns relations of the form
+//! `r_i ⊕ r_j = d`. A union-find structure with parity edges aggregates
+//! them until every bit is related to bit 0, leaving exactly two key
+//! candidates.
+
+/// Union-find over bit indices with XOR parities.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_attacks::relations::ParityUnionFind;
+///
+/// let mut uf = ParityUnionFind::new(3);
+/// uf.relate(0, 1, true);  // r0 ⊕ r1 = 1
+/// uf.relate(1, 2, false); // r1 ⊕ r2 = 0
+/// assert_eq!(uf.relation(0, 2), Some(true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParityUnionFind {
+    parent: Vec<usize>,
+    /// Parity of the path from node to its parent.
+    parity: Vec<bool>,
+    rank: Vec<u32>,
+}
+
+impl ParityUnionFind {
+    /// Creates a structure over `n` bits, all initially unrelated.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            parity: vec![false; n],
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of bits tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when no bits are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    fn find(&mut self, i: usize) -> (usize, bool) {
+        if self.parent[i] == i {
+            return (i, false);
+        }
+        let (root, parent_parity) = self.find(self.parent[i]);
+        let total = self.parity[i] ^ parent_parity;
+        self.parent[i] = root;
+        self.parity[i] = total;
+        (root, total)
+    }
+
+    /// Records `r_i ⊕ r_j = d`. Returns `false` when the relation
+    /// contradicts previously recorded ones (evidence of a measurement
+    /// error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn relate(&mut self, i: usize, j: usize, d: bool) -> bool {
+        let (ri, pi) = self.find(i);
+        let (rj, pj) = self.find(j);
+        if ri == rj {
+            return (pi ^ pj) == d;
+        }
+        // Union by rank; parity chosen so that the invariant holds.
+        let edge = pi ^ pj ^ d;
+        if self.rank[ri] < self.rank[rj] {
+            self.parent[ri] = rj;
+            self.parity[ri] = edge;
+        } else {
+            self.parent[rj] = ri;
+            self.parity[rj] = edge;
+            if self.rank[ri] == self.rank[rj] {
+                self.rank[ri] += 1;
+            }
+        }
+        true
+    }
+
+    /// The relation `r_i ⊕ r_j` if both bits are connected.
+    pub fn relation(&mut self, i: usize, j: usize) -> Option<bool> {
+        let (ri, pi) = self.find(i);
+        let (rj, pj) = self.find(j);
+        (ri == rj).then_some(pi ^ pj)
+    }
+
+    /// `true` when every bit is related to bit 0 (two candidates remain).
+    pub fn fully_connected(&mut self) -> bool {
+        if self.parent.is_empty() {
+            return true;
+        }
+        let (root0, _) = self.find(0);
+        (1..self.parent.len()).all(|i| self.find(i).0 == root0)
+    }
+
+    /// Materializes the candidate key with `r_0 = anchor`, for bits
+    /// connected to bit 0; unconnected bits are `None`.
+    pub fn candidate(&mut self, anchor: bool) -> Vec<Option<bool>> {
+        let n = self.parent.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (root0, _) = self.find(0);
+        (0..n)
+            .map(|i| {
+                let (r, p) = self.find(i);
+                (r == root0).then_some(anchor ^ p)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_of_relations() {
+        let mut uf = ParityUnionFind::new(5);
+        assert!(uf.relate(0, 1, true));
+        assert!(uf.relate(1, 2, true));
+        assert!(uf.relate(2, 3, false));
+        assert!(uf.relate(3, 4, true));
+        assert_eq!(uf.relation(0, 4), Some(true)); // 1^1^0^1 = 1
+        assert!(uf.fully_connected());
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let mut uf = ParityUnionFind::new(3);
+        assert!(uf.relate(0, 1, true));
+        assert!(uf.relate(1, 2, true));
+        assert!(!uf.relate(0, 2, true)); // should be 0
+        assert!(uf.relate(0, 2, false));
+    }
+
+    #[test]
+    fn unconnected_bits_unknown() {
+        let mut uf = ParityUnionFind::new(4);
+        uf.relate(0, 1, false);
+        assert_eq!(uf.relation(0, 2), None);
+        assert!(!uf.fully_connected());
+        let cand = uf.candidate(true);
+        assert_eq!(cand[0], Some(true));
+        assert_eq!(cand[1], Some(true));
+        assert_eq!(cand[2], None);
+    }
+
+    #[test]
+    fn candidates_are_complementary_patterns() {
+        let mut uf = ParityUnionFind::new(4);
+        uf.relate(0, 1, true);
+        uf.relate(0, 2, false);
+        uf.relate(0, 3, true);
+        let c0: Vec<bool> = uf.candidate(false).into_iter().flatten().collect();
+        let c1: Vec<bool> = uf.candidate(true).into_iter().flatten().collect();
+        for (a, b) in c0.iter().zip(&c1) {
+            assert_ne!(a, b);
+        }
+        assert_eq!(c0, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn star_topology_random_order() {
+        let mut uf = ParityUnionFind::new(10);
+        for i in (1..10).rev() {
+            assert!(uf.relate(i, 0, i % 3 == 0));
+        }
+        for i in 1..10 {
+            assert_eq!(uf.relation(0, i), Some(i % 3 == 0));
+        }
+    }
+}

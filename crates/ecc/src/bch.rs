@@ -1,0 +1,561 @@
+//! Narrow-sense binary BCH codes.
+//!
+//! `BCH(n = 2^m − 1, k, t)` with systematic encoding and algebraic decoding
+//! (syndromes → Berlekamp–Massey → Chien search). Shortened variants drop
+//! `s` leading message bits so that arbitrary response lengths can be
+//! protected.
+//!
+//! Bit order convention: bit `j` of a codeword [`BitVec`] is the
+//! coefficient of `x^j` of the code polynomial.
+
+use ropuf_numeric::BitVec;
+
+use crate::code::{BinaryCode, DecodeError, Decoded};
+use crate::gf2m::{Gf2m, UnsupportedFieldError};
+use crate::gf2poly::Gf2Poly;
+
+/// A (possibly shortened) narrow-sense binary BCH code.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_ecc::{BchCode, BinaryCode};
+/// use ropuf_numeric::BitVec;
+///
+/// let code = BchCode::new(5, 3).unwrap(); // BCH(31, 16, t=3)
+/// assert_eq!((code.n(), code.k(), code.t()), (31, 16, 3));
+/// let msg = BitVec::zeros(16);
+/// let cw = code.encode(&msg);
+/// assert!(code.is_codeword(&cw));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BchCode {
+    field: Gf2m,
+    /// Full (unshortened) code length `2^m − 1`.
+    full_n: usize,
+    /// Full message length.
+    full_k: usize,
+    /// Number of leading message bits removed by shortening.
+    shorten: usize,
+    t: usize,
+    generator: Gf2Poly,
+}
+
+/// Errors constructing a [`BchCode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BchConstructError {
+    /// Field size out of the supported range.
+    Field(UnsupportedFieldError),
+    /// `t` is zero or so large that no message bits remain.
+    InvalidT {
+        /// Requested correction capability.
+        t: usize,
+        /// Message bits that would remain (0 when invalid).
+        remaining_k: usize,
+    },
+    /// Shortening at least as long as the message length.
+    InvalidShorten {
+        /// Requested shortening.
+        shorten: usize,
+        /// Full message length.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for BchConstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BchConstructError::Field(e) => write!(f, "{e}"),
+            BchConstructError::InvalidT { t, remaining_k } => {
+                write!(f, "t = {t} leaves no message bits (k would be {remaining_k})")
+            }
+            BchConstructError::InvalidShorten { shorten, k } => {
+                write!(f, "shortening {shorten} must be less than k = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BchConstructError {}
+
+impl From<UnsupportedFieldError> for BchConstructError {
+    fn from(e: UnsupportedFieldError) -> Self {
+        BchConstructError::Field(e)
+    }
+}
+
+impl BchCode {
+    /// Constructs the full-length BCH code over GF(2^m) correcting `t`
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsupported `m` or a `t` that leaves no
+    /// message bits.
+    pub fn new(m: u32, t: usize) -> Result<Self, BchConstructError> {
+        if t == 0 {
+            return Err(BchConstructError::InvalidT { t, remaining_k: 0 });
+        }
+        let field = Gf2m::new(m)?;
+        let full_n = field.order() as usize;
+        // Generator = product of minimal polynomials over the distinct
+        // cyclotomic cosets of 1..=2t.
+        let mut covered = std::collections::HashSet::new();
+        let mut generator = Gf2Poly::one();
+        for i in 1..=(2 * t as u32) {
+            let rep = i % field.order();
+            if covered.contains(&rep) {
+                continue;
+            }
+            for c in field.cyclotomic_coset(rep) {
+                covered.insert(c);
+            }
+            generator = generator.mul(&field.minimal_polynomial(rep));
+        }
+        let gdeg = generator.degree().expect("generator is non-zero");
+        if gdeg >= full_n {
+            return Err(BchConstructError::InvalidT { t, remaining_k: 0 });
+        }
+        let full_k = full_n - gdeg;
+        Ok(Self {
+            field,
+            full_n,
+            full_k,
+            shorten: 0,
+            t,
+            generator,
+        })
+    }
+
+    /// Returns a shortened version of this code: `s` leading message bits
+    /// are fixed to zero and removed, giving an `(n − s, k − s)` code with
+    /// the same `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BchConstructError::InvalidShorten`] if `s >= k`.
+    pub fn shortened(&self, s: usize) -> Result<Self, BchConstructError> {
+        if self.shorten + s >= self.full_k {
+            return Err(BchConstructError::InvalidShorten {
+                shorten: s,
+                k: self.k(),
+            });
+        }
+        let mut c = self.clone();
+        c.shorten += s;
+        Ok(c)
+    }
+
+    /// Picks the smallest supported BCH code (by `m`, then maximal
+    /// shortening) whose message length is at least `k_min` with
+    /// correction capability exactly `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last construction error if no supported field fits.
+    pub fn for_message_len(k_min: usize, t: usize) -> Result<Self, BchConstructError> {
+        let mut last_err = BchConstructError::InvalidT { t, remaining_k: 0 };
+        for m in 3..=12 {
+            match Self::new(m, t) {
+                Ok(code) => {
+                    if code.full_k >= k_min {
+                        let s = code.full_k - k_min;
+                        return if s == 0 { Ok(code) } else { code.shortened(s) };
+                    }
+                    last_err = BchConstructError::InvalidT {
+                        t,
+                        remaining_k: code.full_k,
+                    };
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The generator polynomial.
+    pub fn generator(&self) -> &Gf2Poly {
+        &self.generator
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Gf2m {
+        &self.field
+    }
+
+    /// Number of parity (redundancy) bits `n − k`.
+    pub fn parity_bits(&self) -> usize {
+        self.full_n - self.full_k
+    }
+
+    /// Expands a shortened word to full length by re-inserting the zero
+    /// message bits (at the top positions).
+    fn expand(&self, word: &BitVec) -> BitVec {
+        if self.shorten == 0 {
+            return word.clone();
+        }
+        let mut full = word.clone();
+        for _ in 0..self.shorten {
+            full.push(false);
+        }
+        full
+    }
+
+    /// Computes the 2t syndromes `S_i = r(α^i)` of a full-length word.
+    fn syndromes(&self, word: &BitVec) -> Vec<u32> {
+        (1..=2 * self.t as u64)
+            .map(|i| {
+                let mut s = 0u32;
+                for j in 0..self.full_n {
+                    if word.get(j) {
+                        s ^= self.field.alpha_pow(i * j as u64);
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Berlekamp–Massey: returns the error-locator polynomial coefficients
+    /// `σ` (σ[0] = 1) over GF(2^m).
+    fn berlekamp_massey(&self, syn: &[u32]) -> Vec<u32> {
+        let f = &self.field;
+        let mut sigma = vec![1u32];
+        let mut prev = vec![1u32];
+        let mut l = 0usize;
+        let mut shift = 1usize;
+        let mut b = 1u32;
+        for n in 0..syn.len() {
+            // Discrepancy d = S_n + Σ_{i=1..L} σ_i S_{n-i}.
+            let mut d = syn[n];
+            for i in 1..=l.min(sigma.len() - 1) {
+                if n >= i {
+                    d ^= f.mul(sigma[i], syn[n - i]);
+                }
+            }
+            if d == 0 {
+                shift += 1;
+            } else if 2 * l <= n {
+                let t_poly = sigma.clone();
+                let coef = f.div(d, b);
+                sigma = poly_sub_scaled_shift(f, &sigma, &prev, coef, shift);
+                l = n + 1 - l;
+                prev = t_poly;
+                b = d;
+                shift = 1;
+            } else {
+                let coef = f.div(d, b);
+                sigma = poly_sub_scaled_shift(f, &sigma, &prev, coef, shift);
+                shift += 1;
+            }
+        }
+        // Trim trailing zeros.
+        while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
+            sigma.pop();
+        }
+        sigma
+    }
+
+    /// Chien search: positions `j` with `σ(α^{−j}) = 0`.
+    fn chien(&self, sigma: &[u32]) -> Vec<usize> {
+        let f = &self.field;
+        let n = self.full_n as u64;
+        let mut out = Vec::new();
+        for j in 0..self.full_n as u64 {
+            // Evaluate σ at α^{-j}.
+            let mut acc = 0u32;
+            for (d, &c) in sigma.iter().enumerate() {
+                if c != 0 {
+                    let e = (n - j as u64 % n) % n * d as u64;
+                    acc ^= f.mul(c, f.alpha_pow(e));
+                }
+            }
+            if acc == 0 {
+                out.push(j as usize);
+            }
+        }
+        out
+    }
+}
+
+/// `a + coef·x^shift·b` over GF(2^m) (addition = subtraction).
+fn poly_sub_scaled_shift(f: &Gf2m, a: &[u32], b: &[u32], coef: u32, shift: usize) -> Vec<u32> {
+    let len = a.len().max(b.len() + shift);
+    let mut out = vec![0u32; len];
+    out[..a.len()].copy_from_slice(a);
+    for (i, &bc) in b.iter().enumerate() {
+        out[i + shift] ^= f.mul(coef, bc);
+    }
+    out
+}
+
+impl BinaryCode for BchCode {
+    fn n(&self) -> usize {
+        self.full_n - self.shorten
+    }
+
+    fn k(&self) -> usize {
+        self.full_k - self.shorten
+    }
+
+    fn t(&self) -> usize {
+        self.t
+    }
+
+    fn encode(&self, msg: &BitVec) -> BitVec {
+        assert_eq!(msg.len(), self.k(), "message length must equal k");
+        // Message polynomial placed in the high positions:
+        // c(x) = m(x)·x^(n−k) + rem(m(x)·x^(n−k), g).
+        let nk = self.parity_bits();
+        let mpoly = Gf2Poly::from_coeffs(
+            std::iter::repeat(false)
+                .take(nk)
+                .chain(msg.iter()),
+        );
+        let rem = mpoly.rem(&self.generator);
+        let mut cw = BitVec::zeros(self.n());
+        for j in 0..nk {
+            if rem.coeff(j) {
+                cw.set(j, true);
+            }
+        }
+        for (idx, bit) in msg.iter().enumerate() {
+            if bit {
+                cw.set(nk + idx, true);
+            }
+        }
+        cw
+    }
+
+    fn decode(&self, word: &BitVec) -> Result<Decoded, DecodeError> {
+        if word.len() != self.n() {
+            return Err(DecodeError::LengthMismatch {
+                expected: self.n(),
+                got: word.len(),
+            });
+        }
+        let full = self.expand(word);
+        let syn = self.syndromes(&full);
+        if syn.iter().all(|&s| s == 0) {
+            let message = full.slice(self.parity_bits(), self.k());
+            return Ok(Decoded {
+                message,
+                codeword: word.clone(),
+                corrected: 0,
+            });
+        }
+        let sigma = self.berlekamp_massey(&syn);
+        let errors = sigma.len() - 1;
+        if errors > self.t {
+            return Err(DecodeError::TooManyErrors);
+        }
+        let positions = self.chien(&sigma);
+        if positions.len() != errors {
+            return Err(DecodeError::TooManyErrors);
+        }
+        let mut corrected = full.clone();
+        for &p in &positions {
+            if p >= self.full_n - self.shorten && p >= self.parity_bits() + self.k() {
+                // Error located in a shortened (known-zero) position:
+                // impossible for ≤ t real errors ⇒ decoding failure.
+                return Err(DecodeError::TooManyErrors);
+            }
+            corrected.flip(p);
+        }
+        // Sanity: corrected word must have zero syndromes.
+        if self.syndromes(&corrected).iter().any(|&s| s != 0) {
+            return Err(DecodeError::TooManyErrors);
+        }
+        let message = corrected.slice(self.parity_bits(), self.k());
+        let codeword = corrected.slice(0, self.n());
+        Ok(Decoded {
+            message,
+            codeword,
+            corrected: positions.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn classic_bch_15_7_2() {
+        let code = BchCode::new(4, 2).unwrap();
+        assert_eq!(code.n(), 15);
+        assert_eq!(code.k(), 7);
+        // g(x) = x⁸+x⁷+x⁶+x⁴+1 (standard narrow-sense BCH(15,7)).
+        assert_eq!(code.generator(), &Gf2Poly::from_coeff_bits(0b111010001));
+    }
+
+    #[test]
+    fn classic_bch_15_5_3() {
+        let code = BchCode::new(4, 3).unwrap();
+        assert_eq!(code.k(), 5);
+        // g(x) = x¹⁰+x⁸+x⁵+x⁴+x²+x+1.
+        assert_eq!(code.generator(), &Gf2Poly::from_coeff_bits(0b10100110111));
+    }
+
+    #[test]
+    fn bch_31_16_3_parameters() {
+        let code = BchCode::new(5, 3).unwrap();
+        assert_eq!((code.n(), code.k(), code.t()), (31, 16, 3));
+    }
+
+    #[test]
+    fn bch_63_45_3_parameters() {
+        let code = BchCode::new(6, 3).unwrap();
+        assert_eq!((code.n(), code.k(), code.t()), (63, 45, 3));
+    }
+
+    #[test]
+    fn bch_127_64_10_parameters() {
+        let code = BchCode::new(7, 10).unwrap();
+        assert_eq!((code.n(), code.k()), (127, 64));
+    }
+
+    #[test]
+    fn encode_produces_codeword_divisible_by_generator() {
+        let code = BchCode::new(5, 2).unwrap();
+        let msg = BitVec::from_bools((0..code.k()).map(|i| i % 3 == 0));
+        let cw = code.encode(&msg);
+        let cpoly = Gf2Poly::from_coeffs(cw.iter());
+        assert!(cpoly.rem(code.generator()).is_zero());
+    }
+
+    #[test]
+    fn roundtrip_no_errors() {
+        let code = BchCode::new(5, 3).unwrap();
+        let msg = BitVec::from_bools((0..code.k()).map(|i| (i * 7) % 3 == 1));
+        let cw = code.encode(&msg);
+        let d = code.decode(&cw).unwrap();
+        assert_eq!(d.message, msg);
+        assert_eq!(d.corrected, 0);
+        assert_eq!(d.codeword, cw);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_exhaustive_positions() {
+        let code = BchCode::new(4, 2).unwrap();
+        let msg = BitVec::from_bools((0..7).map(|i| i % 2 == 1));
+        let cw = code.encode(&msg);
+        // All single and double error patterns.
+        for i in 0..15 {
+            let mut w = cw.clone();
+            w.flip(i);
+            let d = code.decode(&w).unwrap();
+            assert_eq!(d.message, msg, "single error at {i}");
+            assert_eq!(d.corrected, 1);
+            for j in i + 1..15 {
+                let mut w2 = w.clone();
+                w2.flip(j);
+                let d2 = code.decode(&w2).unwrap();
+                assert_eq!(d2.message, msg, "errors at {i},{j}");
+                assert_eq!(d2.corrected, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn random_t_errors_corrected_bch_63() {
+        let code = BchCode::new(6, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..50 {
+            let msg = BitVec::from_bools((0..code.k()).map(|_| rng.random()));
+            let cw = code.encode(&msg);
+            let mut w = cw.clone();
+            let errs = ropuf_numeric::sampling::sample_indices(&mut rng, code.n(), code.t());
+            for &e in &errs {
+                w.flip(e);
+            }
+            let d = code.decode(&w).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            assert_eq!(d.message, msg);
+            assert_eq!(d.corrected, code.t());
+        }
+    }
+
+    #[test]
+    fn more_than_t_errors_fails_or_miscorrects() {
+        let code = BchCode::new(5, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let msg = BitVec::from_bools((0..code.k()).map(|_| rng.random()));
+        let cw = code.encode(&msg);
+        let mut failures = 0;
+        let mut miscorrections = 0;
+        for _ in 0..100 {
+            let mut w = cw.clone();
+            for e in ropuf_numeric::sampling::sample_indices(&mut rng, code.n(), code.t() + 2) {
+                w.flip(e);
+            }
+            match code.decode(&w) {
+                Err(DecodeError::TooManyErrors) => failures += 1,
+                Ok(d) if d.message != msg => miscorrections += 1,
+                Ok(_) => {} // error pattern happened to stay within a ball
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(failures + miscorrections > 50, "t+2 errors should usually break decoding");
+    }
+
+    #[test]
+    fn shortened_code_roundtrip() {
+        let code = BchCode::new(6, 3).unwrap().shortened(20).unwrap();
+        assert_eq!(code.k(), 25);
+        assert_eq!(code.n(), 43);
+        let mut rng = StdRng::seed_from_u64(5);
+        let msg = BitVec::from_bools((0..25).map(|_| rng.random()));
+        let cw = code.encode(&msg);
+        let mut w = cw.clone();
+        for e in [0usize, 17, 40] {
+            w.flip(e);
+        }
+        let d = code.decode(&w).unwrap();
+        assert_eq!(d.message, msg);
+        assert_eq!(d.corrected, 3);
+    }
+
+    #[test]
+    fn for_message_len_picks_fitting_code() {
+        let code = BchCode::for_message_len(20, 2).unwrap();
+        assert_eq!(code.k(), 20);
+        assert_eq!(code.t(), 2);
+        let exact = BchCode::for_message_len(7, 2).unwrap();
+        assert_eq!((exact.n(), exact.k()), (15, 7));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let code = BchCode::new(4, 2).unwrap();
+        let w = BitVec::zeros(14);
+        assert!(matches!(
+            code.decode(&w),
+            Err(DecodeError::LengthMismatch { expected: 15, got: 14 })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(BchCode::new(2, 1).is_err());
+        assert!(BchCode::new(4, 0).is_err());
+        // t=3 over GF(8) degenerates to the [7,1] repetition code — valid.
+        let rep7 = BchCode::new(3, 3).unwrap();
+        assert_eq!((rep7.n(), rep7.k()), (7, 1));
+        assert!(BchCode::new(3, 4).is_err()); // t too large for n=7
+        let code = BchCode::new(4, 2).unwrap();
+        assert!(code.shortened(7).is_err());
+    }
+
+    #[test]
+    fn all_zero_and_all_one_codewords() {
+        // Narrow-sense BCH contains the all-zero word; all-ones iff
+        // x+1 does not divide g (n odd ⇒ all-ones is a codeword iff
+        // g(1) != 0). Just verify zero decodes cleanly.
+        let code = BchCode::new(5, 3).unwrap();
+        let z = BitVec::zeros(31);
+        let d = code.decode(&z).unwrap();
+        assert_eq!(d.message, BitVec::zeros(16));
+    }
+}

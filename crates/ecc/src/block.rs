@@ -1,0 +1,202 @@
+//! Splitting long bit strings across independent ECC blocks.
+//!
+//! The paper (Section V-D): "Incoming bits are clustered in blocks, which
+//! are all error-corrected independently." [`BlockCode`] wraps any
+//! [`BinaryCode`] and pads the final block with zeros.
+
+use ropuf_numeric::BitVec;
+
+use crate::code::{BinaryCode, DecodeError, Decoded};
+
+/// A block-composition wrapper around an inner [`BinaryCode`].
+///
+/// Encodes a message of arbitrary length `L` as `⌈L / k⌉` inner codewords;
+/// the last block is zero-padded. Decoding fails if **any** block fails —
+/// exactly the key-regeneration failure event the attacks observe.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_ecc::{BchCode, BinaryCode, BlockCode};
+/// use ropuf_numeric::BitVec;
+///
+/// let inner = BchCode::new(4, 2).unwrap(); // BCH(15, 7)
+/// let code = BlockCode::new(inner, 20);    // 20-bit messages, 3 blocks
+/// let msg = BitVec::from_bools((0..20).map(|i| i % 2 == 0));
+/// let cw = code.encode(&msg);
+/// assert_eq!(cw.len(), 45);
+/// assert_eq!(code.decode(&cw).unwrap().message, msg);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockCode<C> {
+    inner: C,
+    message_len: usize,
+    blocks: usize,
+}
+
+impl<C: BinaryCode> BlockCode<C> {
+    /// Wraps `inner` for messages of `message_len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message_len` is zero.
+    pub fn new(inner: C, message_len: usize) -> Self {
+        assert!(message_len > 0, "message length must be positive");
+        let blocks = message_len.div_ceil(inner.k());
+        Self {
+            inner,
+            message_len,
+            blocks,
+        }
+    }
+
+    /// The inner code.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Decodes and additionally reports the total number of corrected
+    /// errors plus per-block outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] from the first failing block.
+    pub fn decode_detailed(&self, word: &BitVec) -> Result<(Decoded, Vec<usize>), DecodeError> {
+        if word.len() != self.n() {
+            return Err(DecodeError::LengthMismatch {
+                expected: self.n(),
+                got: word.len(),
+            });
+        }
+        let ni = self.inner.n();
+        let mut message = BitVec::new();
+        let mut codeword = BitVec::new();
+        let mut corrected = 0;
+        let mut per_block = Vec::with_capacity(self.blocks);
+        for b in 0..self.blocks {
+            let block = word.slice(b * ni, ni);
+            let d = self.inner.decode(&block)?;
+            corrected += d.corrected;
+            per_block.push(d.corrected);
+            message.extend_bits(&d.message);
+            codeword.extend_bits(&d.codeword);
+        }
+        let message = message.slice(0, self.message_len);
+        Ok((
+            Decoded {
+                message,
+                codeword,
+                corrected,
+            },
+            per_block,
+        ))
+    }
+}
+
+impl<C: BinaryCode> BinaryCode for BlockCode<C> {
+    fn n(&self) -> usize {
+        self.blocks * self.inner.n()
+    }
+
+    fn k(&self) -> usize {
+        self.message_len
+    }
+
+    /// Guaranteed per-block capability: the wrapper corrects any pattern
+    /// with at most `inner.t()` errors **per block**; as a whole-word
+    /// guarantee only `inner.t()` is safe.
+    fn t(&self) -> usize {
+        self.inner.t()
+    }
+
+    fn encode(&self, msg: &BitVec) -> BitVec {
+        assert_eq!(msg.len(), self.message_len, "message length mismatch");
+        let ki = self.inner.k();
+        let mut padded = msg.clone();
+        while padded.len() < self.blocks * ki {
+            padded.push(false);
+        }
+        let mut out = BitVec::new();
+        for b in 0..self.blocks {
+            let chunk = padded.slice(b * ki, ki);
+            out.extend_bits(&self.inner.encode(&chunk));
+        }
+        out
+    }
+
+    fn decode(&self, word: &BitVec) -> Result<Decoded, DecodeError> {
+        self.decode_detailed(word).map(|(d, _)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bch::BchCode;
+    use crate::repetition::RepetitionCode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn repetition_blocks_roundtrip() {
+        let code = BlockCode::new(RepetitionCode::new(3).unwrap(), 10);
+        assert_eq!(code.blocks(), 10);
+        assert_eq!(code.n(), 30);
+        let msg = BitVec::from_bools((0..10).map(|i| i % 2 == 0));
+        let cw = code.encode(&msg);
+        assert_eq!(code.decode(&cw).unwrap().message, msg);
+    }
+
+    #[test]
+    fn bch_blocks_with_padding() {
+        let code = BlockCode::new(BchCode::new(4, 2).unwrap(), 10); // 2 blocks, pad 4
+        assert_eq!(code.blocks(), 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg = BitVec::from_bools((0..10).map(|_| rng.random()));
+        let cw = code.encode(&msg);
+        let d = code.decode(&cw).unwrap();
+        assert_eq!(d.message, msg);
+        assert_eq!(d.message.len(), 10);
+    }
+
+    #[test]
+    fn per_block_capability() {
+        // t errors in EVERY block still decode.
+        let inner = BchCode::new(4, 2).unwrap();
+        let code = BlockCode::new(inner, 14);
+        let msg = BitVec::from_bools((0..14).map(|i| i % 3 == 0));
+        let mut cw = code.encode(&msg);
+        for b in 0..code.blocks() {
+            cw.flip(b * 15);
+            cw.flip(b * 15 + 7);
+        }
+        let (d, per_block) = code.decode_detailed(&cw).unwrap();
+        assert_eq!(d.message, msg);
+        assert_eq!(per_block, vec![2, 2]);
+        assert_eq!(d.corrected, 4);
+    }
+
+    #[test]
+    fn one_overloaded_block_fails_everything() {
+        let inner = BchCode::new(4, 2).unwrap();
+        let code = BlockCode::new(inner, 14);
+        let msg = BitVec::zeros(14);
+        let mut cw = code.encode(&msg);
+        // Put t+1 = 3 errors into block 1.
+        cw.flip(15);
+        cw.flip(18);
+        cw.flip(22);
+        assert!(code.decode(&cw).is_err());
+    }
+
+    #[test]
+    fn wrong_total_length_rejected() {
+        let code = BlockCode::new(RepetitionCode::new(3).unwrap(), 4);
+        assert!(code.decode(&BitVec::zeros(11)).is_err());
+    }
+}

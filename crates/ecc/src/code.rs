@@ -1,0 +1,107 @@
+//! The common interface of binary block codes.
+
+use ropuf_numeric::BitVec;
+use std::fmt;
+
+/// Outcome of a successful bounded-distance decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// The decoded message (length `k`).
+    pub message: BitVec,
+    /// The corrected codeword (length `n`).
+    pub codeword: BitVec,
+    /// Number of bit errors that were corrected.
+    pub corrected: usize,
+}
+
+/// Decoding failure of a bounded-distance decoder.
+///
+/// A failure is the paper's observable event: with more than `t` errors a
+/// BCH decoder either reports failure or mis-corrects; both change device
+/// behavior visibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// More errors than the decoder can locate (error-locator degree
+    /// exceeded `t`, or the Chien search found fewer roots than the
+    /// locator degree).
+    TooManyErrors,
+    /// Input length does not equal `n`.
+    LengthMismatch {
+        /// Expected codeword length.
+        expected: usize,
+        /// Received length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TooManyErrors => write!(f, "too many errors to correct"),
+            DecodeError::LengthMismatch { expected, got } => {
+                write!(f, "codeword length mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A binary block code with bounded-distance decoding.
+///
+/// Implementations guarantee: any pattern of at most [`t`](Self::t) bit
+/// errors applied to a valid codeword decodes back to the original message
+/// with `Ok`; patterns of more than `t` errors either return
+/// [`DecodeError::TooManyErrors`] or mis-decode to a *different* valid
+/// codeword (undetected mis-correction, inherent to bounded-distance
+/// decoding).
+pub trait BinaryCode {
+    /// Codeword length in bits.
+    fn n(&self) -> usize;
+
+    /// Message length in bits.
+    fn k(&self) -> usize;
+
+    /// Guaranteed error-correction capability per codeword.
+    fn t(&self) -> usize;
+
+    /// Encodes a `k`-bit message into an `n`-bit codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.len() != self.k()`.
+    fn encode(&self, msg: &BitVec) -> BitVec;
+
+    /// Decodes an `n`-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::LengthMismatch`] for wrong input length and
+    /// [`DecodeError::TooManyErrors`] when correction fails.
+    fn decode(&self, word: &BitVec) -> Result<Decoded, DecodeError>;
+
+    /// Convenience: `true` iff `word` is a valid codeword.
+    fn is_codeword(&self, word: &BitVec) -> bool {
+        match self.decode(word) {
+            Ok(d) => d.corrected == 0,
+            Err(_) => false,
+        }
+    }
+
+    /// Code rate `k / n`.
+    fn rate(&self) -> f64 {
+        self.k() as f64 / self.n() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_error_display() {
+        assert_eq!(DecodeError::TooManyErrors.to_string(), "too many errors to correct");
+        let e = DecodeError::LengthMismatch { expected: 15, got: 14 };
+        assert!(e.to_string().contains("expected 15"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The code-offset secure sketch.
+//!
+//! The standard helper-data mechanism from the fuzzy-extractor literature
+//! (paper Section VII-A, reference [2]): at enrollment, draw a random
+//! codeword `c` and publish `h = w ⊕ c` for response `w`. At
+//! reconstruction, compute `c' = decode(w' ⊕ h)` and recover
+//! `w = c' ⊕ h`; any response within `t` bits of `w` reproduces it exactly.
+//!
+//! The constructions under attack in the paper use their ECC exactly this
+//! way ("public helper data allows regenerated instances to be
+//! error-corrected, so that they are identical to the reference"), and the
+//! attacks *inject errors* by flipping bits of `h`: flipping bit `i` of the
+//! offset flips bit `i` of `w' ⊕ h`, adding exactly one error at the ECC
+//! input — the acceleration trick of Section VI.
+
+use rand::Rng;
+use ropuf_numeric::BitVec;
+
+use crate::code::{BinaryCode, DecodeError};
+
+/// A code-offset secure sketch over any [`BinaryCode`] whose codeword
+/// length equals the response length.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_ecc::{BchCode, BinaryCode, BlockCode, CodeOffset};
+/// use ropuf_numeric::BitVec;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let code = BlockCode::new(BchCode::new(4, 2).unwrap(), 7);
+/// let sketch = CodeOffset::new(code);
+/// let w = BitVec::from_bools((0..15).map(|i| i % 4 == 0));
+/// let helper = sketch.sketch(&w, &mut rng);
+/// let mut w_noisy = w.clone();
+/// w_noisy.flip(3);
+/// assert_eq!(sketch.recover(&w_noisy, &helper).unwrap(), w);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodeOffset<C> {
+    code: C,
+}
+
+impl<C: BinaryCode> CodeOffset<C> {
+    /// Wraps a code.
+    pub fn new(code: C) -> Self {
+        Self { code }
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &C {
+        &self.code
+    }
+
+    /// Response length protected by this sketch (= codeword length).
+    pub fn response_len(&self) -> usize {
+        self.code.n()
+    }
+
+    /// Enrollment: draws a uniform codeword and returns the public offset
+    /// `h = w ⊕ c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != self.response_len()`.
+    pub fn sketch<R: Rng + ?Sized>(&self, w: &BitVec, rng: &mut R) -> BitVec {
+        assert_eq!(w.len(), self.code.n(), "response length mismatch");
+        let msg = BitVec::from_bools((0..self.code.k()).map(|_| rng.random()));
+        let c = self.code.encode(&msg);
+        w.xor(&c)
+    }
+
+    /// Deterministic enrollment from a chosen message (used by attackers
+    /// who need *two comparable sets* of ECC helper data, paper
+    /// Section VI-A/VI-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn sketch_with_message(&self, w: &BitVec, msg: &BitVec) -> BitVec {
+        assert_eq!(w.len(), self.code.n(), "response length mismatch");
+        let c = self.code.encode(msg);
+        w.xor(&c)
+    }
+
+    /// Reconstruction: recovers the enrolled response from a noisy reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when `w'` differs from the enrolled response
+    /// in more than `t` bits per block (the observable failure event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn recover(&self, w_noisy: &BitVec, helper: &BitVec) -> Result<BitVec, DecodeError> {
+        assert_eq!(w_noisy.len(), self.code.n(), "response length mismatch");
+        if helper.len() != self.code.n() {
+            return Err(DecodeError::LengthMismatch {
+                expected: self.code.n(),
+                got: helper.len(),
+            });
+        }
+        let offset = w_noisy.xor(helper);
+        let decoded = self.code.decode(&offset)?;
+        Ok(decoded.codeword.xor(helper))
+    }
+
+    /// Number of bit errors the decoder would see for a given noisy
+    /// reading (diagnostic; used to regenerate the paper's Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when decoding fails, in which case the error
+    /// count is not observable.
+    pub fn observed_errors(&self, w_noisy: &BitVec, helper: &BitVec) -> Result<usize, DecodeError> {
+        let offset = w_noisy.xor(helper);
+        self.code.decode(&offset).map(|d| d.corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bch::BchCode;
+    use crate::block::BlockCode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CodeOffset<BlockCode<BchCode>>, BitVec, BitVec, StdRng) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let code = BlockCode::new(BchCode::new(5, 3).unwrap(), 16);
+        let sketch = CodeOffset::new(code);
+        let w = BitVec::from_bools((0..31).map(|i| (i * 5) % 7 < 3));
+        let helper = sketch.sketch(&w, &mut rng);
+        (sketch, w, helper, rng)
+    }
+
+    #[test]
+    fn exact_reading_recovers() {
+        let (sketch, w, helper, _) = setup();
+        assert_eq!(sketch.recover(&w, &helper).unwrap(), w);
+    }
+
+    #[test]
+    fn noisy_reading_within_t_recovers() {
+        let (sketch, w, helper, _) = setup();
+        let mut w2 = w.clone();
+        w2.flip(0);
+        w2.flip(10);
+        w2.flip(30);
+        assert_eq!(sketch.recover(&w2, &helper).unwrap(), w);
+    }
+
+    #[test]
+    fn helper_bit_flip_adds_exactly_one_error() {
+        // The attack acceleration primitive: flipping offset bit i adds one
+        // error at the decoder input.
+        let (sketch, w, helper, _) = setup();
+        let t = sketch.code().t();
+        let mut h2 = helper.clone();
+        for i in 0..t {
+            h2.flip(i);
+        }
+        assert_eq!(sketch.observed_errors(&w, &h2).unwrap(), t);
+        // One more flip exceeds capability.
+        h2.flip(t);
+        assert!(sketch.recover(&w, &h2).is_err());
+    }
+
+    #[test]
+    fn beyond_t_fails() {
+        let (sketch, w, helper, _) = setup();
+        let mut w2 = w.clone();
+        for i in 0..4 {
+            w2.flip(i * 7);
+        }
+        assert!(sketch.recover(&w2, &helper).is_err());
+    }
+
+    #[test]
+    fn sketch_with_message_is_deterministic() {
+        let (sketch, w, _, _) = setup();
+        let msg = BitVec::from_bools((0..16).map(|i| i % 2 == 0));
+        let h1 = sketch.sketch_with_message(&w, &msg);
+        let h2 = sketch.sketch_with_message(&w, &msg);
+        assert_eq!(h1, h2);
+        assert_eq!(sketch.recover(&w, &h1).unwrap(), w);
+    }
+
+    #[test]
+    fn wrong_helper_length_is_error_not_panic() {
+        let (sketch, w, _, _) = setup();
+        let bad = BitVec::zeros(30);
+        assert!(matches!(
+            sketch.recover(&w, &bad),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,260 @@
+//! Polynomials over GF(2), word-packed.
+//!
+//! Coefficient `i` (of `x^i`) lives in bit `i % 64` of word `i / 64`.
+//! These polynomials carry the generator-polynomial arithmetic of the BCH
+//! code; degrees stay in the low hundreds, so schoolbook algorithms are
+//! fine.
+
+use std::fmt;
+
+/// A polynomial over GF(2).
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_ecc::Gf2Poly;
+///
+/// let a = Gf2Poly::from_coeff_bits(0b111); // x² + x + 1
+/// let b = Gf2Poly::from_coeff_bits(0b11);  // x + 1
+/// let p = a.mul(&b);                        // x³ + 1 over GF(2)
+/// assert_eq!(p, Gf2Poly::from_coeff_bits(0b1001));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Gf2Poly {
+    /// Coefficient words; invariant: no trailing zero words.
+    words: Vec<u64>,
+}
+
+impl Gf2Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { words: Vec::new() }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Self {
+        Self { words: vec![1] }
+    }
+
+    /// The monomial `x^d`.
+    pub fn monomial(d: usize) -> Self {
+        let mut words = vec![0u64; d / 64 + 1];
+        words[d / 64] = 1 << (d % 64);
+        Self { words }
+    }
+
+    /// Builds a polynomial from the low bits of a `u64` (bit `i` is the
+    /// coefficient of `x^i`).
+    pub fn from_coeff_bits(bits: u64) -> Self {
+        let mut p = Self { words: vec![bits] };
+        p.normalize();
+        p
+    }
+
+    /// Builds a polynomial from coefficient booleans (index = exponent).
+    pub fn from_coeffs<I: IntoIterator<Item = bool>>(coeffs: I) -> Self {
+        let mut words = Vec::new();
+        for (i, c) in coeffs.into_iter().enumerate() {
+            if i % 64 == 0 {
+                words.push(0);
+            }
+            if c {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut p = Self { words };
+        p.normalize();
+        p
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        let last = self.words.last()?;
+        Some((self.words.len() - 1) * 64 + (63 - last.leading_zeros() as usize))
+    }
+
+    /// Coefficient of `x^i`.
+    pub fn coeff(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Addition (= subtraction) over GF(2).
+    pub fn add(&self, rhs: &Gf2Poly) -> Gf2Poly {
+        let mut words = self.words.clone();
+        if rhs.words.len() > words.len() {
+            words.resize(rhs.words.len(), 0);
+        }
+        for (i, w) in rhs.words.iter().enumerate() {
+            words[i] ^= w;
+        }
+        let mut p = Self { words };
+        p.normalize();
+        p
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, rhs: &Gf2Poly) -> Gf2Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Self::zero();
+        }
+        let deg = self.degree().unwrap() + rhs.degree().unwrap();
+        let mut words = vec![0u64; deg / 64 + 1];
+        for i in 0..=self.degree().unwrap() {
+            if !self.coeff(i) {
+                continue;
+            }
+            // XOR rhs shifted left by i into the accumulator.
+            let (wsh, bsh) = (i / 64, i % 64);
+            for (j, &w) in rhs.words.iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                words[j + wsh] ^= w << bsh;
+                if bsh != 0 && j + wsh + 1 < words.len() {
+                    words[j + wsh + 1] ^= w >> (64 - bsh);
+                }
+            }
+        }
+        let mut p = Self { words };
+        p.normalize();
+        p
+    }
+
+    /// Remainder of division by `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn rem(&self, divisor: &Gf2Poly) -> Gf2Poly {
+        let ddeg = divisor.degree().expect("division by zero polynomial");
+        let mut r = self.clone();
+        while let Some(rdeg) = r.degree() {
+            if rdeg < ddeg {
+                break;
+            }
+            let shift = rdeg - ddeg;
+            r = r.add(&divisor.shl(shift));
+        }
+        r
+    }
+
+    /// Left shift by `s` (multiplication by `x^s`).
+    pub fn shl(&self, s: usize) -> Gf2Poly {
+        if self.is_zero() || s == 0 {
+            return self.clone();
+        }
+        self.mul(&Self::monomial(s))
+    }
+
+    /// Number of non-zero coefficients.
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl fmt::Debug for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for i in (0..=self.degree().unwrap()).rev() {
+            if self.coeff(i) {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                match i {
+                    0 => write!(f, "1")?,
+                    1 => write!(f, "x")?,
+                    _ => write!(f, "x^{i}")?,
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_coeff() {
+        let p = Gf2Poly::from_coeff_bits(0b1011); // x³ + x + 1
+        assert_eq!(p.degree(), Some(3));
+        assert!(p.coeff(0) && p.coeff(1) && !p.coeff(2) && p.coeff(3));
+        assert!(!p.coeff(100));
+        assert_eq!(Gf2Poly::zero().degree(), None);
+    }
+
+    #[test]
+    fn add_is_xor() {
+        let a = Gf2Poly::from_coeff_bits(0b1100);
+        let b = Gf2Poly::from_coeff_bits(0b1010);
+        assert_eq!(a.add(&b), Gf2Poly::from_coeff_bits(0b0110));
+        assert!(a.add(&a).is_zero());
+    }
+
+    #[test]
+    fn mul_known_product() {
+        // (x+1)(x²+x+1) = x³+1 over GF(2)
+        let a = Gf2Poly::from_coeff_bits(0b11);
+        let b = Gf2Poly::from_coeff_bits(0b111);
+        assert_eq!(a.mul(&b), Gf2Poly::from_coeff_bits(0b1001));
+    }
+
+    #[test]
+    fn mul_across_word_boundary() {
+        let a = Gf2Poly::monomial(63);
+        let b = Gf2Poly::monomial(5);
+        assert_eq!(a.mul(&b), Gf2Poly::monomial(68));
+    }
+
+    #[test]
+    fn rem_reduces_degree() {
+        // x⁴ mod (x³+x+1): x⁴ = x·(x³+x+1) + x²+x  → remainder x²+x
+        let p = Gf2Poly::monomial(4);
+        let d = Gf2Poly::from_coeff_bits(0b1011);
+        assert_eq!(p.rem(&d), Gf2Poly::from_coeff_bits(0b110));
+    }
+
+    #[test]
+    fn rem_of_multiple_is_zero() {
+        let d = Gf2Poly::from_coeff_bits(0b10011);
+        let q = Gf2Poly::from_coeff_bits(0b1101);
+        assert!(q.mul(&d).rem(&d).is_zero());
+    }
+
+    #[test]
+    fn weight_counts_terms() {
+        assert_eq!(Gf2Poly::from_coeff_bits(0b1011).weight(), 3);
+        assert_eq!(Gf2Poly::zero().weight(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let p = Gf2Poly::from_coeff_bits(0b1011);
+        assert_eq!(format!("{p:?}"), "x^3 + x + 1");
+        assert_eq!(format!("{:?}", Gf2Poly::zero()), "0");
+    }
+
+    #[test]
+    fn shl_is_monomial_mul() {
+        let p = Gf2Poly::from_coeff_bits(0b101);
+        assert_eq!(p.shl(3), Gf2Poly::from_coeff_bits(0b101000));
+    }
+}

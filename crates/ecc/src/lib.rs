@@ -1,0 +1,60 @@
+//! Error-correcting codes, built from scratch.
+//!
+//! Every construction in the DATE 2014 paper finishes with an ECC "able to
+//! correct `t` errors per block" (Section VI), and the attacks exploit
+//! exactly the bounded-distance behavior of such a code: manipulated helper
+//! data adds a controlled number of errors at the ECC input and the
+//! attacker watches whether decoding still succeeds.
+//!
+//! The offline crate set has no usable ECC crate, so this one implements:
+//!
+//! * [`gf2poly`] — polynomials over GF(2);
+//! * [`gf2m`] — the finite fields GF(2^m), 3 ≤ m ≤ 12, with log/antilog
+//!   tables;
+//! * [`bch`] — narrow-sense binary BCH codes with systematic encoding and
+//!   Berlekamp–Massey + Chien-search decoding, plus shortening;
+//! * [`hamming`] — single-error-correcting Hamming codes;
+//! * [`repetition`] — odd-length repetition codes;
+//! * [`block`] — splitting long messages across independent blocks
+//!   (the paper: "Incoming bits are clustered in blocks, which are all
+//!   error-corrected independently");
+//! * [`code_offset`] — the code-offset secure sketch used both by the
+//!   constructions under attack and by the fuzzy-extractor reference
+//!   (Section VII-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_ecc::{BchCode, BinaryCode};
+//! use ropuf_numeric::BitVec;
+//!
+//! let code = BchCode::new(4, 2).unwrap(); // BCH(15, 7, t=2)
+//! let msg = BitVec::from_bools((0..code.k()).map(|i| i % 2 == 0));
+//! let mut cw = code.encode(&msg);
+//! cw.flip(1);
+//! cw.flip(9);
+//! let decoded = code.decode(&cw).unwrap();
+//! assert_eq!(decoded.message, msg);
+//! assert_eq!(decoded.corrected, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bch;
+pub mod block;
+pub mod code;
+pub mod code_offset;
+pub mod gf2m;
+pub mod gf2poly;
+pub mod hamming;
+pub mod repetition;
+
+pub use bch::BchCode;
+pub use block::BlockCode;
+pub use code::{BinaryCode, DecodeError, Decoded};
+pub use code_offset::CodeOffset;
+pub use gf2m::Gf2m;
+pub use gf2poly::Gf2Poly;
+pub use hamming::HammingCode;
+pub use repetition::RepetitionCode;

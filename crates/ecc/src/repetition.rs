@@ -1,0 +1,146 @@
+//! Odd-length repetition codes.
+//!
+//! The simplest `t`-error-correcting code: each message bit is repeated
+//! `n = 2t + 1` times and decoded by majority vote. Useful as the
+//! degenerate/reference ECC in experiments and as the inner code of
+//! concatenated schemes.
+
+use ropuf_numeric::BitVec;
+
+use crate::code::{BinaryCode, DecodeError, Decoded};
+
+/// The `[n, 1, n]` repetition code with odd `n`.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_ecc::{BinaryCode, RepetitionCode};
+/// use ropuf_numeric::BitVec;
+///
+/// let code = RepetitionCode::new(5).unwrap();
+/// let cw = code.encode(&BitVec::from_bools([true]));
+/// assert_eq!(cw.to_string(), "11111");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepetitionCode {
+    n: usize,
+}
+
+/// Error constructing a [`RepetitionCode`] with even or zero length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvenLengthError {
+    /// The rejected length.
+    pub n: usize,
+}
+
+impl std::fmt::Display for EvenLengthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "repetition length must be odd and positive, got {}", self.n)
+    }
+}
+
+impl std::error::Error for EvenLengthError {}
+
+impl RepetitionCode {
+    /// Creates a repetition code of odd length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvenLengthError`] if `n` is even or zero (majority vote
+    /// needs an odd length).
+    pub fn new(n: usize) -> Result<Self, EvenLengthError> {
+        if n == 0 || n % 2 == 0 {
+            return Err(EvenLengthError { n });
+        }
+        Ok(Self { n })
+    }
+}
+
+impl BinaryCode for RepetitionCode {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        1
+    }
+
+    fn t(&self) -> usize {
+        (self.n - 1) / 2
+    }
+
+    fn encode(&self, msg: &BitVec) -> BitVec {
+        assert_eq!(msg.len(), 1, "message length must equal k = 1");
+        if msg.get(0) {
+            BitVec::ones(self.n)
+        } else {
+            BitVec::zeros(self.n)
+        }
+    }
+
+    fn decode(&self, word: &BitVec) -> Result<Decoded, DecodeError> {
+        if word.len() != self.n {
+            return Err(DecodeError::LengthMismatch {
+                expected: self.n,
+                got: word.len(),
+            });
+        }
+        let ones = word.count_ones();
+        let bit = ones * 2 > self.n;
+        let corrected = if bit { self.n - ones } else { ones };
+        Ok(Decoded {
+            message: BitVec::from_bools([bit]),
+            codeword: if bit {
+                BitVec::ones(self.n)
+            } else {
+                BitVec::zeros(self.n)
+            },
+            corrected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters() {
+        let c = RepetitionCode::new(7).unwrap();
+        assert_eq!((c.n(), c.k(), c.t()), (7, 1, 3));
+    }
+
+    #[test]
+    fn even_or_zero_rejected() {
+        assert!(RepetitionCode::new(4).is_err());
+        assert!(RepetitionCode::new(0).is_err());
+    }
+
+    #[test]
+    fn majority_vote_corrects() {
+        let c = RepetitionCode::new(5).unwrap();
+        let mut w = c.encode(&BitVec::from_bools([true]));
+        w.flip(0);
+        w.flip(3);
+        let d = c.decode(&w).unwrap();
+        assert!(d.message.get(0));
+        assert_eq!(d.corrected, 2);
+    }
+
+    #[test]
+    fn beyond_t_miscorrects_silently() {
+        // Repetition decoding never reports failure: t+1 flips mis-decode.
+        let c = RepetitionCode::new(3).unwrap();
+        let mut w = c.encode(&BitVec::from_bools([false]));
+        w.flip(0);
+        w.flip(1);
+        let d = c.decode(&w).unwrap();
+        assert!(d.message.get(0), "mis-correction expected");
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let c = RepetitionCode::new(3).unwrap();
+        assert!(c.decode(&BitVec::zeros(4)).is_err());
+    }
+}

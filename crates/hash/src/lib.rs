@@ -1,0 +1,36 @@
+//! SHA-256 and HMAC-SHA256, implemented from scratch (FIPS 180-4 /
+//! RFC 2104).
+//!
+//! Two consumers in the workspace:
+//!
+//! * the **fuzzy extractor** reference construction (paper Section VII-A)
+//!   compresses the noisy, non-uniform PUF response into a uniform key with
+//!   a hash;
+//! * the **device oracle** models "observable application behavior" by
+//!   emitting an HMAC tag over an attacker-chosen nonce under the
+//!   reconstructed key — the weakest observable consistent with the paper's
+//!   attack model.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_hash::sha256;
+//!
+//! let digest = sha256(b"abc");
+//! assert_eq!(
+//!     hex(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! # fn hex(bytes: &[u8]) -> String {
+//! #     bytes.iter().map(|b| format!("{b:02x}")).collect()
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hmac;
+pub mod sha256;
+
+pub use hmac::hmac_sha256;
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,324 @@
+//! Small dense matrices over `f64` and a pivoting Gaussian-elimination
+//! solver.
+//!
+//! This is intentionally minimal: the only consumer with non-trivial demands
+//! is the least-squares fit behind the paper's entropy distiller, which
+//! solves normal equations of dimension equal to the number of polynomial
+//! coefficients (≤ 21 for degree 5), so a dense O(n³) solver is plenty.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_numeric::Matrix;
+///
+/// let m = Matrix::identity(3);
+/// assert_eq!(m[(1, 1)], 1.0);
+/// assert_eq!(m[(1, 2)], 0.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned by [`Matrix::solve`] when the system is singular (or
+/// numerically too close to singular to solve reliably).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular or ill-conditioned")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in mul");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != v.len()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch in mul_vec");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
+            .collect()
+    }
+
+    /// Solves `self * x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot smaller than `1e-12` times
+    /// the largest row magnitude is encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot: largest |a[r][col]| for r >= col.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(SingularMatrixError);
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot_row * n + c);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in col + 1..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for c in col + 1..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut v = x[col];
+            for c in col + 1..n {
+                v -= a[col * n + c] * x[c];
+            }
+            x[col] = v / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||²` via the normal
+    /// equations `AᵀA x = Aᵀb`, where `A = self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when `AᵀA` is singular, i.e. the
+    /// design matrix is rank-deficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn least_squares(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let at = self.transpose();
+        let ata = at.mul(self);
+        let atb = at.mul_vec(b);
+        ata.solve(&atb)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:10.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let m = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(m.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let m = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let m = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = m.solve(&[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(m.solve(&[1.0, 2.0]), Err(SingularMatrixError));
+    }
+
+    #[test]
+    fn transpose_mul() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at.cols(), 2);
+        let p = a.mul(&at); // 2x2
+        assert_eq!(p[(0, 0)], 14.0);
+        assert_eq!(p[(0, 1)], 32.0);
+        assert_eq!(p[(1, 1)], 77.0);
+    }
+
+    #[test]
+    fn least_squares_exact_line() {
+        // Fit y = 2x + 1 through exact points.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut a = Matrix::zeros(4, 2);
+        let mut b = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            a[(i, 0)] = 1.0;
+            a[(i, 1)] = x;
+            b.push(2.0 * x + 1.0);
+        }
+        let c = a.least_squares(&b).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-10);
+        assert!((c[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noise() {
+        // y = 3x - 2 with symmetric residuals: LS must reproduce the line.
+        let pts = [(0.0, -2.5), (0.0, -1.5), (2.0, 3.5), (2.0, 4.5)];
+        let mut a = Matrix::zeros(4, 2);
+        let mut b = Vec::new();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            a[(i, 0)] = 1.0;
+            a[(i, 1)] = x;
+            b.push(y);
+        }
+        let c = a.least_squares(&b).unwrap();
+        assert!((c[0] + 2.0).abs() < 1e-10, "intercept {}", c[0]);
+        assert!((c[1] - 3.0).abs() < 1e-10, "slope {}", c[1]);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, -1.0, 0.5, 2.0]);
+        let v = [3.0, 4.0];
+        let got = a.mul_vec(&v);
+        assert_eq!(got, vec![-1.0, 9.5]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Two-dimensional polynomial least-squares regression.
+//!
+//! This is the mathematical core of the paper's *entropy distiller*
+//! (Section V-A): systematic manufacturing variation of an RO array is
+//! modelled as a low-degree polynomial surface
+//!
+//! ```text
+//! f(x, y) = Σ_{i=0}^{p} Σ_{j=0}^{i} β_{i,j} · x^(i-j) · y^j
+//! ```
+//!
+//! fitted in the least-mean-squares sense; the residuals are the desired
+//! random variation. The coefficient ordering used everywhere in this
+//! workspace is exactly the double sum above: `(i, j)` with `i` the total
+//! degree, ascending, and `j` ascending within each `i`. Degree `p` yields
+//! `(p+1)(p+2)/2` coefficients.
+
+use crate::linalg::{Matrix, SingularMatrixError};
+use std::fmt;
+
+/// A bivariate polynomial of bounded total degree, stored as a dense
+/// coefficient vector in the paper's `β_{i,j}` ordering.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_numeric::Poly2d;
+///
+/// // f(x, y) = 1 + 2x + 3y
+/// let p = Poly2d::from_coefficients(1, vec![1.0, 2.0, 3.0]).unwrap();
+/// assert_eq!(p.eval(2.0, 0.5), 1.0 + 4.0 + 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poly2d {
+    degree: usize,
+    /// Coefficients β_{i,j}, ordered by total degree `i` then `j`.
+    coefficients: Vec<f64>,
+}
+
+/// Error produced when constructing or fitting a [`Poly2d`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolyFitError {
+    /// The coefficient vector length does not match `(p+1)(p+2)/2`.
+    CoefficientCount {
+        /// Requested degree.
+        degree: usize,
+        /// Expected number of coefficients for that degree.
+        expected: usize,
+        /// Number actually provided.
+        got: usize,
+    },
+    /// Fewer sample points than coefficients, or a rank-deficient design
+    /// matrix (e.g. all samples on one line).
+    Underdetermined,
+}
+
+impl fmt::Display for PolyFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyFitError::CoefficientCount {
+                degree,
+                expected,
+                got,
+            } => write!(
+                f,
+                "degree {degree} polynomial needs {expected} coefficients, got {got}"
+            ),
+            PolyFitError::Underdetermined => {
+                write!(f, "sample set is underdetermined or rank-deficient")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyFitError {}
+
+impl From<SingularMatrixError> for PolyFitError {
+    fn from(_: SingularMatrixError) -> Self {
+        PolyFitError::Underdetermined
+    }
+}
+
+/// Number of coefficients of a total-degree-`p` bivariate polynomial.
+pub fn coefficient_count(degree: usize) -> usize {
+    (degree + 1) * (degree + 2) / 2
+}
+
+/// Enumerates the exponent pairs `(i - j, j)` of the monomials
+/// `x^(i-j) y^j` in the canonical coefficient order.
+pub fn monomial_exponents(degree: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(coefficient_count(degree));
+    for i in 0..=degree {
+        for j in 0..=i {
+            out.push((i - j, j));
+        }
+    }
+    out
+}
+
+impl Poly2d {
+    /// Creates the zero polynomial of the given total degree.
+    pub fn zero(degree: usize) -> Self {
+        Self {
+            degree,
+            coefficients: vec![0.0; coefficient_count(degree)],
+        }
+    }
+
+    /// Creates a polynomial from explicit coefficients in `β_{i,j}` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyFitError::CoefficientCount`] when the vector length is
+    /// not `(degree+1)(degree+2)/2`.
+    pub fn from_coefficients(degree: usize, coefficients: Vec<f64>) -> Result<Self, PolyFitError> {
+        let expected = coefficient_count(degree);
+        if coefficients.len() != expected {
+            return Err(PolyFitError::CoefficientCount {
+                degree,
+                expected,
+                got: coefficients.len(),
+            });
+        }
+        Ok(Self {
+            degree,
+            coefficients,
+        })
+    }
+
+    /// Fits a degree-`degree` polynomial to samples `(x, y, value)` in the
+    /// least-squares sense.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyFitError::Underdetermined`] when there are fewer samples
+    /// than coefficients or the design matrix is rank-deficient.
+    pub fn fit(degree: usize, samples: &[(f64, f64, f64)]) -> Result<Self, PolyFitError> {
+        let ncoef = coefficient_count(degree);
+        if samples.len() < ncoef {
+            return Err(PolyFitError::Underdetermined);
+        }
+        let exps = monomial_exponents(degree);
+        let mut design = Matrix::zeros(samples.len(), ncoef);
+        let mut rhs = Vec::with_capacity(samples.len());
+        for (r, &(x, y, v)) in samples.iter().enumerate() {
+            for (c, &(ex, ey)) in exps.iter().enumerate() {
+                design[(r, c)] = x.powi(ex as i32) * y.powi(ey as i32);
+            }
+            rhs.push(v);
+        }
+        let coefficients = design.least_squares(&rhs)?;
+        Ok(Self {
+            degree,
+            coefficients,
+        })
+    }
+
+    /// Total degree `p`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Coefficients in canonical `β_{i,j}` order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Evaluates the polynomial at `(x, y)`.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let mut acc = 0.0;
+        let mut c = 0;
+        for i in 0..=self.degree {
+            for j in 0..=i {
+                acc += self.coefficients[c] * x.powi((i - j) as i32) * y.powi(j as i32);
+                c += 1;
+            }
+        }
+        acc
+    }
+
+    /// Residuals `value - poly(x, y)` of a sample set.
+    pub fn residuals(&self, samples: &[(f64, f64, f64)]) -> Vec<f64> {
+        samples
+            .iter()
+            .map(|&(x, y, v)| v - self.eval(x, y))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficient_counts() {
+        assert_eq!(coefficient_count(0), 1);
+        assert_eq!(coefficient_count(1), 3);
+        assert_eq!(coefficient_count(2), 6);
+        assert_eq!(coefficient_count(3), 10);
+    }
+
+    #[test]
+    fn exponent_order_matches_paper() {
+        // Degree 2: (i,j) = (0,0),(1,0),(1,1),(2,0),(2,1),(2,2)
+        // monomials: 1, x, y, x², xy, y²
+        assert_eq!(
+            monomial_exponents(2),
+            vec![(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)]
+        );
+    }
+
+    #[test]
+    fn eval_quadratic() {
+        // f = 1 + 2x + 3y + 4x² + 5xy + 6y²
+        let p = Poly2d::from_coefficients(2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let (x, y) = (2.0, -1.0);
+        let expect = 1.0 + 4.0 - 3.0 + 16.0 - 10.0 + 6.0;
+        assert!((p.eval(x, y) - expect).abs() < 1e-12);
+    }
+
+    fn grid_samples(f: impl Fn(f64, f64) -> f64) -> Vec<(f64, f64, f64)> {
+        let mut s = Vec::new();
+        for xi in 0..8 {
+            for yi in 0..8 {
+                let (x, y) = (xi as f64, yi as f64);
+                s.push((x, y, f(x, y)));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn fit_recovers_exact_polynomial() {
+        let truth = [0.5, -1.0, 2.0, 0.25, -0.5, 1.5];
+        let p0 = Poly2d::from_coefficients(2, truth.to_vec()).unwrap();
+        let samples = grid_samples(|x, y| p0.eval(x, y));
+        let fitted = Poly2d::fit(2, &samples).unwrap();
+        for (a, b) in fitted.coefficients().iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-8, "coef {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fit_higher_degree_nests_lower() {
+        // Fitting a plane with a degree-2 model must zero the quadratic terms.
+        let samples = grid_samples(|x, y| 3.0 + 0.5 * x - 0.25 * y);
+        let fitted = Poly2d::fit(2, &samples).unwrap();
+        let c = fitted.coefficients();
+        assert!((c[0] - 3.0).abs() < 1e-8);
+        assert!((c[1] - 0.5).abs() < 1e-8);
+        assert!((c[2] + 0.25).abs() < 1e-8);
+        for &q in &c[3..] {
+            assert!(q.abs() < 1e-8, "quadratic term {q}");
+        }
+    }
+
+    #[test]
+    fn residuals_of_exact_fit_vanish() {
+        let samples = grid_samples(|x, y| 1.0 + x * y);
+        let fitted = Poly2d::fit(2, &samples).unwrap();
+        for r in fitted.residuals(&samples) {
+            assert!(r.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn residuals_sum_to_zero_for_ls_fit() {
+        // Least squares with an intercept ⇒ residuals sum to ~0.
+        let samples = grid_samples(|x, y| (x * 1.3 + y * 0.7).sin());
+        let fitted = Poly2d::fit(3, &samples).unwrap();
+        let sum: f64 = fitted.residuals(&samples).iter().sum();
+        assert!(sum.abs() < 1e-6, "residual sum {sum}");
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let samples = vec![(0.0, 0.0, 1.0), (1.0, 0.0, 2.0)];
+        assert_eq!(Poly2d::fit(2, &samples), Err(PolyFitError::Underdetermined));
+    }
+
+    #[test]
+    fn rank_deficient_rejected() {
+        // All points on the line y = x: x and y columns are linearly
+        // dependent with the cross terms.
+        let samples: Vec<_> = (0..20).map(|i| (i as f64, i as f64, i as f64)).collect();
+        assert_eq!(Poly2d::fit(2, &samples), Err(PolyFitError::Underdetermined));
+    }
+
+    #[test]
+    fn coefficient_count_mismatch_rejected() {
+        let e = Poly2d::from_coefficients(2, vec![0.0; 5]).unwrap_err();
+        assert!(matches!(e, PolyFitError::CoefficientCount { expected: 6, got: 5, .. }));
+    }
+}

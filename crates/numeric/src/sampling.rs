@@ -1,0 +1,173 @@
+//! Random sampling helpers.
+//!
+//! The offline crate set does not include `rand_distr`, so the Gaussian
+//! sampler needed by the RO variability and noise models is implemented here
+//! with the Box–Muller transform.
+
+use rand::Rng;
+
+/// A normal distribution `N(mean, std_dev²)` sampled via Box–Muller.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_numeric::sampling::Normal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let n = Normal::new(10.0, 2.0);
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be finite and non-negative"
+        );
+        Self { mean, std_dev }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to keep ln finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fisher–Yates shuffle of a slice (uniform over permutations).
+pub fn shuffle<T, R: Rng + ?Sized>(rng: &mut R, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (partial Fisher–Yates).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = Normal::new(5.0, 3.0);
+        let xs = n.sample_n(&mut rng, 50_000);
+        assert!((mean(&xs) - 5.0).abs() < 0.1, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 3.0).abs() < 0.1, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn zero_std_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = Normal::new(-2.5, 0.0);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), -2.5);
+        }
+    }
+
+    #[test]
+    fn standard_normal_tail_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let beyond_2: usize = (0..20_000)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count();
+        // P[|Z| > 2] ≈ 4.55%; allow generous slack.
+        let frac = beyond_2 as f64 / 20_000.0;
+        assert!((0.03..0.07).contains(&frac), "tail fraction {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xs: Vec<usize> = (0..50).collect();
+        shuffle(&mut rng, &mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let s = sample_indices(&mut rng, 30, 10);
+            assert_eq!(s.len(), 10);
+            let mut t = s.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 10, "indices must be distinct");
+            assert!(s.iter().all(|&i| i < 30));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_overflow_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_indices(&mut rng, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev")]
+    fn negative_std_rejected() {
+        Normal::new(0.0, -1.0);
+    }
+}

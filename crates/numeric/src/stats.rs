@@ -1,0 +1,383 @@
+//! Statistics used by the simulator and the attack framework.
+//!
+//! The paper's attack model (Section VI, Fig. 5) distinguishes helper-data
+//! hypotheses by comparing **key-regeneration failure rates**; the number of
+//! bit errors at the ECC input is modelled with a (roughly) binomial PDF.
+//! This module provides:
+//!
+//! * descriptive statistics ([`mean`], [`variance`], [`std_dev`]),
+//! * the binomial distribution ([`binomial_pmf`], [`binomial_cdf`],
+//!   [`binomial_tail`]),
+//! * empirical histograms ([`Histogram`]),
+//! * Wilson score confidence intervals for proportions
+//!   ([`wilson_interval`]), and
+//! * a two-proportion z-test ([`two_proportion_z`]) used to decide between
+//!   hypotheses H0 and H1.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Natural log of `n!` via `ln Γ(n+1)` (Stirling series for large `n`,
+/// exact accumulation below 20).
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 20 {
+        let mut acc = 0.0;
+        for k in 2..=n {
+            acc += (k as f64).ln();
+        }
+        return acc;
+    }
+    // Stirling's series with three correction terms.
+    let x = n as f64 + 1.0;
+    let inv = 1.0 / x;
+    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+        + inv / 12.0
+        - inv.powi(3) / 360.0
+        + inv.powi(5) / 1260.0
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "k must not exceed n");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Binomial PMF `P[X = k]` for `X ~ Bin(n, p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `k > n`.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(k <= n, "k must not exceed n");
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Binomial CDF `P[X ≤ k]`.
+pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
+    (0..=k.min(n)).map(|i| binomial_pmf(n, i, p)).sum::<f64>().min(1.0)
+}
+
+/// Binomial upper tail `P[X > k]` — the probability that more than `k`
+/// errors occur, i.e. the key-regeneration **failure probability** of a
+/// `t = k` error-correcting block under i.i.d. bit errors.
+pub fn binomial_tail(n: u64, k: u64, p: f64) -> f64 {
+    (1.0 - binomial_cdf(n, k, p)).max(0.0)
+}
+
+/// An integer-valued empirical histogram (e.g. of error counts at the ECC
+/// input, as in the paper's Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_numeric::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 2, 3] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(2), 2);
+/// assert!((h.pdf(2) - 0.5).abs() < 1e-12);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations equal to `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical probability of `value`.
+    pub fn pdf(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Empirical probability of observing a value **strictly greater** than
+    /// `threshold` — the failure rate of a `t = threshold` ECC.
+    pub fn tail_beyond(&self, threshold: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| v > threshold)
+            .map(|(_, &c)| c)
+            .sum();
+        above as f64 / self.total as f64
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Empirical mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        s / self.total as f64
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+}
+
+/// Wilson score interval for a binomial proportion at the given z value
+/// (`z = 1.96` for 95%). Returns `(low, high)`.
+///
+/// The Wilson interval behaves sanely even for 0 or `n` successes, which
+/// matters because nominal failure rates in well-parameterized PUF key
+/// generators are near zero.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Two-proportion pooled z-statistic for H0: p₁ = p₂.
+///
+/// Positive values indicate `successes1/trials1 > successes2/trials2`.
+/// Returns `0.0` when either trial count is zero or the pooled proportion is
+/// degenerate (0 or 1), in which case the samples carry no evidence of a
+/// difference.
+pub fn two_proportion_z(successes1: u64, trials1: u64, successes2: u64, trials2: u64) -> f64 {
+    if trials1 == 0 || trials2 == 0 {
+        return 0.0;
+    }
+    let (n1, n2) = (trials1 as f64, trials2 as f64);
+    let (p1, p2) = (successes1 as f64 / n1, successes2 as f64 / n2);
+    let pooled = (successes1 + successes2) as f64 / (n1 + n2);
+    let var = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    (p1 - p2) / var.sqrt()
+}
+
+/// Standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 rational approximation, |err| < 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(x))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_factorial_exact_small() {
+        assert!((ln_factorial(0)).abs() < 1e-12);
+        assert!((ln_factorial(1)).abs() < 1e-12);
+        assert!((ln_factorial(5) - (120f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_accurate() {
+        // 25! = 1.551121004333098e25
+        let exact = 25f64.ln() + ln_factorial(24);
+        assert!((ln_factorial(25) - exact).abs() < 1e-9);
+        let ln20 = ln_factorial(20);
+        let direct: f64 = (2..=20u64).map(|k| (k as f64).ln()).sum();
+        assert!((ln20 - direct).abs() < 1e-9, "{ln20} vs {direct}");
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 30;
+        let p = 0.13;
+        let s: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+        assert!((s - 1.0).abs() < 1e-10, "sum {s}");
+    }
+
+    #[test]
+    fn binomial_pmf_known_values() {
+        // Bin(4, 0.5): P[X=2] = 6/16
+        assert!((binomial_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+        assert!((binomial_pmf(10, 0, 0.1) - 0.9f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_degenerate_p() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0), 0.0);
+    }
+
+    #[test]
+    fn binomial_tail_is_failure_probability() {
+        // With t = n no failure is possible (up to rounding).
+        assert!(binomial_tail(8, 8, 0.3) < 1e-12);
+        // P[X > 0] = 1 - (1-p)^n
+        let p = 0.2;
+        let expect = 1.0 - 0.8f64.powi(6);
+        assert!((binomial_tail(6, 0, p) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_monotone_in_error_rate() {
+        let a = binomial_tail(63, 5, 0.05);
+        let b = binomial_tail(63, 5, 0.10);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn histogram_tail_matches_manual() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 2, 5, 5, 5, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.max_value(), Some(9));
+        assert!((h.tail_beyond(2) - 0.5).abs() < 1e-12);
+        assert!((h.tail_beyond(5) - 0.125).abs() < 1e-12);
+        assert!((h.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_iter_skips_zero() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(7);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(3, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn wilson_contains_true_proportion() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        // Zero successes still yields a sane (0, small) interval.
+        let (lo0, hi0) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 0.1);
+    }
+
+    #[test]
+    fn z_test_detects_difference() {
+        let z = two_proportion_z(80, 100, 20, 100);
+        assert!(z > 5.0, "z = {z}");
+        let z_eq = two_proportion_z(50, 100, 50, 100);
+        assert!(z_eq.abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_test_degenerate_safe() {
+        assert_eq!(two_proportion_z(0, 0, 1, 2), 0.0);
+        assert_eq!(two_proportion_z(0, 10, 0, 10), 0.0);
+        assert_eq!(two_proportion_z(10, 10, 10, 10), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+}

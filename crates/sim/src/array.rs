@@ -1,0 +1,389 @@
+//! The simulated RO array itself.
+//!
+//! An [`RoArray`] holds the manufacturing outcome of one device: per-RO
+//! base frequencies (systematic + random, at nominal conditions) and per-RO
+//! environmental slopes. Measurements add Gaussian noise and counter
+//! quantization, mirroring the multiplexer–counter architecture of the
+//! paper's Fig. 1.
+
+use rand::Rng;
+use ropuf_numeric::polyfit::Poly2d;
+use ropuf_numeric::sampling::Normal;
+
+use crate::env::Environment;
+use crate::layout::ArrayDims;
+use crate::variation::VariationProfile;
+
+/// One manufactured RO array: the PUF secret.
+///
+/// Cloning an `RoArray` models having the *same physical device*; building
+/// a new one from the same [`VariationProfile`] models manufacturing a new
+/// sample of the same design.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_sim::{ArrayDims, Environment, RoArrayBuilder};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+/// let env = Environment::nominal();
+/// // Enrollment-grade averaged measurement:
+/// let f0 = array.measure_averaged(0, env, 16, &mut rng);
+/// assert!((f0 - array.true_frequency(0, env)).abs() < 50e3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoArray {
+    dims: ArrayDims,
+    /// Noise-free frequency of each RO at nominal conditions (Hz).
+    base_hz: Vec<f64>,
+    /// Frequency slope vs temperature for each RO (Hz/°C).
+    temp_slope: Vec<f64>,
+    /// Frequency slope vs supply voltage for each RO (Hz/V).
+    volt_slope: Vec<f64>,
+    /// Per-measurement Gaussian noise sigma (Hz).
+    noise_sigma_hz: f64,
+    /// Counter quantization step (Hz); 0 disables quantization.
+    resolution_hz: f64,
+    /// Reference conditions at which `base_hz` is defined.
+    reference: Environment,
+    /// The systematic surface used at manufacturing (kept for analysis and
+    /// figure generation; a real attacker does not see this).
+    systematic: Poly2d,
+}
+
+impl RoArray {
+    /// Array dimensions.
+    pub fn dims(&self) -> ArrayDims {
+        self.dims
+    }
+
+    /// Number of ROs.
+    pub fn len(&self) -> usize {
+        self.base_hz.len()
+    }
+
+    /// Returns `true` if the array has no ROs (never happens via the
+    /// builder; dimensions are positive).
+    pub fn is_empty(&self) -> bool {
+        self.base_hz.is_empty()
+    }
+
+    /// Measurement noise sigma in Hz.
+    pub fn noise_sigma_hz(&self) -> f64 {
+        self.noise_sigma_hz
+    }
+
+    /// Counter quantization step in Hz.
+    pub fn resolution_hz(&self) -> f64 {
+        self.resolution_hz
+    }
+
+    /// The systematic surface injected at "manufacturing". Ground truth for
+    /// analysis; not available to attackers or to the device firmware.
+    pub fn systematic_truth(&self) -> &Poly2d {
+        &self.systematic
+    }
+
+    /// Noise-free frequency of RO `i` under environment `env`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn true_frequency(&self, i: usize, env: Environment) -> f64 {
+        assert!(i < self.len(), "RO index {i} out of range");
+        self.base_hz[i]
+            + self.temp_slope[i] * (env.temperature_c - self.reference.temperature_c)
+            + self.volt_slope[i] * (env.voltage_v - self.reference.voltage_v)
+    }
+
+    /// One noisy, quantized frequency measurement of RO `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn measure<R: Rng + ?Sized>(&self, i: usize, env: Environment, rng: &mut R) -> f64 {
+        let noisy = self.true_frequency(i, env) + Normal::new(0.0, self.noise_sigma_hz).sample(rng);
+        self.quantize(noisy)
+    }
+
+    /// Measures every RO once; index order.
+    pub fn measure_all<R: Rng + ?Sized>(&self, env: Environment, rng: &mut R) -> Vec<f64> {
+        (0..self.len()).map(|i| self.measure(i, env, rng)).collect()
+    }
+
+    /// Averages `n` measurements of RO `i` (enrollment-grade measurement;
+    /// averaging suppresses noise by √n, quantization applied at the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `i` is out of range.
+    pub fn measure_averaged<R: Rng + ?Sized>(
+        &self,
+        i: usize,
+        env: Environment,
+        n: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(n > 0, "need at least one measurement");
+        let noise = Normal::new(0.0, self.noise_sigma_hz);
+        let sum: f64 = (0..n)
+            .map(|_| self.true_frequency(i, env) + noise.sample(rng))
+            .sum();
+        self.quantize(sum / n as f64)
+    }
+
+    /// Averages `n` measurements of every RO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn measure_all_averaged<R: Rng + ?Sized>(
+        &self,
+        env: Environment,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| self.measure_averaged(i, env, n, rng))
+            .collect()
+    }
+
+    /// Noise-free pair discrepancy `f_i − f_j` under `env`.
+    pub fn true_delta(&self, i: usize, j: usize, env: Environment) -> f64 {
+        self.true_frequency(i, env) - self.true_frequency(j, env)
+    }
+
+    /// Temperature at which the noise-free Δf of pair `(i, j)` crosses
+    /// zero, if the pair's temperature slopes differ.
+    pub fn crossover_temperature(&self, i: usize, j: usize) -> Option<f64> {
+        let dslope = self.temp_slope[i] - self.temp_slope[j];
+        if dslope.abs() < f64::EPSILON {
+            return None;
+        }
+        let d0 = self.true_delta(i, j, self.reference);
+        Some(self.reference.temperature_c - d0 / dslope)
+    }
+
+    fn quantize(&self, f: f64) -> f64 {
+        if self.resolution_hz > 0.0 {
+            (f / self.resolution_hz).round() * self.resolution_hz
+        } else {
+            f
+        }
+    }
+}
+
+/// Builder for [`RoArray`].
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_sim::{ArrayDims, RoArrayBuilder, VariationProfile};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let array = RoArrayBuilder::new(ArrayDims::new(32, 16))
+///     .profile(VariationProfile::default())
+///     .noise_sigma_hz(25e3)
+///     .resolution_hz(1e3)
+///     .build(&mut rng);
+/// assert_eq!(array.len(), 512);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoArrayBuilder {
+    dims: ArrayDims,
+    profile: VariationProfile,
+    noise_sigma_hz: f64,
+    resolution_hz: f64,
+    reference: Environment,
+}
+
+impl RoArrayBuilder {
+    /// Starts a builder for an array of the given dimensions.
+    pub fn new(dims: ArrayDims) -> Self {
+        Self {
+            dims,
+            profile: VariationProfile::default(),
+            noise_sigma_hz: 25.0e3,
+            resolution_hz: 1.0e3,
+            reference: Environment::nominal(),
+        }
+    }
+
+    /// Sets the variability profile.
+    pub fn profile(mut self, profile: VariationProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the per-measurement noise sigma in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn noise_sigma_hz(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma must be non-negative");
+        self.noise_sigma_hz = sigma;
+        self
+    }
+
+    /// Sets the counter quantization step in Hz (0 disables quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn resolution_hz(mut self, res: f64) -> Self {
+        assert!(res >= 0.0, "resolution must be non-negative");
+        self.resolution_hz = res;
+        self
+    }
+
+    /// Sets the reference (enrollment) environment.
+    pub fn reference(mut self, env: Environment) -> Self {
+        self.reference = env;
+        self
+    }
+
+    /// Manufactures one device.
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> RoArray {
+        let n = self.dims.len();
+        let systematic = self.profile.sample_systematic(self.dims, rng);
+        let random = self.profile.sample_random(n, rng);
+        let base_hz: Vec<f64> = self
+            .dims
+            .iter_coords()
+            .map(|(i, x, y)| {
+                self.profile.nominal_hz + systematic.eval(x as f64, y as f64) + random[i]
+            })
+            .collect();
+        RoArray {
+            dims: self.dims,
+            base_hz,
+            temp_slope: self.profile.sample_temp_slopes(n, rng),
+            volt_slope: self.profile.sample_volt_slopes(n, rng),
+            noise_sigma_hz: self.noise_sigma_hz,
+            resolution_hz: self.resolution_hz,
+            reference: self.reference,
+            systematic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_array(seed: u64) -> RoArray {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RoArrayBuilder::new(ArrayDims::new(8, 4)).build(&mut rng)
+    }
+
+    #[test]
+    fn frequencies_near_nominal() {
+        let a = small_array(1);
+        let env = Environment::nominal();
+        for i in 0..a.len() {
+            let f = a.true_frequency(i, env);
+            assert!((f - 200e6).abs() < 10e6, "RO {i} at {f}");
+        }
+    }
+
+    #[test]
+    fn temperature_lowers_frequency() {
+        let a = small_array(2);
+        let cold = a.true_frequency(0, Environment::at_temperature(0.0));
+        let hot = a.true_frequency(0, Environment::at_temperature(80.0));
+        assert!(hot < cold, "frequency must drop with temperature");
+    }
+
+    #[test]
+    fn voltage_raises_frequency() {
+        let a = small_array(3);
+        let low = a.true_frequency(0, Environment::at_voltage(1.1));
+        let high = a.true_frequency(0, Environment::at_voltage(1.3));
+        assert!(high > low, "frequency must rise with voltage");
+    }
+
+    #[test]
+    fn measurement_noise_has_requested_scale() {
+        let a = small_array(4);
+        let mut rng = StdRng::seed_from_u64(99);
+        let env = Environment::nominal();
+        let truth = a.true_frequency(5, env);
+        let xs: Vec<f64> = (0..4000).map(|_| a.measure(5, env, &mut rng) - truth).collect();
+        let sd = ropuf_numeric::stats::std_dev(&xs);
+        assert!((sd - a.noise_sigma_hz()).abs() / a.noise_sigma_hz() < 0.1, "sd {sd}");
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let a = small_array(5);
+        let mut rng = StdRng::seed_from_u64(100);
+        let env = Environment::nominal();
+        let truth = a.true_frequency(3, env);
+        let xs: Vec<f64> = (0..500)
+            .map(|_| a.measure_averaged(3, env, 25, &mut rng) - truth)
+            .collect();
+        let sd = ropuf_numeric::stats::std_dev(&xs);
+        assert!(sd < 0.35 * a.noise_sigma_hz(), "sd {sd} not ~sigma/5");
+    }
+
+    #[test]
+    fn quantization_to_grid() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = RoArrayBuilder::new(ArrayDims::new(4, 4))
+            .resolution_hz(1000.0)
+            .build(&mut rng);
+        let f = a.measure(0, Environment::nominal(), &mut rng);
+        assert!((f / 1000.0 - (f / 1000.0).round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_temperature_solves_linear_delta() {
+        let a = small_array(7);
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                if let Some(tc) = a.crossover_temperature(i, j) {
+                    let d = a.true_delta(i, j, Environment::at_temperature(tc));
+                    assert!(d.abs() < 1e-3, "pair ({i},{j}) delta {d} at {tc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_is_same_device() {
+        let a = small_array(8);
+        let b = a.clone();
+        let env = Environment::nominal();
+        for i in 0..a.len() {
+            assert_eq!(a.true_frequency(i, env), b.true_frequency(i, env));
+        }
+    }
+
+    #[test]
+    fn different_seeds_are_different_devices() {
+        let a = small_array(10);
+        let b = small_array(11);
+        let env = Environment::nominal();
+        let same = (0..a.len())
+            .filter(|&i| (a.true_frequency(i, env) - b.true_frequency(i, env)).abs() < 1.0)
+            .count();
+        assert!(same < a.len() / 4, "devices should differ");
+    }
+
+    #[test]
+    fn measure_all_matches_single() {
+        let a = small_array(12);
+        let env = Environment::nominal();
+        let mut r1 = StdRng::seed_from_u64(55);
+        let mut r2 = StdRng::seed_from_u64(55);
+        let all = a.measure_all(env, &mut r1);
+        let single: Vec<f64> = (0..a.len()).map(|i| a.measure(i, env, &mut r2)).collect();
+        assert_eq!(all, single);
+    }
+}

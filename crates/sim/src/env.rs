@@ -1,0 +1,161 @@
+//! Environmental operating point of the device.
+
+/// Temperature and supply voltage at which a measurement is taken.
+///
+/// The paper's reliability model (Section III-A): RO frequencies increase
+/// with supply voltage and decrease with temperature. The temperature-aware
+/// cooperative construction operates within a user-defined range
+/// `[t_min, t_max]`.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_sim::Environment;
+///
+/// let hot = Environment::at_temperature(80.0);
+/// assert_eq!(hot.temperature_c, 80.0);
+/// assert_eq!(hot.voltage_v, Environment::nominal().voltage_v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Environment {
+    /// Die temperature in degrees Celsius.
+    pub temperature_c: f64,
+    /// Supply voltage in volts.
+    pub voltage_v: f64,
+}
+
+impl Environment {
+    /// Nominal enrollment conditions: 25 °C, 1.20 V.
+    pub fn nominal() -> Self {
+        Self {
+            temperature_c: 25.0,
+            voltage_v: 1.20,
+        }
+    }
+
+    /// Nominal voltage at the given temperature.
+    pub fn at_temperature(temperature_c: f64) -> Self {
+        Self {
+            temperature_c,
+            ..Self::nominal()
+        }
+    }
+
+    /// Nominal temperature at the given supply voltage.
+    pub fn at_voltage(voltage_v: f64) -> Self {
+        Self {
+            voltage_v,
+            ..Self::nominal()
+        }
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// An inclusive temperature operating range `[min_c, max_c]`.
+///
+/// Used by the temperature-aware cooperative construction (paper
+/// Section IV-D) for pair classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureRange {
+    /// Lower bound in °C.
+    pub min_c: f64,
+    /// Upper bound in °C.
+    pub max_c: f64,
+}
+
+impl TemperatureRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_c > max_c` or either bound is non-finite.
+    pub fn new(min_c: f64, max_c: f64) -> Self {
+        assert!(min_c.is_finite() && max_c.is_finite(), "bounds must be finite");
+        assert!(min_c <= max_c, "min must not exceed max");
+        Self { min_c, max_c }
+    }
+
+    /// The commercial range 0–70 °C.
+    pub fn commercial() -> Self {
+        Self::new(0.0, 70.0)
+    }
+
+    /// Width of the range in °C.
+    pub fn width(&self) -> f64 {
+        self.max_c - self.min_c
+    }
+
+    /// Whether `t` lies inside the range.
+    pub fn contains(&self, t: f64) -> bool {
+        (self.min_c..=self.max_c).contains(&t)
+    }
+
+    /// Clamps `t` into the range.
+    pub fn clamp(&self, t: f64) -> f64 {
+        t.clamp(self.min_c, self.max_c)
+    }
+
+    /// `n` evenly spaced temperatures covering the range (endpoints
+    /// included; `n ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn linspace(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 2, "need at least the two endpoints");
+        let step = self.width() / (n - 1) as f64;
+        (0..n).map(|i| self.min_c + step * i as f64).collect()
+    }
+}
+
+impl Default for TemperatureRange {
+    fn default() -> Self {
+        Self::commercial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_values() {
+        let e = Environment::nominal();
+        assert_eq!(e.temperature_c, 25.0);
+        assert_eq!(e.voltage_v, 1.2);
+        assert_eq!(Environment::default(), e);
+    }
+
+    #[test]
+    fn range_contains_and_clamp() {
+        let r = TemperatureRange::commercial();
+        assert!(r.contains(0.0));
+        assert!(r.contains(70.0));
+        assert!(!r.contains(-0.1));
+        assert_eq!(r.clamp(100.0), 70.0);
+        assert_eq!(r.clamp(-40.0), 0.0);
+    }
+
+    #[test]
+    fn linspace_covers_endpoints() {
+        let r = TemperatureRange::new(0.0, 70.0);
+        let ts = r.linspace(8);
+        assert_eq!(ts.len(), 8);
+        assert_eq!(ts[0], 0.0);
+        assert_eq!(*ts.last().unwrap(), 70.0);
+        for w in ts.windows(2) {
+            assert!((w[1] - w[0] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn inverted_range_panics() {
+        TemperatureRange::new(10.0, 0.0);
+    }
+}

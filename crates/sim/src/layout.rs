@@ -1,0 +1,194 @@
+//! Physical layout of the RO array.
+//!
+//! ROs are laid out as a two-dimensional grid (paper Section II) but are
+//! labelled with a univariate index `i ∈ [0, N)` everywhere else in the
+//! workspace. This module fixes the index ↔ coordinate mapping:
+//! `i = y * cols + x` (row-major, x increasing left-to-right).
+
+use std::fmt;
+
+/// Dimensions of a rectangular RO array.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_sim::ArrayDims;
+///
+/// let d = ArrayDims::new(10, 4); // the 4×10 array of the paper's Fig. 6a
+/// assert_eq!(d.len(), 40);
+/// assert_eq!(d.xy(13), (3, 1));
+/// assert_eq!(d.index(3, 1), 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayDims {
+    cols: usize,
+    rows: usize,
+}
+
+impl ArrayDims {
+    /// Creates dimensions with `cols` columns (x axis) and `rows` rows
+    /// (y axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "array dimensions must be positive");
+        Self { cols, rows }
+    }
+
+    /// Number of columns (x extent).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows (y extent).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of ROs, `N = cols × rows`.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Returns `false`; dimensions are never empty (both extents positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Coordinates `(x, y)` of RO `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn xy(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.len(), "RO index {i} out of range");
+        (i % self.cols, i / self.cols)
+    }
+
+    /// Univariate index of the RO at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn index(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.cols && y < self.rows, "coordinates out of range");
+        y * self.cols + x
+    }
+
+    /// Iterates over all `(i, x, y)` triples in index order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.len()).map(move |i| {
+            let (x, y) = self.xy(i);
+            (i, x, y)
+        })
+    }
+
+    /// The 4-neighborhood of RO `i` (up to four adjacent indices).
+    pub fn neighbors4(&self, i: usize) -> Vec<usize> {
+        let (x, y) = self.xy(i);
+        let mut out = Vec::with_capacity(4);
+        if x > 0 {
+            out.push(self.index(x - 1, y));
+        }
+        if x + 1 < self.cols {
+            out.push(self.index(x + 1, y));
+        }
+        if y > 0 {
+            out.push(self.index(x, y - 1));
+        }
+        if y + 1 < self.rows {
+            out.push(self.index(x, y + 1));
+        }
+        out
+    }
+
+    /// A serpentine (boustrophedon) path visiting every RO exactly once,
+    /// with each step moving to a 4-neighbor. This is the canonical
+    /// "chain of neighbors" used by the pairing schemes (paper
+    /// Section IV-A).
+    pub fn serpentine(&self) -> Vec<usize> {
+        let mut path = Vec::with_capacity(self.len());
+        for y in 0..self.rows {
+            if y % 2 == 0 {
+                for x in 0..self.cols {
+                    path.push(self.index(x, y));
+                }
+            } else {
+                for x in (0..self.cols).rev() {
+                    path.push(self.index(x, y));
+                }
+            }
+        }
+        path
+    }
+}
+
+impl fmt::Display for ArrayDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_xy_roundtrip() {
+        let d = ArrayDims::new(7, 5);
+        for i in 0..d.len() {
+            let (x, y) = d.xy(i);
+            assert_eq!(d.index(x, y), i);
+        }
+    }
+
+    #[test]
+    fn serpentine_is_hamiltonian_neighbor_path() {
+        let d = ArrayDims::new(6, 4);
+        let p = d.serpentine();
+        assert_eq!(p.len(), d.len());
+        let mut seen = vec![false; d.len()];
+        for &i in &p {
+            assert!(!seen[i], "revisit of {i}");
+            seen[i] = true;
+        }
+        for w in p.windows(2) {
+            assert!(
+                d.neighbors4(w[0]).contains(&w[1]),
+                "{} and {} are not neighbors",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn neighbors_of_corner_and_center() {
+        let d = ArrayDims::new(4, 4);
+        assert_eq!(d.neighbors4(0).len(), 2);
+        let center = d.index(1, 1);
+        assert_eq!(d.neighbors4(center).len(), 4);
+    }
+
+    #[test]
+    fn iter_coords_in_order() {
+        let d = ArrayDims::new(3, 2);
+        let v: Vec<_> = d.iter_coords().collect();
+        assert_eq!(v[0], (0, 0, 0));
+        assert_eq!(v[4], (4, 1, 1));
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        ArrayDims::new(0, 3);
+    }
+
+    #[test]
+    fn display_rows_by_cols() {
+        assert_eq!(ArrayDims::new(32, 16).to_string(), "16x32");
+    }
+}

@@ -1,0 +1,45 @@
+//! Ring-oscillator (RO) array simulator.
+//!
+//! The DATE 2014 paper evaluates its helper-data-manipulation attacks
+//! against RO PUF prototypes on FPGA. This crate is the workspace's
+//! substitute substrate (see `DESIGN.md` §5): a Monte-Carlo model of an
+//! RO array with exactly the structure the paper assumes:
+//!
+//! * a **systematic** spatially-correlated component, modelled as a
+//!   low-degree polynomial surface `f(x, y)` (paper Fig. 2 shows a linear
+//!   trend plus roughness; the entropy distiller of Section V-A models it
+//!   with polynomial regression);
+//! * a **random** per-RO component (the "surface roughness", the only
+//!   desired entropy source);
+//! * **measurement noise** plus counter quantization (discrete counter
+//!   values make Δf = 0 possible, paper Section III-B);
+//! * **linear environmental dependence**: frequencies increase with supply
+//!   voltage and decrease with temperature (Section III-A), with per-RO
+//!   slope spread so that pair frequency curves can cross over temperature
+//!   (the premise of the temperature-aware cooperative construction,
+//!   Fig. 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_sim::{ArrayDims, Environment, RoArrayBuilder};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let array = RoArrayBuilder::new(ArrayDims::new(8, 4)).build(&mut rng);
+//! let f = array.measure(0, Environment::nominal(), &mut rng);
+//! assert!(f > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod env;
+pub mod layout;
+pub mod variation;
+
+pub use array::{RoArray, RoArrayBuilder};
+pub use env::{Environment, TemperatureRange};
+pub use layout::ArrayDims;
+pub use variation::VariationProfile;

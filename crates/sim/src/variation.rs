@@ -1,0 +1,180 @@
+//! Process-variation profile of an RO array.
+//!
+//! The model mirrors the paper's Fig. 2: the frequency topology of a real
+//! array is a smooth systematic trend (spatially correlated, caused by
+//! systematic manufacturing variation) plus random per-RO "surface
+//! roughness" (the desired entropy). All magnitudes are expressed in Hz so
+//! they can be compared directly against noise and threshold parameters.
+
+use rand::Rng;
+use ropuf_numeric::polyfit::Poly2d;
+use ropuf_numeric::sampling::Normal;
+
+use crate::layout::ArrayDims;
+
+/// Magnitudes of the variability components of an RO array.
+///
+/// The defaults model a mid-size FPGA RO population at ~200 MHz nominal:
+///
+/// | component | default | rationale |
+/// |-----------|---------|-----------|
+/// | `nominal_hz` | 200 MHz | typical short inverter chain |
+/// | `systematic_peak_hz` | 1.5 MHz | trend of Fig. 2, same order as random |
+/// | `random_sigma_hz` | 500 kHz | ≈0.25% of nominal within-die variation |
+/// | `temp_slope_hz_per_c` | −20 kHz/°C | frequency decreases with T |
+/// | `temp_slope_sigma` | 3 kHz/°C | per-RO spread ⇒ pair crossovers |
+/// | `volt_slope_hz_per_v` | +50 MHz/V | frequency increases with V |
+/// | `volt_slope_sigma` | 1 MHz/V | per-RO spread |
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_sim::VariationProfile;
+///
+/// let p = VariationProfile::default();
+/// assert!(p.random_sigma_hz > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationProfile {
+    /// Nominal RO frequency in Hz.
+    pub nominal_hz: f64,
+    /// Approximate peak-to-peak magnitude of the systematic surface in Hz.
+    pub systematic_peak_hz: f64,
+    /// Standard deviation of the i.i.d. per-RO random component in Hz.
+    pub random_sigma_hz: f64,
+    /// Mean temperature slope in Hz per °C (negative: frequency drops as
+    /// the die heats up).
+    pub temp_slope_hz_per_c: f64,
+    /// Per-RO standard deviation of the temperature slope in Hz per °C.
+    pub temp_slope_sigma: f64,
+    /// Mean supply-voltage slope in Hz per volt (positive).
+    pub volt_slope_hz_per_v: f64,
+    /// Per-RO standard deviation of the voltage slope in Hz per volt.
+    pub volt_slope_sigma: f64,
+}
+
+impl Default for VariationProfile {
+    fn default() -> Self {
+        Self {
+            nominal_hz: 200.0e6,
+            systematic_peak_hz: 1.5e6,
+            random_sigma_hz: 500.0e3,
+            temp_slope_hz_per_c: -20.0e3,
+            temp_slope_sigma: 3.0e3,
+            volt_slope_hz_per_v: 50.0e6,
+            volt_slope_sigma: 1.0e6,
+        }
+    }
+}
+
+impl VariationProfile {
+    /// A profile with **no systematic component**, useful for isolating the
+    /// behavior of constructions on purely random variation.
+    pub fn random_only() -> Self {
+        Self {
+            systematic_peak_hz: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Draws a random smooth systematic surface: a tilted plane plus a mild
+    /// quadratic bowl, scaled so the peak-to-peak excursion across the array
+    /// is approximately `systematic_peak_hz`. Mirrors the linear trend of
+    /// the paper's Fig. 2 with a small curvature term, which a degree-2
+    /// distiller can capture.
+    pub fn sample_systematic<R: Rng + ?Sized>(&self, dims: ArrayDims, rng: &mut R) -> Poly2d {
+        if self.systematic_peak_hz == 0.0 {
+            return Poly2d::zero(2);
+        }
+        let (w, h) = (dims.cols() as f64 - 1.0, dims.rows() as f64 - 1.0);
+        let w = w.max(1.0);
+        let h = h.max(1.0);
+        // Random direction for the linear trend; random curvature sign.
+        let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        let lin = 0.7 * self.systematic_peak_hz;
+        let quad = 0.3 * self.systematic_peak_hz;
+        let bx = lin * theta.cos() / w;
+        let by = lin * theta.sin() / h;
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        // Quadratic bowl centered mid-array.
+        let cx = w / 2.0;
+        let cy = h / 2.0;
+        let ax = sign * quad / (cx * cx + cy * cy).max(1.0);
+        // f = c0 + bx·x + by·y + ax·((x-cx)² + (y-cy)²), expanded:
+        let c0 = ax * (cx * cx + cy * cy);
+        let cx1 = bx - 2.0 * ax * cx;
+        let cy1 = by - 2.0 * ax * cy;
+        Poly2d::from_coefficients(2, vec![c0, cx1, cy1, ax, 0.0, ax])
+            .expect("coefficient count is correct by construction")
+    }
+
+    /// Draws the per-RO random frequency offsets (i.i.d. Gaussian).
+    pub fn sample_random<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        Normal::new(0.0, self.random_sigma_hz).sample_n(rng, n)
+    }
+
+    /// Draws the per-RO temperature slopes.
+    pub fn sample_temp_slopes<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        Normal::new(self.temp_slope_hz_per_c, self.temp_slope_sigma).sample_n(rng, n)
+    }
+
+    /// Draws the per-RO voltage slopes.
+    pub fn sample_volt_slopes<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        Normal::new(self.volt_slope_hz_per_v, self.volt_slope_sigma).sample_n(rng, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn systematic_surface_has_requested_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = VariationProfile::default();
+        let dims = ArrayDims::new(32, 16);
+        let poly = p.sample_systematic(dims, &mut rng);
+        let vals: Vec<f64> = dims
+            .iter_coords()
+            .map(|(_, x, y)| poly.eval(x as f64, y as f64))
+            .collect();
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let pp = max - min;
+        assert!(
+            pp > 0.3 * p.systematic_peak_hz && pp < 3.0 * p.systematic_peak_hz,
+            "peak-to-peak {pp}"
+        );
+    }
+
+    #[test]
+    fn random_only_profile_is_flat() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = VariationProfile::random_only();
+        let poly = p.sample_systematic(ArrayDims::new(8, 8), &mut rng);
+        assert!(poly.coefficients().iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn slopes_have_expected_signs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = VariationProfile::default();
+        let ts = p.sample_temp_slopes(500, &mut rng);
+        let vs = p.sample_volt_slopes(500, &mut rng);
+        let mean_t: f64 = ts.iter().sum::<f64>() / ts.len() as f64;
+        let mean_v: f64 = vs.iter().sum::<f64>() / vs.len() as f64;
+        assert!(mean_t < 0.0, "temperature slope should be negative");
+        assert!(mean_v > 0.0, "voltage slope should be positive");
+    }
+
+    #[test]
+    fn random_offsets_have_requested_sigma() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = VariationProfile::default();
+        let xs = p.sample_random(20_000, &mut rng);
+        let sd = ropuf_numeric::stats::std_dev(&xs);
+        assert!((sd - p.random_sigma_hz).abs() / p.random_sigma_hz < 0.05);
+    }
+}

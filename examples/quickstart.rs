@@ -1,0 +1,54 @@
+//! Quickstart: enroll a group-based RO PUF and a fuzzy extractor on the
+//! same simulated die, reconstruct the key across temperatures, and show
+//! the helper-data sizes involved.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::SeedableRng;
+use ropuf::constructions::fuzzy::{FuzzyConfig, FuzzyExtractorScheme};
+use ropuf::constructions::group::{GroupBasedConfig, GroupBasedScheme};
+use ropuf::constructions::HelperDataScheme;
+use ropuf::sim::{ArrayDims, Environment, RoArrayBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    // The paper's experiments use a 16×32 RO array; we keep 8×16 for a
+    // quick run.
+    let dims = ArrayDims::new(16, 8);
+    let array = RoArrayBuilder::new(dims).build(&mut rng);
+    println!("manufactured a {dims} RO array ({} oscillators)", dims.len());
+
+    // --- Group-based RO PUF (DATE 2013, the paper's Fig. 4 pipeline) ---
+    let scheme = GroupBasedScheme::new(GroupBasedConfig::default());
+    let enrollment = scheme.enroll(&array, &mut rng)?;
+    println!(
+        "[group-based] key: {} bits, helper data: {} bytes",
+        enrollment.key.len(),
+        enrollment.helper.len()
+    );
+    for t in [0.0, 25.0, 50.0] {
+        let key = scheme.reconstruct(&array, &enrollment.helper, Environment::at_temperature(t), &mut rng)?;
+        println!(
+            "[group-based] reconstruction at {t:>4} °C: {}",
+            if key == enrollment.key { "exact" } else { "MISMATCH" }
+        );
+    }
+
+    // --- Fuzzy extractor (the paper's recommended reference, Fig. 7) ---
+    let fuzzy = FuzzyExtractorScheme::new(FuzzyConfig {
+        robust: true,
+        ..FuzzyConfig::default()
+    });
+    let fe = fuzzy.enroll(&array, &mut rng)?;
+    println!(
+        "[fuzzy]       key: {} bits (hashed), helper data: {} bytes",
+        fe.key.len(),
+        fe.helper.len()
+    );
+    let key = fuzzy.reconstruct(&array, &fe.helper, Environment::at_temperature(40.0), &mut rng)?;
+    println!(
+        "[fuzzy]       reconstruction at   40 °C: {}",
+        if key == fe.key { "exact" } else { "MISMATCH" }
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! `ropuf` — a reproduction of *"Key-recovery Attacks on Various RO PUF
+//! Constructions via Helper Data Manipulation"* (Delvaux & Verbauwhede,
+//! DATE 2014).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`numeric`] — bit vectors, linear algebra, 2-D polynomial regression,
+//!   statistics, permutation coding;
+//! * [`sim`] — the RO array simulator (process variation, temperature,
+//!   noise);
+//! * [`ecc`] — BCH / Hamming / repetition codes and the code-offset sketch;
+//! * [`hash`] — SHA-256 and HMAC-SHA256;
+//! * [`constructions`] — every helper-data construction the paper attacks,
+//!   plus the fuzzy-extractor reference and the black-box [`Device`];
+//! * [`attacks`] — the paper's four helper-data-manipulation attacks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ropuf::attacks::lisa::LisaAttack;
+//! use ropuf::attacks::Oracle;
+//! use ropuf::constructions::pairing::lisa::{LisaConfig, LisaScheme};
+//! use ropuf::constructions::Device;
+//! use ropuf::sim::{ArrayDims, RoArrayBuilder};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+//! let config = LisaConfig::default();
+//! let mut device = Device::provision(array, Box::new(LisaScheme::new(config)), 1)?;
+//! let truth = device.enrolled_key().clone();
+//!
+//! let mut oracle = Oracle::new(&mut device);
+//! let report = LisaAttack::new(config).run(&mut oracle, &mut rng)?;
+//! assert_eq!(report.recovered_key, truth); // full key recovery
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ropuf_attacks as attacks;
+pub use ropuf_constructions as constructions;
+pub use ropuf_ecc as ecc;
+pub use ropuf_hash as hash;
+pub use ropuf_numeric as numeric;
+pub use ropuf_sim as sim;
+
+pub use ropuf_constructions::{Device, DeviceResponse};

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: every construction enrolls and
+//! reconstructs against the simulator, across temperatures and noise, and
+//! rejects malformed helper data gracefully.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf::constructions::cooperative::{CooperativeConfig, CooperativeScheme};
+use ropuf::constructions::fuzzy::{FuzzyConfig, FuzzyExtractorScheme};
+use ropuf::constructions::group::{GroupBasedConfig, GroupBasedScheme};
+use ropuf::constructions::pairing::distilled::{DistilledConfig, DistilledPairingScheme, PairSource};
+use ropuf::constructions::pairing::lisa::{LisaConfig, LisaScheme};
+use ropuf::constructions::{HelperDataScheme, ReconstructError};
+use ropuf::sim::{ArrayDims, Environment, RoArray, RoArrayBuilder, VariationProfile};
+
+fn array(seed: u64) -> RoArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng)
+}
+
+fn schemes() -> Vec<Box<dyn HelperDataScheme>> {
+    vec![
+        Box::new(LisaScheme::new(LisaConfig::default())),
+        Box::new(GroupBasedScheme::new(GroupBasedConfig::default())),
+        Box::new(CooperativeScheme::new(CooperativeConfig::default())),
+        Box::new(DistilledPairingScheme::new(DistilledConfig::default())),
+        Box::new(DistilledPairingScheme::new(DistilledConfig {
+            source: PairSource::OverlappingChain,
+            ..DistilledConfig::default()
+        })),
+        Box::new(DistilledPairingScheme::new(DistilledConfig {
+            source: PairSource::OneOutOfK { k: 5 },
+            ..DistilledConfig::default()
+        })),
+        Box::new(FuzzyExtractorScheme::new(FuzzyConfig::default())),
+        Box::new(FuzzyExtractorScheme::new(FuzzyConfig {
+            robust: true,
+            ..FuzzyConfig::default()
+        })),
+    ]
+}
+
+#[test]
+fn every_scheme_roundtrips_at_nominal_conditions() {
+    let a = array(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    for scheme in schemes() {
+        let e = scheme
+            .enroll(&a, &mut rng)
+            .unwrap_or_else(|err| panic!("{}: {err}", scheme.name()));
+        for trial in 0..5 {
+            let k = scheme
+                .reconstruct(&a, &e.helper, Environment::nominal(), &mut rng)
+                .unwrap_or_else(|err| panic!("{} trial {trial}: {err}", scheme.name()));
+            assert_eq!(k, e.key, "{} trial {trial}", scheme.name());
+        }
+    }
+}
+
+#[test]
+fn every_scheme_survives_moderate_temperature_shift() {
+    let a = array(3);
+    let mut rng = StdRng::seed_from_u64(4);
+    for scheme in schemes() {
+        let e = scheme.enroll(&a, &mut rng).unwrap();
+        let k = scheme
+            .reconstruct(&a, &e.helper, Environment::at_temperature(35.0), &mut rng)
+            .unwrap_or_else(|err| panic!("{}: {err}", scheme.name()));
+        assert_eq!(k, e.key, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn truncated_helper_data_never_panics() {
+    let a = array(5);
+    let mut rng = StdRng::seed_from_u64(6);
+    for scheme in schemes() {
+        let e = scheme.enroll(&a, &mut rng).unwrap();
+        for cut in 0..e.helper.len().min(40) {
+            let r = scheme.reconstruct(&a, &e.helper[..cut], Environment::nominal(), &mut rng);
+            assert!(
+                matches!(r, Err(ReconstructError::Helper(_))),
+                "{} cut {cut}: {r:?}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_scheme_helper_rejected() {
+    // Helper data from one scheme must never be accepted by another
+    // (scheme tag in the wire format).
+    let a = array(7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let all = schemes();
+    let enrollments: Vec<_> = all.iter().map(|s| s.enroll(&a, &mut rng).unwrap()).collect();
+    for (i, scheme) in all.iter().enumerate() {
+        for (j, e) in enrollments.iter().enumerate() {
+            // Same tag family (plain/robust fuzzy) shares the format.
+            let same_family = scheme.name() == all[j].name();
+            if i == j || same_family {
+                continue;
+            }
+            let r = scheme.reconstruct(&a, &e.helper, Environment::nominal(), &mut rng);
+            assert!(r.is_err(), "{} accepted helper of {}", scheme.name(), all[j].name());
+        }
+    }
+}
+
+#[test]
+fn higher_noise_degrades_into_ecc_failure_not_panic() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let noisy = RoArrayBuilder::new(ArrayDims::new(16, 8))
+        .profile(VariationProfile::default())
+        .noise_sigma_hz(400e3) // extreme noise ≈ variation scale
+        .build(&mut rng);
+    let scheme = LisaScheme::new(LisaConfig::default());
+    let e = match scheme.enroll(&noisy, &mut rng) {
+        Ok(e) => e,
+        Err(_) => return, // enrollment may legitimately fail at this noise
+    };
+    let mut failures = 0;
+    for _ in 0..20 {
+        match scheme.reconstruct(&noisy, &e.helper, Environment::nominal(), &mut rng) {
+            Ok(_) => {}
+            Err(ReconstructError::EccFailure) => failures += 1,
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+    assert!(failures > 0, "extreme noise should produce observable failures");
+}
+
+#[test]
+fn distinct_devices_produce_distinct_keys() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let scheme = GroupBasedScheme::new(GroupBasedConfig::default());
+    let e1 = scheme.enroll(&array(100), &mut rng).unwrap();
+    let e2 = scheme.enroll(&array(200), &mut rng).unwrap();
+    // Keys may differ in length; if equal length they must differ in
+    // content with overwhelming probability.
+    if e1.key.len() == e2.key.len() {
+        assert_ne!(e1.key, e2.key);
+    }
+}

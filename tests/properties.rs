@@ -1,0 +1,105 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use ropuf::ecc::{BchCode, BinaryCode, BlockCode, CodeOffset};
+use ropuf::numeric::permutation::{compact_code_bits, factorial};
+use ropuf::numeric::{BitVec, Permutation};
+
+proptest! {
+    #[test]
+    fn bitvec_xor_is_involutive(bits in proptest::collection::vec(any::<bool>(), 1..256),
+                                mask in proptest::collection::vec(any::<bool>(), 1..256)) {
+        let n = bits.len().min(mask.len());
+        let a = BitVec::from_bools(bits[..n].iter().copied());
+        let m = BitVec::from_bools(mask[..n].iter().copied());
+        prop_assert_eq!(a.xor(&m).xor(&m), a);
+    }
+
+    #[test]
+    fn bitvec_byte_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let v = BitVec::from_bools(bits.iter().copied());
+        let bytes = v.to_bytes();
+        prop_assert_eq!(BitVec::from_bytes(&bytes, v.len()), v);
+    }
+
+    #[test]
+    fn permutation_rank_roundtrip(n in 1usize..9, seed in any::<u64>()) {
+        let rank = seed % factorial(n);
+        let p = Permutation::from_lehmer_rank(rank, n);
+        prop_assert_eq!(p.lehmer_rank(), rank);
+        prop_assert!(p.lehmer_rank() < (1u64 << compact_code_bits(n).max(1)));
+    }
+
+    #[test]
+    fn kendall_roundtrip(n in 2usize..8, seed in any::<u64>()) {
+        let rank = seed % factorial(n);
+        let p = Permutation::from_lehmer_rank(rank, n);
+        let bits = p.kendall_bits();
+        prop_assert_eq!(Permutation::from_kendall_bits(&bits), Some(p));
+    }
+
+    #[test]
+    fn bch_corrects_any_t_error_pattern(msg_seed in any::<u64>(),
+                                        positions in proptest::collection::btree_set(0usize..15, 0..=2)) {
+        let code = BchCode::new(4, 2).unwrap();
+        let msg = BitVec::from_bools((0..code.k()).map(|i| (msg_seed >> (i % 64)) & 1 == 1));
+        let mut w = code.encode(&msg);
+        for &p in &positions {
+            w.flip(p);
+        }
+        let d = code.decode(&w).unwrap();
+        prop_assert_eq!(d.message, msg);
+        prop_assert_eq!(d.corrected, positions.len());
+    }
+
+    #[test]
+    fn code_offset_recovers_within_t(resp_seed in any::<u64>(),
+                                     flips in proptest::collection::btree_set(0usize..31, 0..=3),
+                                     rng_seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+        let code = BlockCode::new(BchCode::new(5, 3).unwrap(), 16);
+        let sketch = CodeOffset::new(code);
+        let w = BitVec::from_bools((0..31).map(|i| (resp_seed >> (i % 64)) & 1 == 1));
+        let helper = sketch.sketch(&w, &mut rng);
+        let mut noisy = w.clone();
+        for &f in &flips {
+            noisy.flip(f);
+        }
+        prop_assert_eq!(sketch.recover(&noisy, &helper).unwrap(), w);
+    }
+
+    #[test]
+    fn grouping_invariant_holds(values in proptest::collection::vec(-1.0e6..1.0e6f64, 4..128),
+                                th in 1.0e3..5.0e5f64) {
+        use ropuf::constructions::group::group_ros;
+        let g = group_ros(&values, th);
+        prop_assert!(g.is_valid(&values, th));
+        let total: usize = g.groups.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(total, values.len());
+    }
+
+    #[test]
+    fn lisa_pairs_disjoint_and_above_threshold(values in proptest::collection::vec(190.0e6..210.0e6f64, 8..96),
+                                               th in 1.0e3..2.0e6f64) {
+        use ropuf::constructions::pairing::lisa::LisaScheme;
+        let pairs = LisaScheme::sequential_pairing(&values, th);
+        let mut used = std::collections::HashSet::new();
+        for (a, b) in pairs {
+            prop_assert!(values[a] - values[b] > th);
+            prop_assert!(used.insert(a));
+            prop_assert!(used.insert(b));
+        }
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..300),
+                                         split in 0usize..300) {
+        use ropuf::hash::{sha256, Sha256};
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+}
