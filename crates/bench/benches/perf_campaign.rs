@@ -1,0 +1,40 @@
+//! Criterion benches for the campaign engine: fleet sweep throughput at
+//! 1 worker vs all cores, and the early-exit query-saving path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ropuf_campaign::{AttackKind, Campaign, FleetSpec};
+use ropuf_constructions::pairing::lisa::LisaConfig;
+use ropuf_sim::ArrayDims;
+use std::hint::black_box;
+
+fn campaign(threads: usize, early_exit: bool) -> Campaign {
+    Campaign {
+        attack: AttackKind::Lisa(LisaConfig::default()),
+        fleet: FleetSpec {
+            dims: ArrayDims::new(16, 8),
+            devices: 8,
+            master_seed: 3,
+        },
+        threads,
+        early_exit,
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    c.bench_function("campaign_lisa_8dev_serial", |b| {
+        b.iter(|| black_box(campaign(1, false).run()))
+    });
+    c.bench_function("campaign_lisa_8dev_parallel", |b| {
+        b.iter(|| black_box(campaign(0, false).run()))
+    });
+    c.bench_function("campaign_lisa_8dev_parallel_early_exit", |b| {
+        b.iter(|| black_box(campaign(0, true).run()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_campaign
+}
+criterion_main!(benches);

@@ -1,45 +1,77 @@
-//! §VI-B end-to-end sweep: cooperative relation recovery across devices,
-//! reporting resolved relations and query cost, plus the deterministic
-//! assist-selection leakage (§IV-D).
+//! §VI-B end-to-end sweep: cooperative relation recovery across a
+//! device fleet (campaign engine), reporting resolved relations and
+//! query cost, plus the deterministic assist-selection leakage (§IV-D).
+//!
+//! ```text
+//! attack_coop_sweep [--devices N] [--seed S] [--threads K]
+//!                   [--json PATH] [--csv PATH]
+//! ```
 
 use rand::SeedableRng;
-use ropuf_attacks::cooperative::CooperativeAttack;
-use ropuf_attacks::Oracle;
+use ropuf_bench::{parse_flags, write_artifact};
+use ropuf_campaign::{AttackKind, Campaign, FleetSpec};
 use ropuf_constructions::cooperative::{AssistSelection, CooperativeConfig, CooperativeScheme};
-use ropuf_constructions::Device;
 use ropuf_sim::{ArrayDims, RoArrayBuilder};
 
 fn main() {
+    let flags = parse_flags();
+    flags.expect_known(&["devices", "seed", "threads", "json", "csv"]);
+    let devices = flags.get_usize("devices").unwrap_or(6);
+    let master_seed = flags.get_u64("seed").unwrap_or(9);
+    let threads = flags.get_usize("threads").unwrap_or(0);
+    let json_path = flags.get_required_value("json");
+    let csv_path = flags.get_required_value("csv");
+
     ropuf_bench::header(
         "§VI-B — cooperative attack sweep + §IV-D deterministic-scan leakage",
         "response-bit relations of all cooperating pairs recoverable; deterministic assist selection leaks passively",
     );
     let config = CooperativeConfig::default();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    println!("{:>8} {:>12} {:>12} {:>12}", "device", "coop pairs", "resolved", "queries");
-    for seed in 0..6u64 {
-        let mut arng = rand::rngs::StdRng::seed_from_u64(3000 + seed);
-        let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut arng);
-        let Ok(mut device) =
-            Device::provision(array, Box::new(CooperativeScheme::new(config)), 4000 + seed)
-        else {
-            continue;
-        };
-        let mut oracle = Oracle::new(&mut device);
-        match CooperativeAttack::new(config).run(&mut oracle, &mut rng) {
-            Ok(report) => {
-                let resolved = report.relative_bits.iter().filter(|b| b.is_some()).count();
+    let campaign = Campaign {
+        attack: AttackKind::Cooperative(config),
+        fleet: FleetSpec {
+            dims: ArrayDims::new(16, 8),
+            devices,
+            master_seed,
+        },
+        threads,
+        early_exit: false,
+    };
+    let report = campaign.run();
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "device", "coop pairs", "resolved", "queries"
+    );
+    for run in &report.runs {
+        match &run.error {
+            Some(e) => println!("{:>8} attack not applicable: {e}", run.device_id),
+            None => {
+                let (resolved, total) = run.relations.unwrap_or((0, 0));
                 println!(
-                    "{seed:>8} {:>12} {resolved:>12} {:>12}",
-                    report.coop_pairs.len(),
-                    report.queries
+                    "{:>8} {total:>12} {resolved:>12} {:>12}",
+                    run.device_id, run.queries
                 );
             }
-            Err(e) => println!("{seed:>8} attack not applicable: {e}"),
         }
     }
+    println!(
+        "fleet: {}/{} devices fully resolved, {:.0} mean queries, {:.1} ms wall",
+        report.succeeded(),
+        report.runs.len(),
+        report.mean_queries(),
+        report.total_wall_ms
+    );
 
-    // Passive leakage of the deterministic scan.
+    if let Some(path) = json_path {
+        write_artifact(path, &report.to_json(false));
+    }
+    if let Some(path) = csv_path {
+        write_artifact(path, &report.to_csv(false));
+    }
+
+    // Passive leakage of the deterministic scan (independent of the
+    // campaign engine: observes enrollment transcripts directly).
     let det = CooperativeConfig {
         selection: AssistSelection::DeterministicScan,
         ..config

@@ -1,53 +1,75 @@
 //! §VI-A end-to-end sweep: LISA key recovery success rate and query
-//! complexity across array sizes and ECC strengths.
+//! complexity across array sizes and ECC strengths — each cell of the
+//! sweep is a parallel device-fleet campaign.
+//!
+//! ```text
+//! attack_lisa_sweep [--devices N] [--seed S] [--threads K]
+//!                   [--early-exit] [--json PATH] [--csv PATH]
+//! ```
+//!
+//! `--json` / `--csv` write the *last* sweep cell's full per-device
+//! report (timing-stripped, so artifacts are reproducible bit-for-bit).
 
-use rand::SeedableRng;
-use ropuf_attacks::lisa::LisaAttack;
-use ropuf_attacks::Oracle;
-use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
-use ropuf_constructions::Device;
-use ropuf_sim::{ArrayDims, RoArrayBuilder};
+use ropuf_bench::{parse_flags, write_artifact};
+use ropuf_campaign::{AttackKind, Campaign, FleetSpec};
+use ropuf_constructions::pairing::lisa::LisaConfig;
+use ropuf_sim::ArrayDims;
 
 fn main() {
+    let flags = parse_flags();
+    flags.expect_known(&["devices", "seed", "threads", "early-exit", "json", "csv"]);
+    let devices = flags.get_usize("devices").unwrap_or(5);
+    let master_seed = flags.get_u64("seed").unwrap_or(8);
+    let threads = flags.get_usize("threads").unwrap_or(0);
+    let early_exit = flags.has("early-exit");
+    let json_path = flags.get_required_value("json");
+    let csv_path = flags.get_required_value("csv");
+
     ropuf_bench::header(
-        "§VI-A — LISA attack sweep",
+        "§VI-A — LISA attack sweep (campaign engine)",
         "full key recovery with ~3(P−1)+O(1) queries, independent of ECC strength t",
     );
-    println!("{:>10} {:>4} {:>8} {:>10} {:>12} {:>10}", "array", "t", "devices", "recovered", "avg queries", "key bits");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    println!(
+        "{:>10} {:>4} {:>8} {:>10} {:>12} {:>10} {:>10}",
+        "array", "t", "devices", "recovered", "avg queries", "key bits", "wall ms"
+    );
+
+    let mut last = None;
     for (cols, rows) in [(8usize, 8usize), (16, 8), (16, 16)] {
         for t in [2usize, 3, 5] {
             let config = LisaConfig {
                 ecc_t: t,
                 ..LisaConfig::default()
             };
-            let devices = 5;
-            let mut recovered = 0;
-            let mut queries = 0u64;
-            let mut key_bits = 0usize;
-            for seed in 0..devices {
-                let mut arng = rand::rngs::StdRng::seed_from_u64(1000 + seed);
-                let array = RoArrayBuilder::new(ArrayDims::new(cols, rows)).build(&mut arng);
-                let Ok(mut device) =
-                    Device::provision(array, Box::new(LisaScheme::new(config)), 2000 + seed)
-                else {
-                    continue;
-                };
-                let truth = device.enrolled_key().clone();
-                key_bits = truth.len();
-                let mut oracle = Oracle::new(&mut device);
-                if let Ok(report) = LisaAttack::new(config).run(&mut oracle, &mut rng) {
-                    queries += report.queries;
-                    if report.recovered_key == truth {
-                        recovered += 1;
-                    }
-                }
-            }
+            let campaign = Campaign {
+                attack: AttackKind::Lisa(config),
+                fleet: FleetSpec {
+                    dims: ArrayDims::new(cols, rows),
+                    devices,
+                    master_seed,
+                },
+                threads,
+                early_exit,
+            };
+            let report = campaign.run();
+            let key_bits = report.runs.iter().map(|r| r.key_bits).max().unwrap_or(0);
             println!(
-                "{:>10} {t:>4} {devices:>8} {recovered:>10} {:>12.0} {key_bits:>10}",
+                "{:>10} {t:>4} {devices:>8} {:>10} {:>12.0} {key_bits:>10} {:>10.1}",
                 format!("{rows}x{cols}"),
-                queries as f64 / devices as f64
+                report.succeeded(),
+                report.mean_queries(),
+                report.total_wall_ms,
             );
+            last = Some(report);
+        }
+    }
+
+    if let Some(report) = last {
+        if let Some(path) = json_path {
+            write_artifact(path, &report.to_json(false));
+        }
+        if let Some(path) = csv_path {
+            write_artifact(path, &report.to_csv(false));
         }
     }
     println!("\nshape check: recovery succeeds across sizes and t; queries scale ≈ 3 × key bits.");

@@ -9,7 +9,10 @@ fn main() {
         "FIG 1 / §II — RO PUF entropy accounting",
         "N(N−1)/2 comparison bits vs log2(N!) true entropy",
     );
-    println!("{:>6} {:>14} {:>16} {:>8}", "N", "comparisons", "entropy [bits]", "ratio");
+    println!(
+        "{:>6} {:>14} {:>16} {:>8}",
+        "N", "comparisons", "entropy [bits]", "ratio"
+    );
     for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
         let c = pairwise_comparisons(n);
         let h = total_entropy_bits(n);

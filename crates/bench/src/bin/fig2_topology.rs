@@ -18,7 +18,11 @@ fn main() {
         "{:>22} {:>12} {:>12} {:>8} {:>8}",
         "profile", "raw σ [kHz]", "res σ [kHz]", "R²(p=2)", "R²(p=3)"
     );
-    for (name, peak) in [("strong trend", 6.0e6), ("default trend", 1.5e6), ("no trend", 0.0)] {
+    for (name, peak) in [
+        ("strong trend", 6.0e6),
+        ("default trend", 1.5e6),
+        ("no trend", 0.0),
+    ] {
         let profile = VariationProfile {
             systematic_peak_hz: peak,
             ..VariationProfile::default()
@@ -51,6 +55,9 @@ fn main() {
             .map(|x| freqs[dims.index(x, y)])
             .sum::<f64>()
             / dims.cols() as f64;
-        println!("  y = {y:>2}: {:>10.1} kHz above nominal", (row_mean - 200e6) / 1e3);
+        println!(
+            "  y = {y:>2}: {:>10.1} kHz above nominal",
+            (row_mean - 200e6) / 1e3
+        );
     }
 }

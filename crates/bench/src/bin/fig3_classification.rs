@@ -3,7 +3,9 @@
 //! an example Δf(T) series per class.
 
 use rand::SeedableRng;
-use ropuf_constructions::cooperative::{classify_pair, CooperativeConfig, CooperativeScheme, PairClass};
+use ropuf_constructions::cooperative::{
+    classify_pair, CooperativeConfig, CooperativeScheme, PairClass,
+};
 use ropuf_sim::{ArrayDims, RoArrayBuilder};
 
 fn main() {
@@ -34,8 +36,15 @@ fn main() {
         }
     }
     let total: usize = counts.iter().sum();
-    for (name, c) in [("good", counts[0]), ("bad", counts[1]), ("cooperating", counts[2])] {
-        println!("{name:>12}: {c:>4} pairs ({:.1}%)", 100.0 * c as f64 / total as f64);
+    for (name, c) in [
+        ("good", counts[0]),
+        ("bad", counts[1]),
+        ("cooperating", counts[2]),
+    ] {
+        println!(
+            "{name:>12}: {c:>4} pairs ({:.1}%)",
+            100.0 * c as f64 / total as f64
+        );
     }
     println!("\nexample Δf(T) series per class [kHz]:");
     print!("{:>14}", "T [°C]:");
@@ -44,7 +53,11 @@ fn main() {
         print!("{t:>9.1}");
     }
     println!();
-    for (name, ex) in [("good", example[0]), ("bad", example[1]), ("cooperating", example[2])] {
+    for (name, ex) in [
+        ("good", example[0]),
+        ("bad", example[1]),
+        ("cooperating", example[2]),
+    ] {
         if let Some((_, line)) = ex {
             print!("{name:>14}");
             for &t in &temps {

@@ -24,7 +24,10 @@ fn main() {
     println!("array: {dims} ({} ROs)", dims.len());
     println!("distiller degree: {}", helper.degree);
     println!("groups: {} (sizes {:?})", grouping.groups.len(), sizes);
-    println!("available entropy Σ log2(|G|!): {:.1} bits", grouping.entropy_bits());
+    println!(
+        "available entropy Σ log2(|G|!): {:.1} bits",
+        grouping.entropy_bits()
+    );
     println!("Kendall bits Σ |G|(|G|−1)/2: {}", grouping.kendall_bits());
     println!("ECC redundancy: {} bits", helper.parity.len());
     println!("packed key: {} bits", e.key.len());

@@ -35,8 +35,12 @@ fn main() {
 
     // Pick an equal pair (H0 swap) and an unequal pair (H1 swap) vs bit 0.
     let key = &enrollment.key;
-    let h0_m = (1..p).find(|&m| key.get(m) == key.get(0)).expect("equal bit");
-    let h1_m = (1..p).find(|&m| key.get(m) != key.get(0)).expect("unequal bit");
+    let h0_m = (1..p)
+        .find(|&m| key.get(m) == key.get(0))
+        .expect("equal bit");
+    let h1_m = (1..p)
+        .find(|&m| key.get(m) != key.get(0))
+        .expect("unequal bit");
 
     // Inject t−1 common errors so the PDFs sit near the bound (paper: a
     // common offset accelerates the attack).
@@ -63,7 +67,11 @@ fn main() {
 
     let trials = 3000;
     println!("{trials} reconstructions each; t = {}", config.ecc_t);
-    println!("{:>8} {}", "errors:", (0..=8).map(|e| format!("{e:>7}")).collect::<String>());
+    println!(
+        "{:>8} {}",
+        "errors:",
+        (0..=8).map(|e| format!("{e:>7}")).collect::<String>()
+    );
     for (name, helper) in variants {
         let mut hist = Histogram::new();
         let mut failures = 0u64;

@@ -1,100 +1,104 @@
 //! Regenerates the paper's **Fig. 6** (a, b, c): the three entropy
-//! distiller attacks — group-based repartitioning, 1-out-of-k masking and
-//! overlapping neighbor chain — each run end-to-end on the paper's 4×10
-//! array, reporting recovered-vs-actual keys and query counts.
+//! distiller attacks — group-based repartitioning, 1-out-of-k masking
+//! and overlapping neighbor chain — each run as a device-fleet campaign
+//! on the paper's 4×10 array, reporting recovered-vs-actual keys and
+//! query counts.
+//!
+//! ```text
+//! fig6_attacks [--devices N] [--seed S] [--threads K] [--json-dir DIR]
+//! ```
+//!
+//! With `--json-dir`, one timing-stripped campaign report per variant is
+//! written to `DIR/fig6-<variant>.json` (plus a `.csv` sibling).
 
-use rand::SeedableRng;
-use ropuf_attacks::distiller_pairing::DistillerPairingAttack;
-use ropuf_attacks::group_based::GroupBasedAttack;
-use ropuf_attacks::Oracle;
-use ropuf_constructions::group::{GroupBasedConfig, GroupBasedScheme};
-use ropuf_constructions::pairing::distilled::{DistilledConfig, DistilledPairingScheme, PairSource};
-use ropuf_constructions::Device;
-use ropuf_sim::{ArrayDims, RoArrayBuilder};
+use ropuf_bench::{parse_flags, write_artifact};
+use ropuf_campaign::{AttackKind, Campaign, CampaignReport, FleetSpec};
+use ropuf_constructions::group::GroupBasedConfig;
+use ropuf_constructions::pairing::distilled::{DistilledConfig, PairSource};
+use ropuf_sim::ArrayDims;
+
+fn print_variant(tag: &str, label: &str, report: &CampaignReport) {
+    let bits_total: usize = report.runs.iter().map(|r| r.key_bits).sum();
+    let bits_recovered: usize = report
+        .runs
+        .iter()
+        .map(|r| r.key_bits - r.hamming_distance.unwrap_or(r.key_bits))
+        .sum();
+    let max_hyp = report
+        .runs
+        .iter()
+        .filter_map(|r| r.max_hypotheses)
+        .max()
+        .map_or(String::new(), |h| format!(", max hypotheses {h}"));
+    println!(
+        "({tag}) {label:<15}: {}/{} devices exact, {bits_recovered}/{bits_total} key bits recovered, {:.0} mean queries{max_hyp}, {:.1} ms",
+        report.succeeded(),
+        report.runs.len(),
+        report.mean_queries(),
+        report.total_wall_ms,
+    );
+}
 
 fn main() {
+    let flags = parse_flags();
+    flags.expect_known(&["devices", "seed", "threads", "json-dir"]);
+    let devices = flags.get_usize("devices").unwrap_or(5);
+    let master_seed = flags.get_u64("seed").unwrap_or(6);
+    let threads = flags.get_usize("threads").unwrap_or(0);
+    // Resolve artifact flags up front so a value-less --json-dir fails
+    // before any campaign work is spent.
+    let json_dir = flags.get_required_value("json-dir");
+
     ropuf_bench::header(
-        "FIG 6 — entropy-distiller attacks on a 4×10 array",
+        "FIG 6 — entropy-distiller attacks on a 4×10 array (campaign engine)",
         "(a) group-based repartition, (b) 1-out-of-k masking (k=5), (c) overlapping neighbor chain (multi-bit hypotheses)",
     );
     let dims = ArrayDims::new(10, 4);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
 
-    // (a) group-based
-    {
-        let mut arng = rand::rngs::StdRng::seed_from_u64(61);
-        let array = RoArrayBuilder::new(dims).build(&mut arng);
-        let config = GroupBasedConfig::default();
-        let mut device =
-            Device::provision(array, Box::new(GroupBasedScheme::new(config)), 62).unwrap();
-        let truth = device.enrolled_key().clone();
-        let mut oracle = Oracle::new(&mut device);
-        let report = GroupBasedAttack::new(config).run(&mut oracle, &mut rng).unwrap();
-        println!(
-            "(a) group-based    : {} / {} key bits recovered, {} queries, exact = {}",
-            report
-                .recovered_key
-                .iter()
-                .zip(truth.iter())
-                .filter(|(a, b)| a == b)
-                .count(),
-            truth.len(),
-            report.queries,
-            report.recovered_key == truth
-        );
-    }
-    // (b) 1-out-of-k masking
-    {
-        let mut arng = rand::rngs::StdRng::seed_from_u64(63);
-        let array = RoArrayBuilder::new(dims).build(&mut arng);
-        let config = DistilledConfig {
-            source: PairSource::OneOutOfK { k: 5 },
-            ..DistilledConfig::default()
+    let variants: [(&str, &str, AttackKind); 3] = [
+        (
+            "a",
+            "group-based",
+            AttackKind::GroupBased(GroupBasedConfig::default()),
+        ),
+        (
+            "b",
+            "1-out-of-5",
+            AttackKind::DistillerPairing(DistilledConfig {
+                source: PairSource::OneOutOfK { k: 5 },
+                ..DistilledConfig::default()
+            }),
+        ),
+        (
+            "c",
+            "overlap chain",
+            AttackKind::DistillerPairing(DistilledConfig {
+                source: PairSource::OverlappingChain,
+                ..DistilledConfig::default()
+            }),
+        ),
+    ];
+
+    for (tag, label, attack) in variants {
+        let campaign = Campaign {
+            attack,
+            fleet: FleetSpec {
+                dims,
+                devices,
+                master_seed,
+            },
+            threads,
+            early_exit: false,
         };
-        let mut device =
-            Device::provision(array, Box::new(DistilledPairingScheme::new(config)), 64).unwrap();
-        let truth = device.enrolled_key().clone();
-        let mut oracle = Oracle::new(&mut device);
-        let report = DistillerPairingAttack::new(config).run(&mut oracle, &mut rng).unwrap();
-        println!(
-            "(b) 1-out-of-5     : {} / {} key bits recovered, {} queries, exact = {}",
-            report
-                .recovered_key
-                .iter()
-                .zip(truth.iter())
-                .filter(|(a, b)| a == b)
-                .count(),
-            truth.len(),
-            report.queries,
-            report.recovered_key == truth
-        );
+        let report = campaign.run();
+        print_variant(tag, label, &report);
+        if let Some(dir) = json_dir {
+            let slug = label.replace(' ', "-");
+            write_artifact(&format!("{dir}/fig6-{slug}.json"), &report.to_json(false));
+            write_artifact(&format!("{dir}/fig6-{slug}.csv"), &report.to_csv(false));
+        }
     }
-    // (c) overlapping chain
-    {
-        let mut arng = rand::rngs::StdRng::seed_from_u64(65);
-        let array = RoArrayBuilder::new(dims).build(&mut arng);
-        let config = DistilledConfig {
-            source: PairSource::OverlappingChain,
-            ..DistilledConfig::default()
-        };
-        let mut device =
-            Device::provision(array, Box::new(DistilledPairingScheme::new(config)), 66).unwrap();
-        let truth = device.enrolled_key().clone();
-        let mut oracle = Oracle::new(&mut device);
-        let report = DistillerPairingAttack::new(config).run(&mut oracle, &mut rng).unwrap();
-        println!(
-            "(c) overlap chain  : {} / {} key bits recovered, {} queries, max hypotheses {}, exact = {}",
-            report
-                .recovered_key
-                .iter()
-                .zip(truth.iter())
-                .filter(|(a, b)| a == b)
-                .count(),
-            truth.len(),
-            report.queries,
-            report.max_hypotheses,
-            report.recovered_key == truth
-        );
-    }
-    println!("\nshape check: all three attacks achieve (near-)full key recovery, as claimed in §VI-C/D.");
+    println!(
+        "\nshape check: all three attacks achieve (near-)full key recovery, as claimed in §VI-C/D."
+    );
 }

@@ -44,7 +44,10 @@ fn main() {
             let mut tampered = parsed.clone();
             tampered.parity.flip(i);
             device.write_helper(tampered.to_bytes());
-            if device.respond(b"probe", Environment::nominal()).is_failure() {
+            if device
+                .respond(b"probe", Environment::nominal())
+                .is_failure()
+            {
                 rejected += 1;
             }
         }

@@ -6,7 +6,10 @@ use ropuf_numeric::Permutation;
 
 fn row(rank: u64) -> (String, String, String) {
     let p = Permutation::from_lehmer_rank(rank, 4);
-    let compact: String = (0..5).rev().map(|b| if (rank >> b) & 1 == 1 { '1' } else { '0' }).collect();
+    let compact: String = (0..5)
+        .rev()
+        .map(|b| if (rank >> b) & 1 == 1 { '1' } else { '0' })
+        .collect();
     let kendall: String = p
         .kendall_bits()
         .iter()
@@ -20,7 +23,10 @@ fn main() {
         "TABLE I — coding of oscillator frequency order",
         "24 orders of {A,B,C,D}; compact = ⌈log2 4!⌉ = 5 bits, Kendall = 6 bits (one per pair)",
     );
-    println!("{:<6} {:<8} {:<8} | {:<6} {:<8} {:<8}", "Order", "Compact", "Kendall", "Order", "Compact", "Kendall");
+    println!(
+        "{:<6} {:<8} {:<8} | {:<6} {:<8} {:<8}",
+        "Order", "Compact", "Kendall", "Order", "Compact", "Kendall"
+    );
     for r in 0..12u64 {
         let (o1, c1, k1) = row(r);
         let (o2, c2, k2) = row(r + 12);
@@ -63,7 +69,11 @@ mod tests {
         ];
         for (r, &(order, compact, kendall)) in expected.iter().enumerate() {
             let (o, c, k) = row(r as u64);
-            assert_eq!((o.as_str(), c.as_str(), k.as_str()), (order, compact, kendall), "rank {r}");
+            assert_eq!(
+                (o.as_str(), c.as_str(), k.as_str()),
+                (order, compact, kendall),
+                "rank {r}"
+            );
         }
     }
 }

@@ -1,0 +1,162 @@
+//! A uniform handle over the paper's four attacks.
+//!
+//! Each attack targets one construction; [`AttackKind`] bundles the
+//! attack's configuration with the scheme it applies to, so a campaign
+//! needs only the kind to provision matching devices *and* attack them.
+
+use rand::RngCore;
+use ropuf_attacks::cooperative::CooperativeAttack;
+use ropuf_attacks::distiller_pairing::DistillerPairingAttack;
+use ropuf_attacks::group_based::GroupBasedAttack;
+use ropuf_attacks::lisa::{AttackError, LisaAttack};
+use ropuf_attacks::Oracle;
+use ropuf_constructions::cooperative::{CooperativeConfig, CooperativeScheme};
+use ropuf_constructions::group::{GroupBasedConfig, GroupBasedScheme};
+use ropuf_constructions::pairing::distilled::{DistilledConfig, DistilledPairingScheme};
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
+use ropuf_constructions::HelperDataScheme;
+use ropuf_numeric::BitVec;
+
+/// One of the paper's attacks, with its (public) scheme configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackKind {
+    /// §VI-A: full key recovery on the sequential pairing algorithm.
+    Lisa(LisaConfig),
+    /// §VI-B: relation recovery on the cooperative construction.
+    Cooperative(CooperativeConfig),
+    /// §VI-C: key recovery on group-based RO PUFs (Fig. 6a).
+    GroupBased(GroupBasedConfig),
+    /// §VI-D: key recovery on distiller + pairing variants (Fig. 6b/c).
+    DistillerPairing(DistilledConfig),
+}
+
+/// What an attack produced, normalized across the four kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackOutcome {
+    /// The recovered key, for key-recovery attacks (`None` for the
+    /// cooperative attack, which learns bit *relations*).
+    pub recovered_key: Option<BitVec>,
+    /// `(resolved, total)` cooperating-pair relations, for the
+    /// cooperative attack.
+    pub relations: Option<(usize, usize)>,
+    /// Largest simultaneous hypothesis set the attack had to test
+    /// (distiller-pairing attack only — its multi-bit hypotheses are the
+    /// paper's Fig. 6c complexity driver).
+    pub max_hypotheses: Option<usize>,
+    /// Oracle queries spent.
+    pub queries: u64,
+}
+
+impl AttackKind {
+    /// Short name used in reports ("lisa", "cooperative", …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::Lisa(_) => "lisa",
+            AttackKind::Cooperative(_) => "cooperative",
+            AttackKind::GroupBased(_) => "group-based",
+            AttackKind::DistillerPairing(_) => "distiller-pairing",
+        }
+    }
+
+    /// A fresh instance of the scheme this attack targets, ready for
+    /// device provisioning.
+    pub fn scheme(&self) -> Box<dyn HelperDataScheme> {
+        match self {
+            AttackKind::Lisa(c) => Box::new(LisaScheme::new(*c)),
+            AttackKind::Cooperative(c) => Box::new(CooperativeScheme::new(*c)),
+            AttackKind::GroupBased(c) => Box::new(GroupBasedScheme::new(*c)),
+            AttackKind::DistillerPairing(c) => Box::new(DistilledPairingScheme::new(*c)),
+        }
+    }
+
+    /// Runs the attack against one captured device.
+    ///
+    /// `early_exit` enables decided-vote short-circuiting where the
+    /// attack supports it (currently LISA; the flag is ignored
+    /// otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the attack's own [`AttackError`] (wrong scheme,
+    /// unstable reference, ambiguous resolution, …).
+    pub fn execute(
+        &self,
+        oracle: &mut Oracle<'_>,
+        rng: &mut dyn RngCore,
+        early_exit: bool,
+    ) -> Result<AttackOutcome, AttackError> {
+        match self {
+            AttackKind::Lisa(c) => {
+                let report = LisaAttack::new(*c)
+                    .with_early_exit(early_exit)
+                    .run(oracle, rng)?;
+                Ok(AttackOutcome {
+                    recovered_key: Some(report.recovered_key),
+                    relations: None,
+                    max_hypotheses: None,
+                    queries: report.queries,
+                })
+            }
+            AttackKind::Cooperative(c) => {
+                let report = CooperativeAttack::new(*c).run(oracle, rng)?;
+                let total = report.coop_pairs.len();
+                let resolved = report.relative_bits.iter().filter(|b| b.is_some()).count();
+                Ok(AttackOutcome {
+                    recovered_key: None,
+                    relations: Some((resolved, total)),
+                    max_hypotheses: None,
+                    queries: report.queries,
+                })
+            }
+            AttackKind::GroupBased(c) => {
+                let report = GroupBasedAttack::new(*c).run(oracle, rng)?;
+                Ok(AttackOutcome {
+                    recovered_key: Some(report.recovered_key),
+                    relations: None,
+                    max_hypotheses: None,
+                    queries: report.queries,
+                })
+            }
+            AttackKind::DistillerPairing(c) => {
+                let report = DistillerPairingAttack::new(*c).run(oracle, rng)?;
+                Ok(AttackOutcome {
+                    recovered_key: Some(report.recovered_key),
+                    relations: None,
+                    max_hypotheses: Some(report.max_hypotheses),
+                    queries: report.queries,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let kinds = [
+            AttackKind::Lisa(LisaConfig::default()),
+            AttackKind::Cooperative(CooperativeConfig::default()),
+            AttackKind::GroupBased(GroupBasedConfig::default()),
+            AttackKind::DistillerPairing(DistilledConfig::default()),
+        ];
+        let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn scheme_matches_attack_target() {
+        assert_eq!(
+            AttackKind::Lisa(LisaConfig::default()).scheme().name(),
+            "lisa"
+        );
+        assert_eq!(
+            AttackKind::GroupBased(GroupBasedConfig::default())
+                .scheme()
+                .name(),
+            "group-based"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! The parallel campaign executor.
+//!
+//! A [`Campaign`] runs one attack against every device of a fleet on a
+//! small work-stealing pool of `std::thread` workers: a shared atomic
+//! cursor hands out device ids, each worker provisions "its" device from
+//! the device's own seeds, captures it behind an
+//! [`Oracle`] and runs the attack, so the only
+//! nondeterminism (scheduling) cannot leak into results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_attacks::Oracle;
+
+use crate::attack::AttackKind;
+use crate::fleet::FleetSpec;
+use crate::report::CampaignReport;
+
+/// Structured result of one device's attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceRun {
+    /// Index of the device within the fleet.
+    pub device_id: usize,
+    /// The attacker-side RNG seed used (derived, recorded for replay).
+    pub attack_seed: u64,
+    /// Whether the attack met its success criterion: exact key recovery
+    /// for key-recovery attacks, all relations resolved for the
+    /// cooperative attack.
+    pub success: bool,
+    /// Oracle queries the attack spent on this device.
+    pub queries: u64,
+    /// Length of the device's enrolled key in bits (0 when enrollment
+    /// itself failed).
+    pub key_bits: usize,
+    /// Hamming distance between recovered and enrolled key
+    /// (key-recovery attacks only).
+    pub hamming_distance: Option<usize>,
+    /// `(resolved, total)` relations (cooperative attack only).
+    pub relations: Option<(usize, usize)>,
+    /// Largest simultaneous hypothesis set tested (distiller-pairing
+    /// attack only).
+    pub max_hypotheses: Option<usize>,
+    /// Enrollment or attack error, if the run never produced an outcome.
+    pub error: Option<String>,
+    /// Wall-clock time of this device's provision + attack, in
+    /// milliseconds. Excluded from deterministic serialization.
+    pub wall_ms: f64,
+}
+
+/// A full campaign: attack × fleet × execution policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Campaign {
+    /// Which attack to run (and so which scheme devices carry).
+    pub attack: AttackKind,
+    /// The device fleet to sweep over.
+    pub fleet: FleetSpec,
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Enable decided-vote early exit where the attack supports it.
+    pub early_exit: bool,
+}
+
+impl Campaign {
+    /// Number of worker threads `run` will actually use.
+    pub fn effective_threads(&self) -> usize {
+        let hw = thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.max(1).min(self.fleet.devices.max(1))
+    }
+
+    /// Runs the campaign to completion and aggregates a report.
+    ///
+    /// Results are ordered by device id and — apart from the wall-clock
+    /// fields — independent of the thread count (see the crate-level
+    /// determinism contract).
+    pub fn run(&self) -> CampaignReport {
+        let started = Instant::now();
+        let n = self.fleet.devices;
+        let workers = self.effective_threads();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<DeviceRun>();
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let id = cursor.fetch_add(1, Ordering::Relaxed);
+                    if id >= n {
+                        break;
+                    }
+                    if tx.send(self.run_device(id)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+        });
+
+        let mut runs: Vec<DeviceRun> = rx.into_iter().collect();
+        runs.sort_by_key(|r| r.device_id);
+
+        CampaignReport {
+            attack: self.attack.name().to_string(),
+            dims: self.fleet.dims,
+            devices: n,
+            master_seed: self.fleet.master_seed,
+            early_exit: self.early_exit,
+            threads: workers,
+            total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            runs,
+        }
+    }
+
+    /// Provision-and-attack for a single device (what each worker runs).
+    pub fn run_device(&self, device_id: usize) -> DeviceRun {
+        let t0 = Instant::now();
+        let seeds = self.fleet.seeds(device_id);
+        let scheme = self.attack.scheme();
+
+        let mut run = DeviceRun {
+            device_id,
+            attack_seed: seeds.attack,
+            success: false,
+            queries: 0,
+            key_bits: 0,
+            hamming_distance: None,
+            relations: None,
+            max_hypotheses: None,
+            error: None,
+            wall_ms: 0.0,
+        };
+
+        match self.fleet.provision_device(device_id, scheme.as_ref()) {
+            Err(e) => run.error = Some(format!("enroll: {e}")),
+            Ok(mut device) => {
+                let truth = device.enrolled_key().clone();
+                run.key_bits = truth.len();
+                let mut rng = StdRng::seed_from_u64(seeds.attack);
+                let mut oracle = Oracle::new(&mut device);
+                match self.attack.execute(&mut oracle, &mut rng, self.early_exit) {
+                    Err(e) => run.error = Some(format!("attack: {e}")),
+                    Ok(outcome) => {
+                        run.queries = outcome.queries;
+                        run.relations = outcome.relations;
+                        run.max_hypotheses = outcome.max_hypotheses;
+                        if let Some(key) = &outcome.recovered_key {
+                            let distance = if key.len() == truth.len() {
+                                key.xor(&truth).count_ones()
+                            } else {
+                                truth.len()
+                            };
+                            run.hamming_distance = Some(distance);
+                            run.success = distance == 0;
+                        } else if let Some((resolved, total)) = outcome.relations {
+                            run.success = resolved == total && total > 0;
+                        }
+                    }
+                }
+            }
+        }
+        run.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropuf_constructions::pairing::lisa::LisaConfig;
+    use ropuf_sim::ArrayDims;
+
+    fn small_campaign(threads: usize) -> Campaign {
+        Campaign {
+            attack: AttackKind::Lisa(LisaConfig::default()),
+            fleet: FleetSpec {
+                dims: ArrayDims::new(16, 8),
+                devices: 6,
+                master_seed: 11,
+            },
+            threads,
+            early_exit: false,
+        }
+    }
+
+    #[test]
+    fn lisa_campaign_succeeds_on_small_fleet() {
+        let report = small_campaign(2).run();
+        assert_eq!(report.runs.len(), 6);
+        for run in &report.runs {
+            assert!(
+                run.error.is_none(),
+                "device {}: {:?}",
+                run.device_id,
+                run.error
+            );
+            assert!(run.success, "device {} failed", run.device_id);
+            assert_eq!(run.hamming_distance, Some(0));
+            assert!(run.queries > 0);
+        }
+        assert_eq!(report.succeeded(), 6);
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let serial = small_campaign(1).run();
+        let parallel = small_campaign(4).run();
+        for (a, b) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(a.device_id, b.device_id);
+            assert_eq!(a.success, b.success);
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.hamming_distance, b.hamming_distance);
+            assert_eq!(a.attack_seed, b.attack_seed);
+        }
+    }
+
+    #[test]
+    fn effective_threads_is_bounded_by_fleet() {
+        let mut c = small_campaign(64);
+        assert!(c.effective_threads() <= 6);
+        c.threads = 1;
+        assert_eq!(c.effective_threads(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Deterministic fleet construction.
+//!
+//! A campaign is reproducible because every random choice a device ever
+//! makes is rooted in its [`DeviceSeeds`], which are a pure function of
+//! `(master_seed, device_id)`. Thread scheduling can reorder *when*
+//! devices run, never *what* they compute.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_constructions::{Device, EnrollError, HelperDataScheme};
+use ropuf_sim::{ArrayDims, RoArrayBuilder};
+
+/// The three independent seed streams a device consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSeeds {
+    /// Seeds the Monte-Carlo sampling of the device's RO array
+    /// (process variation — "manufacturing").
+    pub array: u64,
+    /// Seeds enrollment-time randomness inside the scheme (assist
+    /// selection, pair ordering, …) and the device's lifetime noise RNG.
+    pub provision: u64,
+    /// Seeds the attacker-side RNG handed to the attack.
+    pub attack: u64,
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the per-device seed bundle for `device_id` under
+/// `master_seed`. Distinct ids (and distinct master seeds) yield
+/// decorrelated streams.
+pub fn device_seeds(master_seed: u64, device_id: u64) -> DeviceSeeds {
+    let base = mix(master_seed ^ mix(device_id));
+    DeviceSeeds {
+        array: mix(base ^ 0xA11A_A11A_A11A_A11A),
+        provision: mix(base ^ 0xB22B_B22B_B22B_B22B),
+        attack: mix(base ^ 0xC33C_C33C_C33C_C33C),
+    }
+}
+
+/// Shape of a device fleet: how many devices, their array geometry, and
+/// the master seed all per-device randomness derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// RO array geometry of every device in the fleet.
+    pub dims: ArrayDims,
+    /// Number of independently manufactured devices.
+    pub devices: usize,
+    /// Root of all per-device seed derivation.
+    pub master_seed: u64,
+}
+
+impl FleetSpec {
+    /// Seed bundle for one device of this fleet.
+    pub fn seeds(&self, device_id: usize) -> DeviceSeeds {
+        device_seeds(self.master_seed, device_id as u64)
+    }
+
+    /// Manufactures and enrolls device `device_id`: samples a fresh RO
+    /// array from the device's own RNG and provisions it with a clone of
+    /// `scheme` (schemes are stateless configuration, so
+    /// [`HelperDataScheme::clone_box`] is cheap).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EnrollError`] when the sampled array cannot support
+    /// the scheme's parameters.
+    pub fn provision_device(
+        &self,
+        device_id: usize,
+        scheme: &dyn HelperDataScheme,
+    ) -> Result<Device, EnrollError> {
+        let seeds = self.seeds(device_id);
+        let mut array_rng = StdRng::seed_from_u64(seeds.array);
+        let array = RoArrayBuilder::new(self.dims).build(&mut array_rng);
+        Device::provision(array, scheme.clone_box(), seeds.provision)
+    }
+
+    /// Provisions the whole fleet serially (diagnostics and tests; the
+    /// campaign engine provisions lazily inside its workers instead).
+    pub fn provision_all(&self, scheme: &dyn HelperDataScheme) -> Vec<Result<Device, EnrollError>> {
+        (0..self.devices)
+            .map(|id| self.provision_device(id, scheme))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
+
+    #[test]
+    fn seed_derivation_is_stable_and_distinct() {
+        let a = device_seeds(1, 0);
+        let b = device_seeds(1, 0);
+        assert_eq!(a, b);
+        let c = device_seeds(1, 1);
+        assert_ne!(a.array, c.array);
+        assert_ne!(a.provision, c.provision);
+        assert_ne!(a.attack, c.attack);
+        // The three streams of one device differ from each other too.
+        assert_ne!(a.array, a.provision);
+        assert_ne!(a.provision, a.attack);
+    }
+
+    #[test]
+    fn same_device_id_reproduces_identical_device() {
+        let spec = FleetSpec {
+            dims: ArrayDims::new(16, 8),
+            devices: 2,
+            master_seed: 9,
+        };
+        let scheme = LisaScheme::new(LisaConfig::default());
+        let d1 = spec.provision_device(0, &scheme).unwrap();
+        let d2 = spec.provision_device(0, &scheme).unwrap();
+        assert_eq!(d1.enrolled_key(), d2.enrolled_key());
+        assert_eq!(d1.helper(), d2.helper());
+    }
+
+    #[test]
+    fn different_devices_differ() {
+        let spec = FleetSpec {
+            dims: ArrayDims::new(16, 8),
+            devices: 2,
+            master_seed: 9,
+        };
+        let scheme = LisaScheme::new(LisaConfig::default());
+        let d0 = spec.provision_device(0, &scheme).unwrap();
+        let d1 = spec.provision_device(1, &scheme).unwrap();
+        assert_ne!(d0.helper(), d1.helper());
+    }
+}

@@ -1,0 +1,66 @@
+//! Parallel attack-campaign engine.
+//!
+//! The paper's headline results (Section VI, Figs. 5–6) are
+//! *statistical*: every attack decides hypotheses by estimating
+//! key-regeneration failure rates over many oracle queries, and a single
+//! device tells you little about an attack's success *rate*. This crate
+//! sweeps any attack from `ropuf_attacks` across a **fleet** of
+//! independently sampled devices, in parallel, with per-device seeded
+//! RNGs so a campaign is reproducible bit-for-bit from one master seed.
+//!
+//! # Pieces
+//!
+//! * [`fleet`] — deterministic fleet construction: master seed →
+//!   per-device `(array, provision, attack)` seed bundle → provisioned
+//!   [`Device`](ropuf_constructions::Device)s.
+//! * [`attack`] — [`AttackKind`]: a uniform handle over the paper's four
+//!   attacks, pairing each with the scheme it targets.
+//! * [`engine`] — [`Campaign`]: the work-stealing thread pool that runs
+//!   one attack per device and collects structured [`DeviceRun`]s.
+//! * [`report`] — [`CampaignReport`]: aggregate statistics plus JSON and
+//!   CSV emission (schema documented in `ARCHITECTURE.md`).
+//!
+//! # Determinism contract
+//!
+//! Everything observable in a report except wall-clock timing is a pure
+//! function of `(attack kind + config, fleet spec, early_exit)`. Worker
+//! threads only race for *which* device to run next; each device's
+//! entire trajectory (array sampling, enrollment, attack decisions) is
+//! driven by RNGs seeded from its own id. Serialize with
+//! `include_timing = false` to get byte-identical artifacts across runs
+//! and thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use ropuf_campaign::{AttackKind, Campaign, FleetSpec};
+//! use ropuf_constructions::pairing::lisa::LisaConfig;
+//! use ropuf_sim::ArrayDims;
+//!
+//! let campaign = Campaign {
+//!     attack: AttackKind::Lisa(LisaConfig::default()),
+//!     fleet: FleetSpec {
+//!         dims: ArrayDims::new(16, 8),
+//!         devices: 4,
+//!         master_seed: 7,
+//!     },
+//!     threads: 0, // all available cores
+//!     early_exit: false,
+//! };
+//! let report = campaign.run();
+//! assert_eq!(report.runs.len(), 4);
+//! println!("{}", report.to_json(false));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod engine;
+pub mod fleet;
+pub mod report;
+
+pub use attack::{AttackKind, AttackOutcome};
+pub use engine::{Campaign, DeviceRun};
+pub use fleet::{device_seeds, DeviceSeeds, FleetSpec};
+pub use report::CampaignReport;

@@ -1,0 +1,60 @@
+//! Property test: helper-data wire formats round-trip byte-for-byte,
+//! and survive fleet re-provisioning — re-manufacturing the same device
+//! id of the same fleet reproduces the identical helper blob, while the
+//! parse → serialize cycle is lossless on every fleet member.
+
+use proptest::prelude::*;
+use ropuf_campaign::FleetSpec;
+use ropuf_constructions::group::{GroupBasedConfig, GroupBasedHelper, GroupBasedScheme};
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaHelper, LisaScheme};
+use ropuf_constructions::SanityPolicy;
+use ropuf_sim::ArrayDims;
+
+proptest! {
+    #[test]
+    fn lisa_wire_roundtrip_survives_reprovisioning(master_seed in any::<u64>(),
+                                                   devices in 1usize..5) {
+        let spec = FleetSpec { dims: ArrayDims::new(16, 8), devices, master_seed };
+        let scheme = LisaScheme::new(LisaConfig::default());
+        for id in 0..devices {
+            let device = match spec.provision_device(id, &scheme) {
+                Ok(d) => d,
+                // A degenerate array can legitimately fail enrollment;
+                // the property applies to enrollable devices.
+                Err(_) => continue,
+            };
+            let wire = device.helper().to_vec();
+
+            // Parse → serialize is byte-lossless under both policies.
+            let lenient = LisaHelper::from_bytes(&wire, SanityPolicy::Lenient).unwrap();
+            prop_assert_eq!(lenient.to_bytes(), wire.clone());
+            let strict = LisaHelper::from_bytes(&wire, SanityPolicy::Strict).unwrap();
+            prop_assert_eq!(strict.to_bytes(), wire.clone());
+
+            // Re-provisioning the same fleet slot reproduces the same
+            // helper blob and the same enrolled key.
+            let again = spec.provision_device(id, &scheme).unwrap();
+            prop_assert_eq!(again.helper(), &wire[..]);
+            prop_assert_eq!(again.enrolled_key(), device.enrolled_key());
+        }
+    }
+
+    #[test]
+    fn group_wire_roundtrip_survives_reprovisioning(master_seed in any::<u64>(),
+                                                    devices in 1usize..4) {
+        let spec = FleetSpec { dims: ArrayDims::new(10, 4), devices, master_seed };
+        let scheme = GroupBasedScheme::new(GroupBasedConfig::default());
+        for id in 0..devices {
+            let device = match spec.provision_device(id, &scheme) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let wire = device.helper().to_vec();
+            let parsed = GroupBasedHelper::from_bytes(&wire).unwrap();
+            prop_assert_eq!(parsed.to_bytes(), wire.clone());
+
+            let again = spec.provision_device(id, &scheme).unwrap();
+            prop_assert_eq!(again.helper(), &wire[..]);
+        }
+    }
+}

@@ -213,7 +213,12 @@ impl CooperativeHelper {
             match *e {
                 PairEntry::Good => w.put_u8(0),
                 PairEntry::Bad => w.put_u8(1),
-                PairEntry::Coop { tl, th, assist, mask } => {
+                PairEntry::Coop {
+                    tl,
+                    th,
+                    assist,
+                    mask,
+                } => {
                     w.put_u8(2);
                     w.put_f64(tl);
                     w.put_f64(th);
@@ -270,7 +275,12 @@ impl CooperativeHelper {
                             what: "inverted crossover interval",
                         });
                     }
-                    PairEntry::Coop { tl, th, assist, mask }
+                    PairEntry::Coop {
+                        tl,
+                        th,
+                        assist,
+                        mask,
+                    }
                 }
                 3 => {
                     let tl = r.take_f64()?;
@@ -455,9 +465,7 @@ impl CooperativeScheme {
                 continue; // stays CoopDiscarded
             }
             let chosen = match self.config.selection {
-                AssistSelection::Random => {
-                    feasible[rng.random_range(0..feasible.len())]
-                }
+                AssistSelection::Random => feasible[rng.random_range(0..feasible.len())],
                 AssistSelection::DeterministicScan => {
                     // Scan donors in index order; the paper's leak: every
                     // donor whose bit fails the constraint *for the scanned
@@ -560,13 +568,20 @@ impl CooperativeScheme {
             match *e {
                 PairEntry::Good => good_bits.push(sign(i)),
                 PairEntry::Bad | PairEntry::CoopDiscarded { .. } => {}
-                PairEntry::Coop { tl, th, assist, mask } => {
+                PairEntry::Coop {
+                    tl,
+                    th,
+                    assist,
+                    mask,
+                } => {
                     let bit = if t < tl || t > th {
                         direct(i, tl, th)
                     } else {
                         // Inside the crossover interval: cooperate.
                         let donor_bit = match parsed.entries[assist as usize] {
-                            PairEntry::Coop { tl: dtl, th: dth, .. }
+                            PairEntry::Coop {
+                                tl: dtl, th: dth, ..
+                            }
                             | PairEntry::CoopDiscarded { tl: dtl, th: dth } => {
                                 direct(assist as usize, dtl, dth)
                             }
@@ -591,6 +606,10 @@ impl CooperativeScheme {
 impl HelperDataScheme for CooperativeScheme {
     fn name(&self) -> &'static str {
         "temperature-aware-cooperative"
+    }
+
+    fn clone_box(&self) -> Box<dyn HelperDataScheme> {
+        Box::new(self.clone())
     }
 
     fn enroll(&self, array: &RoArray, rng: &mut dyn RngCore) -> Result<Enrollment, EnrollError> {
@@ -644,14 +663,35 @@ mod tests {
         let range = TemperatureRange::new(0.0, 70.0);
         let th = 10.0;
         // Always far above threshold.
-        let good = classify_pair(DeltaLine { offset: 100.0, slope: 0.1 }, range, th);
+        let good = classify_pair(
+            DeltaLine {
+                offset: 100.0,
+                slope: 0.1,
+            },
+            range,
+            th,
+        );
         assert_eq!(good, PairClass::Good { bit: true });
         // Always inside threshold band.
-        let bad = classify_pair(DeltaLine { offset: 1.0, slope: 0.0 }, range, th);
+        let bad = classify_pair(
+            DeltaLine {
+                offset: 1.0,
+                slope: 0.0,
+            },
+            range,
+            th,
+        );
         assert_eq!(bad, PairClass::Bad);
         // Crosses zero mid-range: Δf(T) = 100 − 4T ⇒ |Δf| ≤ 10 for
         // T ∈ [22.5, 27.5].
-        let coop = classify_pair(DeltaLine { offset: 100.0, slope: -4.0 }, range, th);
+        let coop = classify_pair(
+            DeltaLine {
+                offset: 100.0,
+                slope: -4.0,
+            },
+            range,
+            th,
+        );
         match coop {
             PairClass::Cooperating { tl, th, bit } => {
                 assert!((tl - 22.5).abs() < 1e-9);
@@ -668,7 +708,14 @@ mod tests {
         // Δf(T) = −5 + 2T: |Δf| ≤ 10 for T ≤ 7.5; reference bit must be
         // the inverted sign above the interval = !(positive) = false…
         // above Th Δf > 0 so direct sign is 1, inverted ⇒ bit = false.
-        match classify_pair(DeltaLine { offset: -5.0, slope: 2.0 }, range, 10.0) {
+        match classify_pair(
+            DeltaLine {
+                offset: -5.0,
+                slope: 2.0,
+            },
+            range,
+            10.0,
+        ) {
             PairClass::Cooperating { tl, th, bit } => {
                 assert_eq!(tl, 0.0);
                 assert!((th - 7.5).abs() < 1e-9);

@@ -162,7 +162,12 @@ mod tests {
     fn provision_lisa(seed: u64) -> Device {
         let mut rng = StdRng::seed_from_u64(seed);
         let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
-        Device::provision(array, Box::new(LisaScheme::new(LisaConfig::default())), seed).unwrap()
+        Device::provision(
+            array,
+            Box::new(LisaScheme::new(LisaConfig::default())),
+            seed,
+        )
+        .unwrap()
     }
 
     #[test]

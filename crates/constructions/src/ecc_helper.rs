@@ -56,10 +56,7 @@ impl ParityHelper {
             .or_else(|_| BchCode::for_message_len(response_len.min(16), t))
             .map_err(|e| e.to_string())?;
         let code = BlockCode::new(inner, response_len);
-        Ok(Self {
-            code,
-            response_len,
-        })
+        Ok(Self { code, response_len })
     }
 
     /// Response length protected by this helper.
@@ -108,7 +105,11 @@ impl ParityHelper {
     ///
     /// Panics if `reference.len() != self.response_len()`.
     pub fn parity(&self, reference: &BitVec) -> BitVec {
-        assert_eq!(reference.len(), self.response_len, "response length mismatch");
+        assert_eq!(
+            reference.len(),
+            self.response_len,
+            "response length mismatch"
+        );
         let cw = self.code.encode(reference);
         // Extract parity positions: each inner block stores parity in its
         // low n−k positions (systematic encoding places the message high).

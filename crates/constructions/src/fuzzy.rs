@@ -3,8 +3,8 @@
 //!
 //! The paper's recommended alternative to the attacked ad-hoc schemes:
 //! an ECC deals with reliability, a cryptographic hash with entropy, "in a
-//! sequential manner". The robust variant (in the spirit of Boyen et al.
-//! [1]) additionally binds the helper data to the PUF response with a hash
+//! sequential manner". The robust variant (in the spirit of Boyen et al.,
+//! CCS 2004) additionally binds the helper data to the PUF response with a hash
 //! tag so that *any* manipulation is detected before a key is released —
 //! turning the paper's differential failure-rate signal into a constant
 //! (no-information) reject.
@@ -127,7 +127,13 @@ impl FuzzyExtractorScheme {
         &self.config
     }
 
-    fn response(&self, array: &RoArray, env: Environment, rng: &mut dyn RngCore, avg: usize) -> BitVec {
+    fn response(
+        &self,
+        array: &RoArray,
+        env: Environment,
+        rng: &mut dyn RngCore,
+        avg: usize,
+    ) -> BitVec {
         let freqs = if avg > 1 {
             array.measure_all_averaged(env, avg, rng)
         } else {
@@ -152,6 +158,10 @@ impl FuzzyExtractorScheme {
 impl HelperDataScheme for FuzzyExtractorScheme {
     fn name(&self) -> &'static str {
         "fuzzy-extractor"
+    }
+
+    fn clone_box(&self) -> Box<dyn HelperDataScheme> {
+        Box::new(self.clone())
     }
 
     fn enroll(&self, array: &RoArray, rng: &mut dyn RngCore) -> Result<Enrollment, EnrollError> {
@@ -270,7 +280,10 @@ mod tests {
         let r = scheme.reconstruct(&a, &parsed.to_bytes(), Environment::nominal(), &mut rng);
         // A single parity flip is *corrected* by the ECC, so w is still
         // recovered — and the tag check then exposes the manipulation.
-        assert!(matches!(r, Err(ReconstructError::ManipulationDetected)), "{r:?}");
+        assert!(
+            matches!(r, Err(ReconstructError::ManipulationDetected)),
+            "{r:?}"
+        );
     }
 
     #[test]

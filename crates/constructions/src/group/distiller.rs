@@ -118,7 +118,10 @@ mod tests {
         let residuals = Distiller::subtract(dims, &freqs, &poly);
         let sd_res = ropuf_numeric::stats::std_dev(&residuals);
         let sd_raw = ropuf_numeric::stats::std_dev(&freqs);
-        assert!(sd_res < 0.7 * sd_raw, "residual sd {sd_res} vs raw {sd_raw}");
+        assert!(
+            sd_res < 0.7 * sd_raw,
+            "residual sd {sd_res} vs raw {sd_raw}"
+        );
         // Residual spread should approach the random component sigma.
         assert!(sd_res < 1.3 * profile.random_sigma_hz, "sd_res {sd_res}");
     }

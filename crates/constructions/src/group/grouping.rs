@@ -49,9 +49,7 @@ impl Grouping {
     pub fn entropy_bits(&self) -> f64 {
         self.groups
             .iter()
-            .map(|g| {
-                ropuf_numeric::stats::ln_factorial(g.len() as u64) / std::f64::consts::LN_2
-            })
+            .map(|g| ropuf_numeric::stats::ln_factorial(g.len() as u64) / std::f64::consts::LN_2)
             .sum()
     }
 

@@ -124,7 +124,9 @@ mod tests {
     fn roundtrip_mid_sizes() {
         for g in [2usize, 3, 7, 12, 20] {
             let p = Permutation::sorting_desc(
-                &(0..g).map(|i| ((i * 31 + 7) % g) as f64).collect::<Vec<_>>(),
+                &(0..g)
+                    .map(|i| ((i * 31 + 7) % g) as f64)
+                    .collect::<Vec<_>>(),
             );
             let packed = pack_order(&p);
             assert_eq!(packed.len(), packed_bits(g), "g = {g}");

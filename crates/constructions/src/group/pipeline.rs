@@ -226,6 +226,10 @@ impl HelperDataScheme for GroupBasedScheme {
         "group-based"
     }
 
+    fn clone_box(&self) -> Box<dyn HelperDataScheme> {
+        Box::new(self.clone())
+    }
+
     fn enroll(&self, array: &RoArray, rng: &mut dyn RngCore) -> Result<Enrollment, EnrollError> {
         let dims = array.dims();
         let env = Environment::nominal();

@@ -51,4 +51,4 @@ pub mod wire;
 
 pub use device::{Device, DeviceResponse};
 pub use ecc_helper::ParityHelper;
-pub use scheme::{Enrollment, EnrollError, HelperDataScheme, ReconstructError, SanityPolicy};
+pub use scheme::{EnrollError, Enrollment, HelperDataScheme, ReconstructError, SanityPolicy};

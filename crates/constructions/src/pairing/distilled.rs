@@ -16,9 +16,7 @@ use ropuf_sim::{Environment, RoArray};
 use crate::ecc_helper::ParityHelper;
 use crate::group::distiller::Distiller;
 use crate::pairing::masking::{select_max_delta, selected_pairs};
-use crate::pairing::neighbor::{
-    disjoint_chain_pairs, overlapping_chain_pairs, pair_bits, RoPair,
-};
+use crate::pairing::neighbor::{disjoint_chain_pairs, overlapping_chain_pairs, pair_bits, RoPair};
 use crate::scheme::{EnrollError, Enrollment, HelperDataScheme, ReconstructError, SanityPolicy};
 use crate::wire::{WireError, WireReader, WireWriter};
 
@@ -196,6 +194,10 @@ impl DistilledPairingScheme {
 impl HelperDataScheme for DistilledPairingScheme {
     fn name(&self) -> &'static str {
         "distilled-pairing"
+    }
+
+    fn clone_box(&self) -> Box<dyn HelperDataScheme> {
+        Box::new(self.clone())
     }
 
     fn enroll(&self, array: &RoArray, rng: &mut dyn RngCore) -> Result<Enrollment, EnrollError> {

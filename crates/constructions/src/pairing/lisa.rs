@@ -79,11 +79,7 @@ impl LisaHelper {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = WireWriter::new(LISA_TAG);
         w.put_u16(self.array_len);
-        let flat: Vec<u16> = self
-            .pairs
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let flat: Vec<u16> = self.pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
         w.put_u16_list(&flat);
         w.put_bits(&self.parity);
         w.into_bytes()
@@ -109,7 +105,9 @@ impl LisaHelper {
         }
         let pairs: Vec<(u16, u16)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         if pairs.is_empty() {
-            return Err(WireError::Semantic { what: "empty pair list" });
+            return Err(WireError::Semantic {
+                what: "empty pair list",
+            });
         }
         for &(a, b) in &pairs {
             if a >= array_len || b >= array_len {
@@ -189,6 +187,10 @@ impl LisaScheme {
 impl HelperDataScheme for LisaScheme {
     fn name(&self) -> &'static str {
         "lisa"
+    }
+
+    fn clone_box(&self) -> Box<dyn HelperDataScheme> {
+        Box::new(self.clone())
     }
 
     fn enroll(&self, array: &RoArray, rng: &mut dyn RngCore) -> Result<Enrollment, EnrollError> {
@@ -311,7 +313,12 @@ mod tests {
         let e = scheme.enroll(&array, &mut rng).unwrap();
         // Moderate temperature shift: threshold pairs keep their sign.
         let k = scheme
-            .reconstruct(&array, &e.helper, Environment::at_temperature(45.0), &mut rng)
+            .reconstruct(
+                &array,
+                &e.helper,
+                Environment::at_temperature(45.0),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(k, e.key);
     }
@@ -337,7 +344,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let e = scheme.enroll(&array, &mut rng).unwrap();
         let ones = e.key.count_ones();
-        assert!(ones > 0 && ones < e.key.len(), "ones = {ones}/{}", e.key.len());
+        assert!(
+            ones > 0 && ones < e.key.len(),
+            "ones = {ones}/{}",
+            e.key.len()
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl fmt::Display for ReconstructError {
                 write!(f, "corrected bits encode an inconsistent frequency order")
             }
             ReconstructError::OutOfRange { temperature_c } => {
-                write!(f, "operating point {temperature_c} °C outside supported range")
+                write!(
+                    f,
+                    "operating point {temperature_c} °C outside supported range"
+                )
             }
             ReconstructError::ManipulationDetected => {
                 write!(f, "helper data manipulation detected")
@@ -124,6 +127,14 @@ pub trait HelperDataScheme: fmt::Debug {
     /// Short human-readable name ("lisa", "group-based", …).
     fn name(&self) -> &'static str;
 
+    /// Boxed clone of the scheme firmware.
+    ///
+    /// Schemes carry only configuration (no per-device state), so this
+    /// is cheap; it lets campaign fleets re-provision many devices from
+    /// a single scheme template without threading concrete types
+    /// through. Also available as `Clone` on `Box<dyn HelperDataScheme>`.
+    fn clone_box(&self) -> Box<dyn HelperDataScheme>;
+
     /// One-time enrollment: measures the array (enrollment-grade
     /// averaging), derives the key and emits public helper data.
     ///
@@ -147,6 +158,12 @@ pub trait HelperDataScheme: fmt::Debug {
         env: Environment,
         rng: &mut dyn RngCore,
     ) -> Result<BitVec, ReconstructError>;
+}
+
+impl Clone for Box<dyn HelperDataScheme> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 #[cfg(test)]

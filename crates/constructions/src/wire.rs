@@ -60,10 +60,16 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::UnexpectedEnd { needed, available } => {
-                write!(f, "unexpected end of helper data: need {needed}, have {available}")
+                write!(
+                    f,
+                    "unexpected end of helper data: need {needed}, have {available}"
+                )
             }
             WireError::SchemeTag { expected, got } => {
-                write!(f, "helper data scheme tag mismatch: expected {expected:#04x}, got {got:#04x}")
+                write!(
+                    f,
+                    "helper data scheme tag mismatch: expected {expected:#04x}, got {got:#04x}"
+                )
             }
             WireError::Version { got } => write!(f, "unsupported helper data version {got}"),
             WireError::BadLength { what, value } => {
@@ -364,7 +370,10 @@ mod tests {
         let bytes = WireWriter::new(0x01).into_bytes();
         assert!(matches!(
             WireReader::new(&bytes, 0x02),
-            Err(WireError::SchemeTag { expected: 2, got: 1 })
+            Err(WireError::SchemeTag {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -397,7 +406,10 @@ mod tests {
         w.put_u32(u32::MAX); // claimed list length
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes, 0x06).unwrap();
-        assert!(matches!(r.take_u16_list(), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            r.take_u16_list(),
+            Err(WireError::BadLength { .. })
+        ));
     }
 
     #[test]
@@ -415,6 +427,9 @@ mod tests {
         w.put_u8(1);
         let bytes = w.into_bytes();
         let r = WireReader::new(&bytes, 0x08).unwrap();
-        assert!(matches!(r.finish(), Err(WireError::TrailingBytes { count: 1 })));
+        assert!(matches!(
+            r.finish(),
+            Err(WireError::TrailingBytes { count: 1 })
+        ));
     }
 }

@@ -106,17 +106,13 @@ impl CooperativeAttack {
         let mut best: Option<(f64, f64)> = None;
         let steps = 29;
         for i in 0..=steps {
-            let temp =
-                helper.t_min + (helper.t_max - helper.t_min) * i as f64 / steps as f64;
+            let temp = helper.t_min + (helper.t_max - helper.t_min) * i as f64 / steps as f64;
             let slack = slack_at(temp);
             // Clearance beyond ~5 °C of slack adds nothing (the donor bit
             // is already firmly outside its band), so cap it — otherwise
             // the range extremes always win on raw slack, and the
             // extremes are exactly where the rest of the key is noisiest.
-            let interior_bonus = (temp - helper.t_min)
-                .min(helper.t_max - temp)
-                .min(20.0)
-                / 100.0;
+            let interior_bonus = (temp - helper.t_min).min(helper.t_max - temp).min(20.0) / 100.0;
             let score = slack.min(5.0) + interior_bonus;
             if slack >= 0.0 && best.map_or(true, |(s, _)| score > s) {
                 best = Some((score, temp));
@@ -138,9 +134,8 @@ impl CooperativeAttack {
         oracle: &mut Oracle<'_>,
         _rng: &mut dyn RngCore,
     ) -> Result<CooperativeReport, AttackError> {
-        let parsed =
-            CooperativeHelper::from_bytes(oracle.original_helper(), SanityPolicy::Lenient)
-                .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
+        let parsed = CooperativeHelper::from_bytes(oracle.original_helper(), SanityPolicy::Lenient)
+            .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
 
         // Cooperating pairs that carry key bits, in key order.
         let good_count = parsed
@@ -160,8 +155,8 @@ impl CooperativeAttack {
             });
         }
         let key_len = good_count + coop_pairs.len();
-        let ecc = ParityHelper::new(key_len, self.config.ecc_t)
-            .map_err(AttackError::UnexpectedHelper)?;
+        let ecc =
+            ParityHelper::new(key_len, self.config.ecc_t).map_err(AttackError::UnexpectedHelper)?;
 
         let reference = oracle.query_original(Environment::nominal());
         if reference.is_failure() {
@@ -176,8 +171,7 @@ impl CooperativeAttack {
             .iter()
             .enumerate()
             .filter_map(|(i, e)| {
-                matches!(e, PairEntry::Coop { .. } | PairEntry::CoopDiscarded { .. })
-                    .then_some(i)
+                matches!(e, PairEntry::Coop { .. } | PairEntry::CoopDiscarded { .. }).then_some(i)
             })
             .collect();
 
@@ -205,8 +199,7 @@ impl CooperativeAttack {
             if donor == target || donor == assist as usize {
                 return false;
             }
-            let Some(temp) = Self::donor_safe_temperature(&parsed, donor, assist as usize)
-            else {
+            let Some(temp) = Self::donor_safe_temperature(&parsed, donor, assist as usize) else {
                 return false;
             };
             let coop_rank = coop_pairs
@@ -298,10 +291,8 @@ impl CooperativeAttack {
         }
         oracle.restore();
 
-        let relative_bits: Vec<Option<bool>> = coop_pairs
-            .iter()
-            .map(|&c| uf.relation(c, anchor))
-            .collect();
+        let relative_bits: Vec<Option<bool>> =
+            coop_pairs.iter().map(|&c| uf.relation(c, anchor)).collect();
         Ok(CooperativeReport {
             coop_pairs,
             relative_bits,
@@ -389,11 +380,17 @@ mod tests {
                 verified_devices += 1;
             }
         }
-        assert!(verified_devices >= 3, "verified only {verified_devices} devices");
+        assert!(
+            verified_devices >= 3,
+            "verified only {verified_devices} devices"
+        );
         // The attack is statistical; demand ≥ 95% correct relations
         // across the population (the paper claims relation recovery, not
         // a zero error rate at finite query budgets).
-        assert!(total_checked >= 20, "too few relations checked: {total_checked}");
+        assert!(
+            total_checked >= 20,
+            "too few relations checked: {total_checked}"
+        );
         assert!(
             (total_wrong as f64) <= 0.05 * total_checked as f64,
             "{total_wrong}/{total_checked} relations wrong"

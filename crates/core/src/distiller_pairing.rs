@@ -91,14 +91,14 @@ impl DistillerPairingAttack {
         let original = DistilledHelper::from_bytes(oracle.original_helper())
             .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
         let dims = ArrayDims::new(original.cols as usize, original.rows as usize);
-        let orig_poly = Poly2d::from_coefficients(
-            original.degree as usize,
-            original.coefficients.clone(),
-        )
-        .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
+        let orig_poly =
+            Poly2d::from_coefficients(original.degree as usize, original.coefficients.clone())
+                .map_err(|e| AttackError::UnexpectedHelper(e.to_string()))?;
 
         match self.config.source {
-            PairSource::OneOutOfK { k } => self.attack_masking(oracle, &original, dims, &orig_poly, k),
+            PairSource::OneOutOfK { k } => {
+                self.attack_masking(oracle, &original, dims, &orig_poly, k)
+            }
             PairSource::OverlappingChain | PairSource::DisjointChain => {
                 self.attack_chain(oracle, &original, dims, &orig_poly)
             }
@@ -249,10 +249,13 @@ impl DistillerPairingAttack {
             // marginal target comparison flips under noise. With the
             // nuisance bits settled, re-test the target alone with a
             // larger majority vote.
-            let refined = self
-                .clone()
-                .with_trials(self.trials * 3)
-                .solve(oracle, &winning, &[target], target, build)?;
+            let refined = self.clone().with_trials(self.trials * 3).solve(
+                oracle,
+                &winning,
+                &[target],
+                target,
+                build,
+            )?;
             known[target] = Some(refined);
         }
         oracle.restore();

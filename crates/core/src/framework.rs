@@ -11,7 +11,7 @@ use ropuf_constructions::DeviceResponse;
 use ropuf_numeric::stats::two_proportion_z;
 use ropuf_sim::Environment;
 
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, Probe};
 
 /// One hypothesis: a label plus the helper bytes that encode it.
 #[derive(Debug, Clone)]
@@ -80,13 +80,59 @@ impl HypothesisTester {
         reference: &DeviceResponse,
     ) -> TestOutcome {
         assert!(!hypotheses.is_empty(), "need at least one hypothesis");
-        let failures: Vec<u64> = hypotheses
+        let probes: Vec<Probe<'_>> = hypotheses
             .iter()
-            .map(|h| {
-                let expected = h.expected.as_ref().unwrap_or(reference);
-                oracle.failure_count(&h.helper, env, expected, self.trials)
+            .map(|h| Probe {
+                helper: &h.helper,
+                expected: h.expected.as_ref().unwrap_or(reference),
             })
             .collect();
+        let failures = oracle.probe_failures(&probes, env, self.trials);
+        self.outcome(failures)
+    }
+
+    /// Adaptive tournament: like [`HypothesisTester::run`] but each
+    /// hypothesis is abandoned as soon as its failure count exceeds the
+    /// best count seen so far — it can no longer win.
+    ///
+    /// The winner is **identical** to the exhaustive tournament (a probe
+    /// is only cut once it strictly exceeds the running minimum, so
+    /// order among survivors is preserved); the per-hypothesis failure
+    /// counts of losers saturate early, making `confidence_z` a lower
+    /// bound. With `H` hypotheses of which `H − 1` are wrong and fail
+    /// near-always, query cost drops from `H · trials` to roughly
+    /// `trials + (H − 1) · (best + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hypotheses` is empty.
+    pub fn run_adaptive(
+        &self,
+        oracle: &mut Oracle<'_>,
+        hypotheses: &[Hypothesis],
+        env: Environment,
+        reference: &DeviceResponse,
+    ) -> TestOutcome {
+        assert!(!hypotheses.is_empty(), "need at least one hypothesis");
+        let mut failures = Vec::with_capacity(hypotheses.len());
+        let mut best = u64::MAX;
+        for h in hypotheses {
+            let probe = Probe {
+                helper: &h.helper,
+                expected: h.expected.as_ref().unwrap_or(reference),
+            };
+            let f = if best == u64::MAX {
+                oracle.probe_failures(&[probe], env, self.trials)[0]
+            } else {
+                oracle.probe_failures_capped(&[probe], env, self.trials, best)[0]
+            };
+            best = best.min(f);
+            failures.push(f);
+        }
+        self.outcome(failures)
+    }
+
+    fn outcome(&self, failures: Vec<u64>) -> TestOutcome {
         let winner = failures
             .iter()
             .enumerate()
@@ -96,12 +142,7 @@ impl HypothesisTester {
         let mut sorted = failures.clone();
         sorted.sort_unstable();
         let confidence_z = if failures.len() > 1 {
-            two_proportion_z(
-                sorted[1],
-                self.trials as u64,
-                sorted[0],
-                self.trials as u64,
-            )
+            two_proportion_z(sorted[1], self.trials as u64, sorted[0], self.trials as u64)
         } else {
             0.0
         };
@@ -128,7 +169,10 @@ pub fn inject_parity_errors(
     parity_per_block: usize,
     count: usize,
 ) {
-    assert!(count <= parity_per_block, "cannot flip more bits than a block holds");
+    assert!(
+        count <= parity_per_block,
+        "cannot flip more bits than a block holds"
+    );
     let start = block * parity_per_block;
     assert!(start + count <= parity.len(), "block out of range");
     for i in 0..count {
@@ -163,8 +207,16 @@ mod tests {
         let bad = parsed.to_bytes();
 
         let hypotheses = vec![
-            Hypothesis { label: 0, helper: good, expected: None },
-            Hypothesis { label: 1, helper: bad, expected: None },
+            Hypothesis {
+                label: 0,
+                helper: good,
+                expected: None,
+            },
+            Hypothesis {
+                label: 1,
+                helper: bad,
+                expected: None,
+            },
         ];
         let outcome = HypothesisTester::new(4).run(
             &mut oracle,
@@ -176,6 +228,52 @@ mod tests {
         assert_eq!(outcome.failures[0], 0);
         assert!(outcome.failures[1] > 0);
         assert!(outcome.confidence_z > 0.0);
+    }
+
+    #[test]
+    fn adaptive_tournament_agrees_with_exhaustive_winner() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+        let mut device =
+            Device::provision(array, Box::new(LisaScheme::new(LisaConfig::default())), 6).unwrap();
+        let mut oracle = Oracle::new(&mut device);
+        let reference = oracle.query_original(Environment::nominal());
+
+        let good = oracle.original_helper().to_vec();
+        let mut parsed = LisaHelper::from_bytes(&good, SanityPolicy::Lenient).unwrap();
+        for i in 0..parsed.parity.len().min(20) {
+            parsed.parity.flip(i);
+        }
+        let bad = parsed.to_bytes();
+        let hypotheses = vec![
+            Hypothesis {
+                label: 0,
+                helper: bad.clone(),
+                expected: None,
+            },
+            Hypothesis {
+                label: 1,
+                helper: good,
+                expected: None,
+            },
+            Hypothesis {
+                label: 2,
+                helper: bad,
+                expected: None,
+            },
+        ];
+
+        let tester = HypothesisTester::new(6);
+        let before = oracle.queries();
+        let outcome =
+            tester.run_adaptive(&mut oracle, &hypotheses, Environment::nominal(), &reference);
+        let adaptive_queries = oracle.queries() - before;
+        assert_eq!(outcome.winner, 1, "genuine helper wins");
+        assert_eq!(outcome.failures[1], 0);
+        assert!(
+            adaptive_queries < 3 * 6,
+            "losers were cut early: {adaptive_queries} queries"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use ropuf_constructions::group::{GroupBasedConfig, GroupBasedHelper};
 use ropuf_numeric::{BitVec, Permutation};
 use ropuf_sim::Environment;
 
-use crate::framework::inject_parity_errors;
+use crate::framework::{inject_parity_errors, Hypothesis, HypothesisTester};
 use crate::injection::{forced_pairs, pattern_values, ridge_for_pair, superimpose};
 use crate::lisa::AttackError;
 use crate::oracle::Oracle;
@@ -118,32 +118,50 @@ impl GroupBasedAttack {
         let ecc = ParityHelper::new(template.len(), self.config.ecc_t)
             .map_err(AttackError::UnexpectedHelper)?;
 
-        let mut failures = [0u64; 2];
-        for hyp in 0..2u8 {
-            let mut reference = template.clone();
-            reference.set(0, hyp == 1);
-            let mut parity = ecc.parity(&reference);
-            inject_parity_errors(&mut parity, ecc.block_of_bit(0), ecc.parity_per_block(), ecc.t());
-            let helper = GroupBasedHelper {
-                cols: original.cols,
-                rows: original.rows,
-                degree: poly.degree() as u8,
-                coefficients: poly.coefficients().to_vec(),
-                assignments: assignments.clone(),
-                parity,
-            };
-            // Under the correct hypothesis the device reconstructs exactly
-            // `reference` (packed two-RO groups reproduce the Kendall
-            // bits), so the expected tag is attacker-computable.
-            let expected = oracle.expected_response(&reference);
-            failures[hyp as usize] = oracle.failure_count(
-                &helper.to_bytes(),
-                Environment::nominal(),
-                &expected,
-                self.trials,
-            );
-        }
-        Ok(failures[1] < failures[0])
+        let hypotheses: Vec<Hypothesis> = (0..2u8)
+            .map(|hyp| {
+                let mut reference = template.clone();
+                reference.set(0, hyp == 1);
+                let mut parity = ecc.parity(&reference);
+                inject_parity_errors(
+                    &mut parity,
+                    ecc.block_of_bit(0),
+                    ecc.parity_per_block(),
+                    ecc.t(),
+                );
+                let helper = GroupBasedHelper {
+                    cols: original.cols,
+                    rows: original.rows,
+                    degree: poly.degree() as u8,
+                    coefficients: poly.coefficients().to_vec(),
+                    assignments: assignments.clone(),
+                    parity,
+                };
+                // Under the correct hypothesis the device reconstructs
+                // exactly `reference` (packed two-RO groups reproduce the
+                // Kendall bits), so the expected tag is attacker-computable.
+                Hypothesis {
+                    label: hyp as u64,
+                    helper: helper.to_bytes(),
+                    expected: Some(oracle.expected_response(&reference)),
+                }
+            })
+            .collect();
+        // Adaptive tournament: the losing hypothesis is cut as soon as it
+        // exceeds the winner's failure count. The `reference` argument is
+        // never consulted because both hypotheses carry explicit
+        // expectations, so any of them serves as the placeholder.
+        let placeholder = hypotheses[0]
+            .expected
+            .clone()
+            .expect("hypotheses carry explicit expectations");
+        let outcome = HypothesisTester::new(self.trials).run_adaptive(
+            oracle,
+            &hypotheses,
+            Environment::nominal(),
+            &placeholder,
+        );
+        Ok(outcome.winner == 1)
     }
 
     /// Runs the attack to full key recovery.
@@ -178,7 +196,8 @@ impl GroupBasedAttack {
             let mut group_bits = Vec::with_capacity(g * (g - 1) / 2);
             for a in 0..g {
                 for b in a + 1..g {
-                    let bit = self.recover_comparison(oracle, &original, dims, canon[a], canon[b])?;
+                    let bit =
+                        self.recover_comparison(oracle, &original, dims, canon[a], canon[b])?;
                     group_bits.push(bit);
                     bits_recovered += 1;
                 }
@@ -214,7 +233,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         // The paper's Fig. 6a uses a 4×10 array.
         let array = RoArrayBuilder::new(ArrayDims::new(10, 4)).build(&mut rng);
-        Device::provision(array, Box::new(GroupBasedScheme::new(config)), seed ^ 0xBEEF).unwrap()
+        Device::provision(
+            array,
+            Box::new(GroupBasedScheme::new(config)),
+            seed ^ 0xBEEF,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -224,7 +248,9 @@ mod tests {
         let truth = device.enrolled_key().clone();
         let mut oracle = Oracle::new(&mut device);
         let mut rng = StdRng::seed_from_u64(2);
-        let report = GroupBasedAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        let report = GroupBasedAttack::new(config)
+            .run(&mut oracle, &mut rng)
+            .unwrap();
         assert_eq!(report.recovered_key, truth);
         assert!(report.bits_recovered > 0);
     }
@@ -239,7 +265,9 @@ mod tests {
         let truth = device.enrolled_key().clone();
         let mut oracle = Oracle::new(&mut device);
         let mut rng = StdRng::seed_from_u64(4);
-        let report = GroupBasedAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        let report = GroupBasedAttack::new(config)
+            .run(&mut oracle, &mut rng)
+            .unwrap();
         assert_eq!(report.recovered_key, truth);
     }
 

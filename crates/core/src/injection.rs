@@ -181,7 +181,11 @@ mod tests {
             covered[s] = true;
         }
         assert!(covered.iter().all(|&c| c), "not a partition");
-        assert!(pairs.len() >= dims.len() / 2 - 6, "too few forced pairs: {}", pairs.len());
+        assert!(
+            pairs.len() >= dims.len() / 2 - 6,
+            "too few forced pairs: {}",
+            pairs.len()
+        );
     }
 
     #[test]

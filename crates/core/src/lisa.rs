@@ -24,7 +24,7 @@ use ropuf_numeric::BitVec;
 use ropuf_sim::Environment;
 
 use crate::framework::inject_parity_errors;
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, Probe};
 use crate::relations::ParityUnionFind;
 
 /// Errors the attack itself can hit.
@@ -79,13 +79,20 @@ pub struct LisaAttack {
     config: LisaConfig,
     /// Queries per hypothesis test (majority vote).
     trials: usize,
+    /// Abandon a majority vote once it is decided (see
+    /// [`LisaAttack::with_early_exit`]).
+    early_exit: bool,
 }
 
 impl LisaAttack {
     /// Creates the attack against a device with the given public
     /// configuration.
     pub fn new(config: LisaConfig) -> Self {
-        Self { config, trials: 3 }
+        Self {
+            config,
+            trials: 3,
+            early_exit: false,
+        }
     }
 
     /// Overrides the per-test query count.
@@ -97,6 +104,39 @@ impl LisaAttack {
         assert!(trials > 0, "need at least one trial");
         self.trials = trials;
         self
+    }
+
+    /// Enables early exit: each majority vote stops as soon as its
+    /// outcome is decided (failure count strictly exceeds `trials / 2`),
+    /// via [`Oracle::probe_failures_capped`].
+    ///
+    /// Each vote's decision rule is unchanged — a cut vote had already
+    /// crossed the majority threshold — so recovery quality is
+    /// unaffected; only the query count drops (wrong-relation hypotheses
+    /// settle after `⌊trials/2⌋ + 1` failures instead of `trials`
+    /// queries). Off by default so reported query complexities stay
+    /// comparable to the paper's `≈ 3(P − 1)` figure.
+    pub fn with_early_exit(mut self, on: bool) -> Self {
+        self.early_exit = on;
+        self
+    }
+
+    /// Majority-vote failure count for one helper blob: exhaustive or
+    /// capped at decision threshold, depending on configuration.
+    fn vote(
+        &self,
+        oracle: &mut Oracle<'_>,
+        helper: &[u8],
+        env: Environment,
+        expected: &ropuf_constructions::DeviceResponse,
+    ) -> u64 {
+        let probe = Probe { helper, expected };
+        if self.early_exit {
+            let cap = (self.trials as u64) / 2;
+            oracle.probe_failures_capped(&[probe], env, self.trials, cap)[0]
+        } else {
+            oracle.probe_failures(&[probe], env, self.trials)[0]
+        }
     }
 
     /// Runs the attack to full key recovery.
@@ -125,8 +165,7 @@ impl LisaAttack {
             return Err(AttackError::NoReference);
         }
 
-        let ecc = ParityHelper::new(p, self.config.ecc_t)
-            .map_err(AttackError::UnexpectedHelper)?;
+        let ecc = ParityHelper::new(p, self.config.ecc_t).map_err(AttackError::UnexpectedHelper)?;
         let t = ecc.t();
         let ppb = ecc.parity_per_block();
 
@@ -140,7 +179,7 @@ impl LisaAttack {
             // errors (corrected); H1 → t+1 or t+2 (failure).
             inject_parity_errors(&mut manipulated.parity, ecc.block_of_bit(0), ppb, t);
             let helper = manipulated.to_bytes();
-            let failures = oracle.failure_count(&helper, env, &reference, self.trials);
+            let failures = self.vote(oracle, &helper, env, &reference);
             let differs = failures * 2 > self.trials as u64;
             relations.push(differs);
             uf.relate(0, m, differs);
@@ -159,12 +198,7 @@ impl LisaAttack {
             let mut candidate_helper = parsed.clone();
             candidate_helper.parity = ecc.parity(&key);
             let expected = oracle.expected_response(&key);
-            let fails = oracle.failure_count(
-                &candidate_helper.to_bytes(),
-                env,
-                &expected,
-                self.trials,
-            );
+            let fails = self.vote(oracle, &candidate_helper.to_bytes(), env, &expected);
             let ok = fails * 2 <= self.trials as u64;
             match (&best, ok) {
                 (None, true) => best = Some((key, fails)),
@@ -236,7 +270,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let report = LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap();
         for (m, &rel) in report.relations.iter().enumerate() {
-            assert_eq!(rel, truth.get(0) != truth.get(m + 1), "relation 0↔{}", m + 1);
+            assert_eq!(
+                rel,
+                truth.get(0) != truth.get(m + 1),
+                "relation 0↔{}",
+                m + 1
+            );
         }
     }
 
@@ -273,6 +312,32 @@ mod tests {
     }
 
     #[test]
+    fn early_exit_recovers_key_with_fewer_queries() {
+        let config = LisaConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+
+        let mut device = provision(21, config);
+        let truth = device.enrolled_key().clone();
+        let mut oracle = Oracle::new(&mut device);
+        let exhaustive = LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+        assert_eq!(exhaustive.recovered_key, truth);
+
+        let mut device = provision(21, config);
+        let mut oracle = Oracle::new(&mut device);
+        let early = LisaAttack::new(config)
+            .with_early_exit(true)
+            .run(&mut oracle, &mut rng)
+            .unwrap();
+        assert_eq!(early.recovered_key, truth, "same key either way");
+        assert!(
+            early.queries < exhaustive.queries,
+            "early exit must save queries: {} vs {}",
+            early.queries,
+            exhaustive.queries
+        );
+    }
+
+    #[test]
     fn device_left_functional_after_attack() {
         let config = LisaConfig::default();
         let mut device = provision(6, config);
@@ -282,9 +347,7 @@ mod tests {
             LisaAttack::new(config).run(&mut oracle, &mut rng).unwrap();
         }
         // restore() ran: the device still answers with its genuine key.
-        assert!(!device
-            .respond(b"post", Environment::nominal())
-            .is_failure());
+        assert!(!device.respond(b"post", Environment::nominal()).is_failure());
     }
 
     #[test]

@@ -9,6 +9,22 @@
 use ropuf_constructions::{Device, DeviceResponse};
 use ropuf_sim::Environment;
 
+/// One failure-rate probe in a batch: a helper blob plus the response
+/// that counts as *success* for it.
+///
+/// Probes are the unit of the batched oracle API
+/// ([`Oracle::probe_failures`]): the helper bytes are written to device
+/// NVM **once** per probe and then queried repeatedly, instead of being
+/// re-encoded and rewritten on every trial as the scalar
+/// [`Oracle::query`] path does.
+#[derive(Debug, Clone, Copy)]
+pub struct Probe<'a> {
+    /// Manipulated helper bytes to install for this probe.
+    pub helper: &'a [u8],
+    /// The response that counts as success (anything else is a failure).
+    pub expected: &'a DeviceResponse,
+}
+
 /// Attacker-side device handle.
 ///
 /// The fixed nonce means the application output is deterministic given
@@ -74,6 +90,9 @@ impl<'a> Oracle<'a> {
 
     /// Counts failures among `trials` queries of the same helper, where
     /// "failure" means the response differs from `expected`.
+    ///
+    /// Equivalent to a one-probe [`Oracle::probe_failures`] call: the
+    /// helper is written once and queried `trials` times.
     pub fn failure_count(
         &mut self,
         helper: &[u8],
@@ -81,9 +100,71 @@ impl<'a> Oracle<'a> {
         expected: &DeviceResponse,
         trials: usize,
     ) -> u64 {
-        (0..trials)
-            .filter(|_| &self.query(helper, env) != expected)
-            .count() as u64
+        self.run_probe(helper, env, expected, trials, None)
+    }
+
+    /// Batched failure-rate estimation: for every probe, writes its
+    /// helper to device NVM once and issues `trials` queries, returning
+    /// the per-probe failure counts.
+    ///
+    /// This is the hot path of every statistical attack (paper Section
+    /// VI, Fig. 5). Compared to looping over [`Oracle::query`], the
+    /// helper rewrite — an allocation plus NVM store — is amortized
+    /// across the probe's trials; the responses themselves are
+    /// unchanged, since key reconstruction re-samples PUF noise on each
+    /// query regardless.
+    pub fn probe_failures(
+        &mut self,
+        probes: &[Probe<'_>],
+        env: Environment,
+        trials: usize,
+    ) -> Vec<u64> {
+        probes
+            .iter()
+            .map(|p| self.run_probe(p.helper, env, p.expected, trials, None))
+            .collect()
+    }
+
+    /// Like [`Oracle::probe_failures`], but abandons a probe as soon as
+    /// its failure count *exceeds* `cap`.
+    ///
+    /// Majority-vote decisions at threshold `cap` are unaffected (the
+    /// comparison `failures > cap` is already decided), while hopeless
+    /// hypotheses stop burning queries. Returned counts are therefore
+    /// exact up to `cap + 1` and saturate there.
+    pub fn probe_failures_capped(
+        &mut self,
+        probes: &[Probe<'_>],
+        env: Environment,
+        trials: usize,
+        cap: u64,
+    ) -> Vec<u64> {
+        probes
+            .iter()
+            .map(|p| self.run_probe(p.helper, env, p.expected, trials, Some(cap)))
+            .collect()
+    }
+
+    fn run_probe(
+        &mut self,
+        helper: &[u8],
+        env: Environment,
+        expected: &DeviceResponse,
+        trials: usize,
+        cap: Option<u64>,
+    ) -> u64 {
+        self.device.write_helper(helper.to_vec());
+        let mut failures = 0u64;
+        for _ in 0..trials {
+            self.queries += 1;
+            if &self.device.respond(&self.nonce, env) != expected {
+                failures += 1;
+                if cap.is_some_and(|c| failures > c) {
+                    break;
+                }
+            }
+        }
+        failures
     }
 }
 
@@ -98,7 +179,12 @@ mod tests {
     fn device(seed: u64) -> Device {
         let mut rng = StdRng::seed_from_u64(seed);
         let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
-        Device::provision(array, Box::new(LisaScheme::new(LisaConfig::default())), seed).unwrap()
+        Device::provision(
+            array,
+            Box::new(LisaScheme::new(LisaConfig::default())),
+            seed,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -128,6 +214,48 @@ mod tests {
         let expected = o.query_original(Environment::nominal());
         let f = o.failure_count(&[1, 2, 3], Environment::nominal(), &expected, 5);
         assert_eq!(f, 5);
+    }
+
+    #[test]
+    fn batched_probes_match_scalar_counts() {
+        let mut d = device(5);
+        let mut o = Oracle::new(&mut d);
+        let expected = o.query_original(Environment::nominal());
+        let good = o.original_helper().to_vec();
+        let garbage = vec![9u8; 16];
+        let probes = [
+            Probe {
+                helper: &good,
+                expected: &expected,
+            },
+            Probe {
+                helper: &garbage,
+                expected: &expected,
+            },
+        ];
+        let failures = o.probe_failures(&probes, Environment::nominal(), 6);
+        assert_eq!(failures, vec![0, 6]);
+        assert_eq!(o.queries(), 1 + 12, "1 reference + 2 probes x 6 trials");
+    }
+
+    #[test]
+    fn capped_probes_saturate_and_save_queries() {
+        let mut d = device(6);
+        let mut o = Oracle::new(&mut d);
+        let expected = o.query_original(Environment::nominal());
+        let garbage = vec![7u8; 16];
+        let before = o.queries();
+        let probes = [Probe {
+            helper: &garbage,
+            expected: &expected,
+        }];
+        let failures = o.probe_failures_capped(&probes, Environment::nominal(), 10, 2);
+        assert_eq!(failures, vec![3], "count saturates at cap + 1");
+        assert_eq!(
+            o.queries() - before,
+            3,
+            "probe abandoned after cap + 1 failures"
+        );
     }
 
     #[test]

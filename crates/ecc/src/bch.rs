@@ -67,7 +67,10 @@ impl std::fmt::Display for BchConstructError {
         match self {
             BchConstructError::Field(e) => write!(f, "{e}"),
             BchConstructError::InvalidT { t, remaining_k } => {
-                write!(f, "t = {t} leaves no message bits (k would be {remaining_k})")
+                write!(
+                    f,
+                    "t = {t} leaves no message bits (k would be {remaining_k})"
+                )
             }
             BchConstructError::InvalidShorten { shorten, k } => {
                 write!(f, "shortening {shorten} must be less than k = {k}")
@@ -307,11 +310,7 @@ impl BinaryCode for BchCode {
         // Message polynomial placed in the high positions:
         // c(x) = m(x)·x^(n−k) + rem(m(x)·x^(n−k), g).
         let nk = self.parity_bits();
-        let mpoly = Gf2Poly::from_coeffs(
-            std::iter::repeat(false)
-                .take(nk)
-                .chain(msg.iter()),
-        );
+        let mpoly = Gf2Poly::from_coeffs(std::iter::repeat(false).take(nk).chain(msg.iter()));
         let rem = mpoly.rem(&self.generator);
         let mut cw = BitVec::zeros(self.n());
         for j in 0..nk {
@@ -471,7 +470,9 @@ mod tests {
             for &e in &errs {
                 w.flip(e);
             }
-            let d = code.decode(&w).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let d = code
+                .decode(&w)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             assert_eq!(d.message, msg);
             assert_eq!(d.corrected, code.t());
         }
@@ -497,7 +498,10 @@ mod tests {
                 Err(e) => panic!("unexpected {e}"),
             }
         }
-        assert!(failures + miscorrections > 50, "t+2 errors should usually break decoding");
+        assert!(
+            failures + miscorrections > 50,
+            "t+2 errors should usually break decoding"
+        );
     }
 
     #[test]
@@ -532,7 +536,10 @@ mod tests {
         let w = BitVec::zeros(14);
         assert!(matches!(
             code.decode(&w),
-            Err(DecodeError::LengthMismatch { expected: 15, got: 14 })
+            Err(DecodeError::LengthMismatch {
+                expected: 15,
+                got: 14
+            })
         ));
     }
 

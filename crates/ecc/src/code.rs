@@ -39,7 +39,10 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::TooManyErrors => write!(f, "too many errors to correct"),
             DecodeError::LengthMismatch { expected, got } => {
-                write!(f, "codeword length mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "codeword length mismatch: expected {expected}, got {got}"
+                )
             }
         }
     }
@@ -100,8 +103,14 @@ mod tests {
 
     #[test]
     fn decode_error_display() {
-        assert_eq!(DecodeError::TooManyErrors.to_string(), "too many errors to correct");
-        let e = DecodeError::LengthMismatch { expected: 15, got: 14 };
+        assert_eq!(
+            DecodeError::TooManyErrors.to_string(),
+            "too many errors to correct"
+        );
+        let e = DecodeError::LengthMismatch {
+            expected: 15,
+            got: 14,
+        };
         assert!(e.to_string().contains("expected 15"));
     }
 }

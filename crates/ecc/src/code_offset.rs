@@ -1,7 +1,7 @@
 //! The code-offset secure sketch.
 //!
 //! The standard helper-data mechanism from the fuzzy-extractor literature
-//! (paper Section VII-A, reference [2]): at enrollment, draw a random
+//! (paper Section VII-A, its reference \[2\]): at enrollment, draw a random
 //! codeword `c` and publish `h = w ⊕ c` for response `w`. At
 //! reconstruction, compute `c' = decode(w' ⊕ h)` and recover
 //! `w = c' ⊕ h`; any response within `t` bits of `w` reproduces it exactly.

@@ -121,7 +121,10 @@ impl Gf2m {
     ///
     /// Panics if `a == 0` or `a` is out of range.
     pub fn log(&self, a: u32) -> u32 {
-        assert!(a != 0 && a < self.size, "log of zero or out-of-range element");
+        assert!(
+            a != 0 && a < self.size,
+            "log of zero or out-of-range element"
+        );
         self.log[a as usize]
     }
 
@@ -301,11 +304,20 @@ mod tests {
     fn minimal_polynomials_of_gf16() {
         let f = Gf2m::new(4).unwrap();
         // m1(x) = x⁴+x+1 (the primitive polynomial itself)
-        assert_eq!(f.minimal_polynomial(1), crate::Gf2Poly::from_coeff_bits(0b10011));
+        assert_eq!(
+            f.minimal_polynomial(1),
+            crate::Gf2Poly::from_coeff_bits(0b10011)
+        );
         // m3(x) = x⁴+x³+x²+x+1
-        assert_eq!(f.minimal_polynomial(3), crate::Gf2Poly::from_coeff_bits(0b11111));
+        assert_eq!(
+            f.minimal_polynomial(3),
+            crate::Gf2Poly::from_coeff_bits(0b11111)
+        );
         // m5(x) = x²+x+1
-        assert_eq!(f.minimal_polynomial(5), crate::Gf2Poly::from_coeff_bits(0b111));
+        assert_eq!(
+            f.minimal_polynomial(5),
+            crate::Gf2Poly::from_coeff_bits(0b111)
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct EvenLengthError {
 
 impl std::fmt::Display for EvenLengthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "repetition length must be odd and positive, got {}", self.n)
+        write!(
+            f,
+            "repetition length must be odd and positive, got {}",
+            self.n
+        )
     }
 }
 

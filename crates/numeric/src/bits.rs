@@ -100,7 +100,11 @@ impl BitVec {
     ///
     /// Panics if `i >= self.len()`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -110,7 +114,11 @@ impl BitVec {
     ///
     /// Panics if `i >= self.len()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let (w, b) = (i / 64, i % 64);
         if value {
             self.words[w] |= 1 << b;

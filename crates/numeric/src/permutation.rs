@@ -112,7 +112,10 @@ impl Permutation {
     /// Panics if `e >= self.len()`.
     pub fn position_of(&self, e: usize) -> usize {
         assert!(e < self.perm.len(), "element out of range");
-        self.perm.iter().position(|&v| v == e).expect("valid permutation")
+        self.perm
+            .iter()
+            .position(|&v| v == e)
+            .expect("valid permutation")
     }
 
     /// The inverse permutation.

@@ -288,6 +288,13 @@ mod tests {
     #[test]
     fn coefficient_count_mismatch_rejected() {
         let e = Poly2d::from_coefficients(2, vec![0.0; 5]).unwrap_err();
-        assert!(matches!(e, PolyFitError::CoefficientCount { expected: 6, got: 5, .. }));
+        assert!(matches!(
+            e,
+            PolyFitError::CoefficientCount {
+                expected: 6,
+                got: 5,
+                ..
+            }
+        ));
     }
 }

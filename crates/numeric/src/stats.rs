@@ -50,8 +50,7 @@ pub fn ln_factorial(n: u64) -> f64 {
     // Stirling's series with three correction terms.
     let x = n as f64 + 1.0;
     let inv = 1.0 / x;
-    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-        + inv / 12.0
+    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + inv / 12.0
         - inv.powi(3) / 360.0
         + inv.powi(5) / 1260.0
 }
@@ -85,7 +84,10 @@ pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
 
 /// Binomial CDF `P[X ≤ k]`.
 pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
-    (0..=k.min(n)).map(|i| binomial_pmf(n, i, p)).sum::<f64>().min(1.0)
+    (0..=k.min(n))
+        .map(|i| binomial_pmf(n, i, p))
+        .sum::<f64>()
+        .min(1.0)
 }
 
 /// Binomial upper tail `P[X > k]` — the probability that more than `k`
@@ -247,7 +249,8 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 

@@ -314,9 +314,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let env = Environment::nominal();
         let truth = a.true_frequency(5, env);
-        let xs: Vec<f64> = (0..4000).map(|_| a.measure(5, env, &mut rng) - truth).collect();
+        let xs: Vec<f64> = (0..4000)
+            .map(|_| a.measure(5, env, &mut rng) - truth)
+            .collect();
         let sd = ropuf_numeric::stats::std_dev(&xs);
-        assert!((sd - a.noise_sigma_hz()).abs() / a.noise_sigma_hz() < 0.1, "sd {sd}");
+        assert!(
+            (sd - a.noise_sigma_hz()).abs() / a.noise_sigma_hz() < 0.1,
+            "sd {sd}"
+        );
     }
 
     #[test]

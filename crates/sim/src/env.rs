@@ -75,7 +75,10 @@ impl TemperatureRange {
     ///
     /// Panics if `min_c > max_c` or either bound is non-finite.
     pub fn new(min_c: f64, max_c: f64) -> Self {
-        assert!(min_c.is_finite() && max_c.is_finite(), "bounds must be finite");
+        assert!(
+            min_c.is_finite() && max_c.is_finite(),
+            "bounds must be finite"
+        );
         assert!(min_c <= max_c, "min must not exceed max");
         Self { min_c, max_c }
     }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
     let mut device = Device::provision(array, Box::new(CooperativeScheme::new(config)), 21)?;
-    println!("device enrolled; key has {} bits (secret)", device.enrolled_key().len());
+    println!(
+        "device enrolled; key has {} bits (secret)",
+        device.enrolled_key().len()
+    );
 
     let mut oracle = Oracle::new(&mut device);
     let report = CooperativeAttack::new(config).run(&mut oracle, &mut rng)?;
@@ -30,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match report.relative_bits[i] {
             Some(rel) => println!(
                 "  pair {pair:>3}: r = r_anchor {}",
-                if rel { "⊕ 1 (differs)" } else { "    (equal)" }
+                if rel {
+                    "⊕ 1 (differs)"
+                } else {
+                    "    (equal)"
+                }
             ),
             None => println!("  pair {pair:>3}: unresolved"),
         }

@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e = plain.enroll(&array, &mut rng)?;
     let mut tampered = FuzzyHelper::from_bytes(&e.helper)?;
     tampered.parity.flip(0);
-    let outcome = plain.reconstruct(&array, &tampered.to_bytes(), Environment::nominal(), &mut rng);
+    let outcome = plain.reconstruct(
+        &array,
+        &tampered.to_bytes(),
+        Environment::nominal(),
+        &mut rng,
+    );
     println!(
         "[plain ] one flipped parity bit: {}",
         match outcome {
@@ -38,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut device = Device::provision(array, Box::new(robust), 5)?;
     let genuine = device.helper().to_vec();
     let ok = device.respond(b"nonce", Environment::nominal());
-    println!("[robust] genuine helper data: {}", if ok.is_failure() { "failure" } else { "tag emitted" });
+    println!(
+        "[robust] genuine helper data: {}",
+        if ok.is_failure() {
+            "failure"
+        } else {
+            "tag emitted"
+        }
+    );
 
     let mut tampered = FuzzyHelper::from_bytes(&genuine)?;
     tampered.parity.flip(0);
@@ -46,8 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = device.respond(b"nonce", Environment::nominal());
     println!(
         "[robust] one flipped parity bit: {}",
-        if r.is_failure() { "REJECTED (manipulation detected)" } else { "accepted?!" }
+        if r.is_failure() {
+            "REJECTED (manipulation detected)"
+        } else {
+            "accepted?!"
+        }
     );
-    println!("==> manipulation yields a constant reject: no differential failure-rate signal remains");
+    println!(
+        "==> manipulation yields a constant reject: no differential failure-rate signal remains"
+    );
     Ok(())
 }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // quick run.
     let dims = ArrayDims::new(16, 8);
     let array = RoArrayBuilder::new(dims).build(&mut rng);
-    println!("manufactured a {dims} RO array ({} oscillators)", dims.len());
+    println!(
+        "manufactured a {dims} RO array ({} oscillators)",
+        dims.len()
+    );
 
     // --- Group-based RO PUF (DATE 2013, the paper's Fig. 4 pipeline) ---
     let scheme = GroupBasedScheme::new(GroupBasedConfig::default());
@@ -27,10 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         enrollment.helper.len()
     );
     for t in [0.0, 25.0, 50.0] {
-        let key = scheme.reconstruct(&array, &enrollment.helper, Environment::at_temperature(t), &mut rng)?;
+        let key = scheme.reconstruct(
+            &array,
+            &enrollment.helper,
+            Environment::at_temperature(t),
+            &mut rng,
+        )?;
         println!(
             "[group-based] reconstruction at {t:>4} °C: {}",
-            if key == enrollment.key { "exact" } else { "MISMATCH" }
+            if key == enrollment.key {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 
@@ -45,7 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fe.key.len(),
         fe.helper.len()
     );
-    let key = fuzzy.reconstruct(&array, &fe.helper, Environment::at_temperature(40.0), &mut rng)?;
+    let key = fuzzy.reconstruct(
+        &array,
+        &fe.helper,
+        Environment::at_temperature(40.0),
+        &mut rng,
+    )?;
     println!(
         "[fuzzy]       reconstruction at   40 °C: {}",
         if key == fe.key { "exact" } else { "MISMATCH" }

@@ -9,7 +9,9 @@ use ropuf::attacks::lisa::LisaAttack;
 use ropuf::attacks::Oracle;
 use ropuf::constructions::fuzzy::{FuzzyConfig, FuzzyExtractorScheme, FuzzyHelper};
 use ropuf::constructions::group::{GroupBasedConfig, GroupBasedScheme};
-use ropuf::constructions::pairing::distilled::{DistilledConfig, DistilledPairingScheme, PairSource};
+use ropuf::constructions::pairing::distilled::{
+    DistilledConfig, DistilledPairingScheme, PairSource,
+};
 use ropuf::constructions::pairing::lisa::{LisaConfig, LisaScheme};
 use ropuf::constructions::Device;
 use ropuf::sim::{ArrayDims, Environment, RoArrayBuilder};
@@ -31,11 +33,12 @@ fn group_based_attack_recovers_key_through_facade() {
     let mut rng = StdRng::seed_from_u64(13);
     let array = RoArrayBuilder::new(ArrayDims::new(10, 4)).build(&mut rng);
     let config = GroupBasedConfig::default();
-    let mut device =
-        Device::provision(array, Box::new(GroupBasedScheme::new(config)), 14).unwrap();
+    let mut device = Device::provision(array, Box::new(GroupBasedScheme::new(config)), 14).unwrap();
     let truth = device.enrolled_key().clone();
     let mut oracle = Oracle::new(&mut device);
-    let report = GroupBasedAttack::new(config).run(&mut oracle, &mut rng).unwrap();
+    let report = GroupBasedAttack::new(config)
+        .run(&mut oracle, &mut rng)
+        .unwrap();
     assert_eq!(report.recovered_key, truth);
 }
 

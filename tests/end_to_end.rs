@@ -7,7 +7,9 @@ use rand::SeedableRng;
 use ropuf::constructions::cooperative::{CooperativeConfig, CooperativeScheme};
 use ropuf::constructions::fuzzy::{FuzzyConfig, FuzzyExtractorScheme};
 use ropuf::constructions::group::{GroupBasedConfig, GroupBasedScheme};
-use ropuf::constructions::pairing::distilled::{DistilledConfig, DistilledPairingScheme, PairSource};
+use ropuf::constructions::pairing::distilled::{
+    DistilledConfig, DistilledPairingScheme, PairSource,
+};
 use ropuf::constructions::pairing::lisa::{LisaConfig, LisaScheme};
 use ropuf::constructions::{HelperDataScheme, ReconstructError};
 use ropuf::sim::{ArrayDims, Environment, RoArray, RoArrayBuilder, VariationProfile};
@@ -93,7 +95,10 @@ fn cross_scheme_helper_rejected() {
     let a = array(7);
     let mut rng = StdRng::seed_from_u64(8);
     let all = schemes();
-    let enrollments: Vec<_> = all.iter().map(|s| s.enroll(&a, &mut rng).unwrap()).collect();
+    let enrollments: Vec<_> = all
+        .iter()
+        .map(|s| s.enroll(&a, &mut rng).unwrap())
+        .collect();
     for (i, scheme) in all.iter().enumerate() {
         for (j, e) in enrollments.iter().enumerate() {
             // Same tag family (plain/robust fuzzy) shares the format.
@@ -102,7 +107,12 @@ fn cross_scheme_helper_rejected() {
                 continue;
             }
             let r = scheme.reconstruct(&a, &e.helper, Environment::nominal(), &mut rng);
-            assert!(r.is_err(), "{} accepted helper of {}", scheme.name(), all[j].name());
+            assert!(
+                r.is_err(),
+                "{} accepted helper of {}",
+                scheme.name(),
+                all[j].name()
+            );
         }
     }
 }
@@ -127,7 +137,10 @@ fn higher_noise_degrades_into_ecc_failure_not_panic() {
             Err(other) => panic!("unexpected error class: {other}"),
         }
     }
-    assert!(failures > 0, "extreme noise should produce observable failures");
+    assert!(
+        failures > 0,
+        "extreme noise should produce observable failures"
+    );
 }
 
 #[test]
