@@ -17,6 +17,7 @@ fn campaign(threads: usize, early_exit: bool) -> Campaign {
         },
         threads,
         early_exit,
+        detector: None,
     }
 }
 

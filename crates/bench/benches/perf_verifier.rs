@@ -1,0 +1,75 @@
+//! Criterion benches for the verifier serving path: single vs batched
+//! authentication, and batched serving at 1 vs 8 shards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ropuf_campaign::FleetSpec;
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme, LISA_TAG};
+use ropuf_constructions::DeviceResponse;
+use ropuf_sim::ArrayDims;
+use ropuf_verifier::{auth_key, client_tag, AuthRequest, DetectorConfig, Verifier};
+use std::hint::black_box;
+
+/// Serving-shaped thresholds: real integrity + tag work per auth, rate
+/// budget opened so repeated bench iterations are not flagged as a
+/// burst.
+fn serving_config() -> DetectorConfig {
+    DetectorConfig {
+        integrity_check: true,
+        rate_window: 64,
+        rate_budget: u32::MAX,
+        failure_streak: 4,
+    }
+}
+
+fn build(shards: usize, devices: usize) -> (Verifier, Vec<AuthRequest>) {
+    let spec = FleetSpec {
+        dims: ArrayDims::new(16, 8),
+        devices,
+        master_seed: 5,
+    };
+    let scheme = LisaScheme::new(LisaConfig::default());
+    let verifier = Verifier::new(shards, serving_config());
+    let mut requests = Vec::new();
+    for id in 0..devices {
+        let device = spec
+            .provision_device(id, &scheme)
+            .expect("enrollable fleet");
+        verifier
+            .enroll(id as u64, LISA_TAG, device.helper(), device.enrolled_key())
+            .unwrap();
+        let digest = auth_key(device.enrolled_key());
+        for k in 0..16u64 {
+            let nonce = format!("bench-{id}-{k}").into_bytes();
+            requests.push(AuthRequest {
+                device_id: id as u64,
+                now: k,
+                nonce: nonce.clone(),
+                response: DeviceResponse::Tag(client_tag(&digest, &nonce)),
+                presented_helper: Some(device.helper().to_vec()),
+            });
+        }
+    }
+    (verifier, requests)
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let (v1, reqs) = build(1, 16);
+    let (v8, _) = build(8, 16);
+
+    c.bench_function("auth_single_8shards", |b| {
+        b.iter(|| black_box(v8.authenticate(&reqs[0])))
+    });
+    c.bench_function("auth_batch256_1shard", |b| {
+        b.iter(|| black_box(v1.authenticate_batch(&reqs)))
+    });
+    c.bench_function("auth_batch256_8shards", |b| {
+        b.iter(|| black_box(v8.authenticate_batch(&reqs)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_verifier
+}
+criterion_main!(benches);

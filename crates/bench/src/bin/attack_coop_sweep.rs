@@ -36,6 +36,7 @@ fn main() {
         },
         threads,
         early_exit: false,
+        detector: None,
     };
     let report = campaign.run();
 

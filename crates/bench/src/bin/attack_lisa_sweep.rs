@@ -50,6 +50,7 @@ fn main() {
                 },
                 threads,
                 early_exit,
+                detector: None,
             };
             let report = campaign.run();
             let key_bits = report.runs.iter().map(|r| r.key_bits).max().unwrap_or(0);

@@ -49,6 +49,7 @@ fn main() {
         },
         threads,
         early_exit,
+        detector: None,
     };
 
     let report = campaign.run();

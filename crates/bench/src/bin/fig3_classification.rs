@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use ropuf_constructions::cooperative::{
     classify_pair, CooperativeConfig, CooperativeScheme, PairClass,
 };
-use ropuf_sim::{ArrayDims, RoArrayBuilder};
+use ropuf_sim::{ArrayDims, Environment, RoArrayBuilder};
 
 fn main() {
     ropuf_bench::header(
@@ -48,7 +48,9 @@ fn main() {
     }
     println!("\nexample Δf(T) series per class [kHz]:");
     print!("{:>14}", "T [°C]:");
-    let temps: Vec<f64> = config.range.linspace(8);
+    let temps: Vec<f64> = Environment::sweep(config.range.min_c, config.range.max_c, 8)
+        .map(|env| env.temperature_c)
+        .collect();
     for t in &temps {
         print!("{t:>9.1}");
     }

@@ -89,6 +89,7 @@ fn main() {
             },
             threads,
             early_exit: false,
+            detector: None,
         };
         let report = campaign.run();
         print_variant(tag, label, &report);

@@ -10,10 +10,12 @@ use ropuf_attacks::distiller_pairing::DistillerPairingAttack;
 use ropuf_attacks::group_based::GroupBasedAttack;
 use ropuf_attacks::lisa::{AttackError, LisaAttack};
 use ropuf_attacks::Oracle;
-use ropuf_constructions::cooperative::{CooperativeConfig, CooperativeScheme};
-use ropuf_constructions::group::{GroupBasedConfig, GroupBasedScheme};
-use ropuf_constructions::pairing::distilled::{DistilledConfig, DistilledPairingScheme};
-use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme};
+use ropuf_constructions::cooperative::{CooperativeConfig, CooperativeScheme, COOP_TAG};
+use ropuf_constructions::group::{GroupBasedConfig, GroupBasedScheme, GROUP_TAG};
+use ropuf_constructions::pairing::distilled::{
+    DistilledConfig, DistilledPairingScheme, DISTILLED_TAG,
+};
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme, LISA_TAG};
 use ropuf_constructions::HelperDataScheme;
 use ropuf_numeric::BitVec;
 
@@ -55,6 +57,17 @@ impl AttackKind {
             AttackKind::Cooperative(_) => "cooperative",
             AttackKind::GroupBased(_) => "group-based",
             AttackKind::DistillerPairing(_) => "distiller-pairing",
+        }
+    }
+
+    /// Wire tag of the helper-data format the targeted scheme emits
+    /// (what a verifier-side detector reparses presented blobs as).
+    pub fn wire_tag(&self) -> u8 {
+        match self {
+            AttackKind::Lisa(_) => LISA_TAG,
+            AttackKind::Cooperative(_) => COOP_TAG,
+            AttackKind::GroupBased(_) => GROUP_TAG,
+            AttackKind::DistillerPairing(_) => DISTILLED_TAG,
         }
     }
 

@@ -15,9 +15,11 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ropuf_attacks::Oracle;
+use ropuf_verifier::DetectorConfig;
 
 use crate::attack::AttackKind;
 use crate::fleet::FleetSpec;
+use crate::monitor::DetectorMonitor;
 use crate::report::CampaignReport;
 
 /// Structured result of one device's attack run.
@@ -44,6 +46,13 @@ pub struct DeviceRun {
     /// Largest simultaneous hypothesis set tested (distiller-pairing
     /// attack only).
     pub max_hypotheses: Option<usize>,
+    /// 1-based oracle query index at which the defender-side detector
+    /// first flagged this device (`None`: never flagged, or the
+    /// campaign ran without a detector). *Queries-before-flag* /
+    /// *time-to-detection* in the closed-loop scenarios.
+    pub flagged_at_query: Option<u64>,
+    /// Which detector signal fired first (`FlagReason::label` string).
+    pub flag_reason: Option<String>,
     /// Enrollment or attack error, if the run never produced an outcome.
     pub error: Option<String>,
     /// Wall-clock time of this device's provision + attack, in
@@ -62,6 +71,11 @@ pub struct Campaign {
     pub threads: usize,
     /// Enable decided-vote early exit where the attack supports it.
     pub early_exit: bool,
+    /// Attach a defender-side detector to every device's oracle
+    /// ([`DetectorMonitor`]), so runs report queries-before-flag.
+    /// Monitoring is passive: attack trajectories and the determinism
+    /// contract are unchanged.
+    pub detector: Option<DetectorConfig>,
 }
 
 impl Campaign {
@@ -110,6 +124,7 @@ impl Campaign {
             devices: n,
             master_seed: self.fleet.master_seed,
             early_exit: self.early_exit,
+            detector: self.detector,
             threads: workers,
             total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
             runs,
@@ -131,6 +146,8 @@ impl Campaign {
             hamming_distance: None,
             relations: None,
             max_hypotheses: None,
+            flagged_at_query: None,
+            flag_reason: None,
             error: None,
             wall_ms: 0.0,
         };
@@ -142,6 +159,16 @@ impl Campaign {
                 run.key_bits = truth.len();
                 let mut rng = StdRng::seed_from_u64(seeds.attack);
                 let mut oracle = Oracle::new(&mut device);
+                if let Some(config) = self.detector {
+                    let expected = oracle.expected_response(&truth);
+                    let monitor = DetectorMonitor::new(
+                        config,
+                        self.attack.wire_tag(),
+                        oracle.original_helper(),
+                        expected,
+                    );
+                    oracle.attach_monitor(Box::new(monitor));
+                }
                 match self.attack.execute(&mut oracle, &mut rng, self.early_exit) {
                     Err(e) => run.error = Some(format!("attack: {e}")),
                     Ok(outcome) => {
@@ -161,6 +188,8 @@ impl Campaign {
                         }
                     }
                 }
+                run.flagged_at_query = oracle.first_flagged();
+                run.flag_reason = oracle.monitor().and_then(|m| m.flag_reason());
             }
         }
         run.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -184,6 +213,7 @@ mod tests {
             },
             threads,
             early_exit: false,
+            detector: None,
         }
     }
 
@@ -215,6 +245,33 @@ mod tests {
             assert_eq!(a.queries, b.queries);
             assert_eq!(a.hamming_distance, b.hamming_distance);
             assert_eq!(a.attack_seed, b.attack_seed);
+        }
+    }
+
+    #[test]
+    fn detector_reports_flags_without_perturbing_the_attack() {
+        let plain = small_campaign(2).run();
+        let mut monitored = small_campaign(2);
+        monitored.detector = Some(ropuf_verifier::DetectorConfig::default());
+        let monitored = monitored.run();
+
+        for (a, b) in plain.runs.iter().zip(&monitored.runs) {
+            // Passive monitoring: identical attack trajectory...
+            assert_eq!(a.success, b.success);
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.hamming_distance, b.hamming_distance);
+            assert_eq!(a.flagged_at_query, None, "no detector, no flags");
+            // ...but the monitored run knows when the defender caught it,
+            // long before the attack finished.
+            let flagged_at = b.flagged_at_query.expect("attack must be flagged");
+            assert!(
+                flagged_at < b.queries,
+                "device {}: flagged at {} of {} queries",
+                b.device_id,
+                flagged_at,
+                b.queries
+            );
+            assert!(b.flag_reason.is_some());
         }
     }
 

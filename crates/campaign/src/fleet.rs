@@ -8,6 +8,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ropuf_constructions::{Device, EnrollError, HelperDataScheme};
+use ropuf_numeric::splitmix64 as mix;
 use ropuf_sim::{ArrayDims, RoArrayBuilder};
 
 /// The three independent seed streams a device consumes.
@@ -21,14 +22,6 @@ pub struct DeviceSeeds {
     pub provision: u64,
     /// Seeds the attacker-side RNG handed to the attack.
     pub attack: u64,
-}
-
-/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Derives the per-device seed bundle for `device_id` under

@@ -17,6 +17,9 @@
 //!   attacks, pairing each with the scheme it targets.
 //! * [`engine`] — [`Campaign`]: the work-stealing thread pool that runs
 //!   one attack per device and collects structured [`DeviceRun`]s.
+//! * [`monitor`] — [`DetectorMonitor`]: the closed-loop hook that shows
+//!   every oracle query to a defender-side `ropuf_verifier` detector,
+//!   so runs report *queries-before-flag* next to attack success.
 //! * [`report`] — [`CampaignReport`]: aggregate statistics plus JSON and
 //!   CSV emission (schema documented in `ARCHITECTURE.md`).
 //!
@@ -46,6 +49,7 @@
 //!     },
 //!     threads: 0, // all available cores
 //!     early_exit: false,
+//!     detector: None, // Some(DetectorConfig) attaches the defender loop
 //! };
 //! let report = campaign.run();
 //! assert_eq!(report.runs.len(), 4);
@@ -58,9 +62,11 @@
 pub mod attack;
 pub mod engine;
 pub mod fleet;
+pub mod monitor;
 pub mod report;
 
 pub use attack::{AttackKind, AttackOutcome};
 pub use engine::{Campaign, DeviceRun};
 pub use fleet::{device_seeds, DeviceSeeds, FleetSpec};
+pub use monitor::DetectorMonitor;
 pub use report::CampaignReport;

@@ -7,6 +7,7 @@
 //! documented in `ARCHITECTURE.md` ("Campaign result schema").
 
 use ropuf_sim::ArrayDims;
+use ropuf_verifier::DetectorConfig;
 
 use crate::engine::DeviceRun;
 
@@ -26,6 +27,9 @@ pub struct CampaignReport {
     pub master_seed: u64,
     /// Whether decided-vote early exit was on.
     pub early_exit: bool,
+    /// Defender-side detector thresholds, when the campaign ran the
+    /// closed loop (`None`: plain attacker-only campaign).
+    pub detector: Option<DetectorConfig>,
     /// Worker threads actually used (timing context, not part of the
     /// deterministic payload).
     pub threads: usize,
@@ -71,6 +75,39 @@ impl CampaignReport {
         self.runs.iter().map(|r| r.wall_ms).sum()
     }
 
+    /// Devices the defender-side detector flagged (0 without a
+    /// detector).
+    pub fn flagged(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.flagged_at_query.is_some())
+            .count()
+    }
+
+    /// Devices flagged strictly before their attack run completed —
+    /// the closed-loop "caught before key recovery" count.
+    pub fn flagged_before_completion(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.flagged_at_query.is_some_and(|q| q < r.queries))
+            .count()
+    }
+
+    /// Mean queries-before-flag over the flagged runs (`None` when no
+    /// run was flagged).
+    pub fn mean_queries_to_flag(&self) -> Option<f64> {
+        let flagged: Vec<u64> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.flagged_at_query)
+            .collect();
+        if flagged.is_empty() {
+            None
+        } else {
+            Some(flagged.iter().sum::<u64>() as f64 / flagged.len() as f64)
+        }
+    }
+
     /// JSON emission. With `include_timing = false` the output is a pure
     /// function of the campaign parameters (byte-identical across runs
     /// and thread counts); with `true`, `wall_ms` / `threads` /
@@ -88,12 +125,20 @@ impl CampaignReport {
         out.push_str(&format!("  \"devices\": {},\n", self.devices));
         out.push_str(&format!("  \"master_seed\": {},\n", self.master_seed));
         out.push_str(&format!("  \"early_exit\": {},\n", self.early_exit));
+        match &self.detector {
+            Some(d) => out.push_str(&format!(
+                "  \"detector\": {{\"integrity_check\": {}, \"rate_window\": {}, \"rate_budget\": {}, \"failure_streak\": {}}},\n",
+                d.integrity_check, d.rate_window, d.rate_budget, d.failure_streak,
+            )),
+            None => out.push_str("  \"detector\": null,\n"),
+        }
         out.push_str(&format!(
-            "  \"summary\": {{\"succeeded\": {}, \"success_rate\": {}, \"total_queries\": {}, \"mean_queries\": {}}},\n",
+            "  \"summary\": {{\"succeeded\": {}, \"success_rate\": {}, \"total_queries\": {}, \"mean_queries\": {}, \"flagged\": {}}},\n",
             self.succeeded(),
             json_f64(self.success_rate()),
             self.total_queries(),
             json_f64(self.mean_queries()),
+            self.flagged(),
         ));
         if include_timing {
             out.push_str(&format!(
@@ -125,6 +170,15 @@ impl CampaignReport {
                 ", \"max_hypotheses\": {}",
                 opt_num(run.max_hypotheses)
             ));
+            out.push_str(&format!(
+                ", \"flagged_at_query\": {}",
+                run.flagged_at_query
+                    .map_or("null".to_string(), |q| q.to_string())
+            ));
+            match &run.flag_reason {
+                Some(r) => out.push_str(&format!(", \"flag_reason\": {}", json_str(r))),
+                None => out.push_str(", \"flag_reason\": null"),
+            }
             match &run.error {
                 Some(e) => out.push_str(&format!(", \"error\": {}", json_str(e))),
                 None => out.push_str(", \"error\": null"),
@@ -146,7 +200,7 @@ impl CampaignReport {
     /// timing rule as [`CampaignReport::to_json`] applies.
     pub fn to_csv(&self, include_timing: bool) -> String {
         let mut out = String::with_capacity(64 + 64 * self.runs.len());
-        out.push_str("device_id,attack_seed,success,queries,key_bits,hamming_distance,relations_resolved,relations_total,max_hypotheses,error");
+        out.push_str("device_id,attack_seed,success,queries,key_bits,hamming_distance,relations_resolved,relations_total,max_hypotheses,flagged_at_query,flag_reason,error");
         if include_timing {
             out.push_str(",wall_ms");
         }
@@ -157,7 +211,7 @@ impl CampaignReport {
                 None => (String::new(), String::new()),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
                 run.device_id,
                 run.attack_seed,
                 run.success,
@@ -168,6 +222,9 @@ impl CampaignReport {
                 resolved,
                 total,
                 run.max_hypotheses.map_or(String::new(), |h| h.to_string()),
+                run.flagged_at_query
+                    .map_or(String::new(), |q| q.to_string()),
+                csv_str(run.flag_reason.as_deref().unwrap_or("")),
                 csv_str(run.error.as_deref().unwrap_or("")),
             ));
             if include_timing {
@@ -239,6 +296,7 @@ mod tests {
             devices: 2,
             master_seed: 5,
             early_exit: false,
+            detector: Some(DetectorConfig::default()),
             threads: 3,
             total_wall_ms: 12.5,
             runs: vec![
@@ -251,6 +309,8 @@ mod tests {
                     hamming_distance: Some(0),
                     relations: None,
                     max_hypotheses: None,
+                    flagged_at_query: Some(2),
+                    flag_reason: Some("helper-mismatch".to_string()),
                     error: None,
                     wall_ms: 7.0,
                 },
@@ -263,6 +323,8 @@ mod tests {
                     hamming_distance: None,
                     relations: None,
                     max_hypotheses: Some(4),
+                    flagged_at_query: None,
+                    flag_reason: None,
                     error: Some("enroll: \"quoted\"".to_string()),
                     wall_ms: 5.5,
                 },
@@ -278,6 +340,9 @@ mod tests {
         assert_eq!(r.total_queries(), 40);
         assert_eq!(r.mean_queries(), 20.0);
         assert_eq!(r.serial_wall_ms(), 12.5);
+        assert_eq!(r.flagged(), 1);
+        assert_eq!(r.flagged_before_completion(), 1);
+        assert_eq!(r.mean_queries_to_flag(), Some(2.0));
     }
 
     #[test]
@@ -287,7 +352,18 @@ mod tests {
         assert!(!j.contains("timing"), "{j}");
         assert!(j.contains("\"schema\": \"ropuf-campaign/v1\""));
         assert!(j.contains("\"success_rate\": 0.5"));
+        assert!(j.contains("\"flagged\": 1"), "{j}");
+        assert!(
+            j.contains("\"detector\": {\"integrity_check\": true"),
+            "{j}"
+        );
+        assert!(j.contains("\"flagged_at_query\": 2"), "{j}");
+        assert!(j.contains("\"flag_reason\": \"helper-mismatch\""), "{j}");
         assert!(j.contains("\\\"quoted\\\""), "escaped error: {j}");
+
+        let mut plain = sample_report();
+        plain.detector = None;
+        assert!(plain.to_json(false).contains("\"detector\": null"));
     }
 
     #[test]
@@ -303,7 +379,8 @@ mod tests {
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("device_id,"));
-        assert!(lines[1].starts_with("0,99,true,40,64,0,,,,"));
+        assert!(lines[0].contains("flagged_at_query,flag_reason"));
+        assert!(lines[1].starts_with("0,99,true,40,64,0,,,,2,helper-mismatch,"));
         assert!(lines[2].contains("\"enroll: \"\"quoted\"\"\""));
     }
 

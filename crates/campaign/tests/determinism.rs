@@ -17,6 +17,7 @@ fn lisa_campaign(master_seed: u64, threads: usize, devices: usize) -> Campaign {
         },
         threads,
         early_exit: false,
+        detector: None,
     }
 }
 
@@ -90,6 +91,7 @@ fn group_based_campaign_is_deterministic_too() {
         },
         threads,
         early_exit: false,
+        detector: None,
     };
     let a = mk(1).run().to_json(false);
     let b = mk(3).run().to_json(false);

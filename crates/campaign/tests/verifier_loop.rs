@@ -1,0 +1,74 @@
+//! The closed loop's contracts: detector-monitored campaigns replay
+//! bit-for-bit from the master seed (the monitor adds no entropy and
+//! never perturbs the attack), and the defender's detection metrics
+//! survive serialization.
+
+use ropuf_campaign::{AttackKind, Campaign, FleetSpec};
+use ropuf_constructions::pairing::lisa::LisaConfig;
+use ropuf_sim::ArrayDims;
+use ropuf_verifier::DetectorConfig;
+
+fn monitored_campaign(master_seed: u64, threads: usize, devices: usize) -> Campaign {
+    Campaign {
+        attack: AttackKind::Lisa(LisaConfig::default()),
+        fleet: FleetSpec {
+            dims: ArrayDims::new(16, 8),
+            devices,
+            master_seed,
+        },
+        threads,
+        early_exit: false,
+        detector: Some(DetectorConfig::default()),
+    }
+}
+
+#[test]
+fn verifier_campaign_replays_bit_for_bit() {
+    let a = monitored_campaign(13, 1, 6).run().to_json(false);
+    let b = monitored_campaign(13, 4, 6).run().to_json(false);
+    assert_eq!(
+        a, b,
+        "detector-monitored reports must be identical across runs and thread counts"
+    );
+    assert!(a.contains("\"detector\": {\"integrity_check\": true"));
+    assert!(a.contains("\"flagged_at_query\": "));
+
+    let c = monitored_campaign(13, 2, 6).run().to_csv(false);
+    let d = monitored_campaign(13, 3, 6).run().to_csv(false);
+    assert_eq!(c, d, "CSV replay must match too");
+}
+
+#[test]
+fn every_lisa_attacked_device_is_flagged_before_key_recovery() {
+    let report = monitored_campaign(21, 2, 8).run();
+    assert_eq!(report.succeeded(), 8, "attack itself is unaffected");
+    assert_eq!(
+        report.flagged_before_completion(),
+        8,
+        "defender catches every device mid-attack"
+    );
+    for run in &report.runs {
+        let flagged_at = run.flagged_at_query.expect("flagged");
+        assert!(flagged_at < run.queries);
+        assert!(run.flag_reason.is_some());
+    }
+    let mean_flag = report.mean_queries_to_flag().expect("flags exist");
+    assert!(
+        mean_flag * 10.0 < report.mean_queries(),
+        "detection happens an order of magnitude before recovery: {mean_flag} vs {}",
+        report.mean_queries()
+    );
+}
+
+#[test]
+fn detectorless_campaign_reports_no_flags() {
+    let mut plain = monitored_campaign(13, 2, 4);
+    plain.detector = None;
+    let report = plain.run();
+    assert_eq!(report.flagged(), 0);
+    assert!(report.to_json(false).contains("\"detector\": null"));
+    for run in &report.runs {
+        assert_eq!(run.flagged_at_query, None);
+        assert_eq!(run.flag_reason, None);
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`group`] | group-based RO PUF: entropy distiller → grouping → Kendall coding → ECC → entropy packing | V, Fig. 4, Alg. 2, Table I |
 //! | [`fuzzy`] | fuzzy extractor (code parity + SHA-256), plus a robust variant that authenticates helper data | VII-A, Fig. 7 |
 //! | [`device`] | black-box device oracle with read/write helper NVM | VI (attacker model) |
+//! | [`validate`] | defender-side helper digests + tag-dispatched wire reparse | VII (countermeasures) |
 //!
 //! All schemes implement [`HelperDataScheme`]: enrollment produces a key
 //! and **byte-encoded public helper data** (hand-written wire format in
@@ -47,8 +48,10 @@ pub mod fuzzy;
 pub mod group;
 pub mod pairing;
 pub mod scheme;
+pub mod validate;
 pub mod wire;
 
 pub use device::{Device, DeviceResponse};
 pub use ecc_helper::ParityHelper;
 pub use scheme::{EnrollError, Enrollment, HelperDataScheme, ReconstructError, SanityPolicy};
+pub use validate::{helper_digest, peek_scheme_tag, scheme_name_of_tag, validate_helper};

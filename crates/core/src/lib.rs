@@ -56,5 +56,5 @@ pub mod lisa;
 pub mod oracle;
 pub mod relations;
 
-pub use oracle::Oracle;
+pub use oracle::{Oracle, TrafficMonitor};
 pub use ropuf_constructions::{Device, DeviceResponse};

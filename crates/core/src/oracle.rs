@@ -25,6 +25,31 @@ pub struct Probe<'a> {
     pub expected: &'a DeviceResponse,
 }
 
+/// Defender-side observer of oracle traffic.
+///
+/// The paper's §VII countermeasure discussion assumes the defender sees
+/// exactly what the attacker sends: the helper bytes presented for a
+/// query and the key-dependent response that came back. A monitor
+/// attached to an [`Oracle`] receives every query through
+/// [`TrafficMonitor::observe`] and answers whether *this* query tripped
+/// an online attack detector; the oracle records the first flagged
+/// query index ([`Oracle::first_flagged`]) so closed-loop campaigns can
+/// report time-to-detection next to attack success.
+///
+/// Monitoring is strictly passive: responses are never altered, so
+/// attack trajectories (and campaign determinism) are unchanged.
+pub trait TrafficMonitor: std::fmt::Debug {
+    /// Observes one query (the helper installed for it and the response
+    /// it produced); returns `true` when the detector flags it.
+    fn observe(&mut self, helper: &[u8], response: &DeviceResponse) -> bool;
+
+    /// Human-readable reason for the monitor's (first) flag, once
+    /// flagged.
+    fn flag_reason(&self) -> Option<String> {
+        None
+    }
+}
+
 /// Attacker-side device handle.
 ///
 /// The fixed nonce means the application output is deterministic given
@@ -35,6 +60,8 @@ pub struct Oracle<'a> {
     original_helper: Vec<u8>,
     nonce: Vec<u8>,
     queries: u64,
+    monitor: Option<Box<dyn TrafficMonitor + 'a>>,
+    first_flagged: Option<u64>,
 }
 
 impl<'a> Oracle<'a> {
@@ -47,7 +74,28 @@ impl<'a> Oracle<'a> {
             original_helper,
             nonce: b"attack-nonce".to_vec(),
             queries: 0,
+            monitor: None,
+            first_flagged: None,
         }
+    }
+
+    /// Attaches a defender-side [`TrafficMonitor`] that observes every
+    /// subsequent query. Replaces any previously attached monitor (and
+    /// resets the recorded first flag).
+    pub fn attach_monitor(&mut self, monitor: Box<dyn TrafficMonitor + 'a>) {
+        self.monitor = Some(monitor);
+        self.first_flagged = None;
+    }
+
+    /// The attached monitor, for post-run inspection.
+    pub fn monitor(&self) -> Option<&(dyn TrafficMonitor + 'a)> {
+        self.monitor.as_deref()
+    }
+
+    /// 1-based index of the first query the attached monitor flagged
+    /// (`None`: never flagged, or no monitor attached).
+    pub fn first_flagged(&self) -> Option<u64> {
+        self.first_flagged
     }
 
     /// The helper bytes as found on the device.
@@ -62,9 +110,21 @@ impl<'a> Oracle<'a> {
 
     /// Writes helper bytes and performs one application query.
     pub fn query(&mut self, helper: &[u8], env: Environment) -> DeviceResponse {
-        self.queries += 1;
         self.device.write_helper(helper.to_vec());
-        self.device.respond(&self.nonce, env)
+        self.respond_monitored(helper, env)
+    }
+
+    /// One counted device query with the helper already installed,
+    /// passed through the attached monitor (if any).
+    fn respond_monitored(&mut self, helper: &[u8], env: Environment) -> DeviceResponse {
+        self.queries += 1;
+        let response = self.device.respond(&self.nonce, env);
+        if let Some(monitor) = self.monitor.as_mut() {
+            if monitor.observe(helper, &response) && self.first_flagged.is_none() {
+                self.first_flagged = Some(self.queries);
+            }
+        }
+        response
     }
 
     /// Queries with the *original* helper data (e.g. to capture the
@@ -156,8 +216,7 @@ impl<'a> Oracle<'a> {
         self.device.write_helper(helper.to_vec());
         let mut failures = 0u64;
         for _ in 0..trials {
-            self.queries += 1;
-            if &self.device.respond(&self.nonce, env) != expected {
+            if &self.respond_monitored(helper, env) != expected {
                 failures += 1;
                 if cap.is_some_and(|c| failures > c) {
                     break;
@@ -256,6 +315,63 @@ mod tests {
             3,
             "probe abandoned after cap + 1 failures"
         );
+    }
+
+    /// Toy monitor: flags every query whose helper differs from the
+    /// blob it was born with.
+    #[derive(Debug)]
+    struct DiffMonitor {
+        enrolled: Vec<u8>,
+        flags: u64,
+    }
+
+    impl TrafficMonitor for DiffMonitor {
+        fn observe(&mut self, helper: &[u8], _response: &DeviceResponse) -> bool {
+            if helper != self.enrolled {
+                self.flags += 1;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn flag_reason(&self) -> Option<String> {
+            (self.flags > 0).then(|| "helper differs".to_string())
+        }
+    }
+
+    #[test]
+    fn monitor_sees_every_query_and_first_flag_is_recorded() {
+        let mut d = device(7);
+        let mut o = Oracle::new(&mut d);
+        let enrolled = o.original_helper().to_vec();
+        o.attach_monitor(Box::new(DiffMonitor {
+            enrolled: enrolled.clone(),
+            flags: 0,
+        }));
+
+        let expected = o.query_original(Environment::nominal());
+        assert_eq!(o.first_flagged(), None, "genuine helper never flags");
+
+        let garbage = vec![0xEEu8; 12];
+        let probes = [Probe {
+            helper: &garbage,
+            expected: &expected,
+        }];
+        o.probe_failures(&probes, Environment::nominal(), 3);
+        assert_eq!(
+            o.first_flagged(),
+            Some(2),
+            "first manipulated query (after 1 reference query) is flagged"
+        );
+        assert_eq!(
+            o.monitor().unwrap().flag_reason().as_deref(),
+            Some("helper differs")
+        );
+
+        // The flag index latches at the first offence.
+        o.query(&garbage, Environment::nominal());
+        assert_eq!(o.first_flagged(), Some(2));
     }
 
     #[test]

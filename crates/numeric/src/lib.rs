@@ -43,3 +43,4 @@ pub use bits::BitVec;
 pub use linalg::Matrix;
 pub use permutation::Permutation;
 pub use polyfit::{Poly2d, PolyFitError};
+pub use sampling::splitmix64;

@@ -48,6 +48,39 @@ impl Environment {
             ..Self::nominal()
         }
     }
+
+    /// `steps` operating points sweeping the temperature range
+    /// `[t_min, t_max]` at nominal voltage, endpoints included
+    /// (`steps == 1` yields just `t_min`).
+    ///
+    /// Replaces the hand-rolled `linspace`-then-`at_temperature` loops
+    /// in the harness binaries and the verifier traffic scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`, a bound is non-finite, or
+    /// `t_min > t_max`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ropuf_sim::Environment;
+    ///
+    /// let points: Vec<Environment> = Environment::sweep(0.0, 70.0, 8).collect();
+    /// assert_eq!(points.len(), 8);
+    /// assert_eq!(points[0].temperature_c, 0.0);
+    /// assert_eq!(points[7].temperature_c, 70.0);
+    /// ```
+    pub fn sweep(t_min: f64, t_max: f64, steps: usize) -> impl Iterator<Item = Self> + Clone {
+        assert!(steps >= 1, "need at least one sweep step");
+        let range = TemperatureRange::new(t_min, t_max);
+        let temps = if steps == 1 {
+            vec![range.min_c]
+        } else {
+            range.linspace(steps)
+        };
+        temps.into_iter().map(Self::at_temperature)
+    }
 }
 
 impl Default for Environment {
@@ -132,6 +165,30 @@ mod tests {
         assert_eq!(e.temperature_c, 25.0);
         assert_eq!(e.voltage_v, 1.2);
         assert_eq!(Environment::default(), e);
+    }
+
+    #[test]
+    fn sweep_covers_endpoints_at_nominal_voltage() {
+        let points: Vec<Environment> = Environment::sweep(10.0, 50.0, 5).collect();
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[0].temperature_c, 10.0);
+        assert_eq!(points[4].temperature_c, 50.0);
+        for w in points.windows(2) {
+            assert!((w[1].temperature_c - w[0].temperature_c - 10.0).abs() < 1e-9);
+        }
+        for p in &points {
+            assert_eq!(p.voltage_v, Environment::nominal().voltage_v);
+        }
+        // A single step degenerates to the lower bound.
+        let single: Vec<Environment> = Environment::sweep(25.0, 80.0, 1).collect();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].temperature_c, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sweep step")]
+    fn empty_sweep_panics() {
+        let _ = Environment::sweep(0.0, 1.0, 0);
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! The sharded enrollment registry.
+//!
+//! One record per enrolled device: `{scheme tag, helper bytes, key
+//! digest}`. Records are hashed across N shards, each behind its own
+//! lock, so concurrent enrollment and authentication scale across
+//! threads instead of serializing on one registry-wide mutex — the
+//! ROADMAP's "heavy traffic from millions of users" shape. Each entry
+//! also carries its device's [`DeviceDetector`] runtime state, so one
+//! shard lock covers a whole authenticate step (lookup + detect).
+//!
+//! # Snapshot schema (`ropuf-verifier/v1`)
+//!
+//! [`ShardedRegistry::snapshot_json`] emits (and
+//! [`ShardedRegistry::from_snapshot`] loads) the registry in the same
+//! hand-rolled, byte-stable JSON style as the `ropuf-campaign/v1`
+//! reports — fixed key order, devices sorted by id:
+//!
+//! ```jsonc
+//! {
+//!   "schema": "ropuf-verifier/v1",
+//!   "shards": 8,
+//!   "devices": [
+//!     {"device_id": 0, "scheme": "lisa", "scheme_tag": 76,
+//!      "helper": "<hex>", "key_digest": "<hex>"}
+//!   ]
+//! }
+//! ```
+//!
+//! Detector state is deliberately **not** persisted: flags and rate
+//! windows are runtime state of one serving epoch, and a reloaded
+//! registry starts its devices unflagged.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use ropuf_constructions::scheme_name_of_tag;
+use ropuf_numeric::splitmix64 as mix;
+
+use crate::detector::{DetectorConfig, DeviceDetector, FlagReason};
+use crate::json::{self, JsonValue};
+
+/// Version tag embedded in every registry snapshot.
+pub const SCHEMA: &str = "ropuf-verifier/v1";
+
+/// Largest shard count a snapshot may request — a hard cap against
+/// resource exhaustion via a forged `shards` field (snapshots are
+/// operator-supplied input, same rationale as `wire::MAX_COUNT`).
+pub const MAX_SHARDS: u64 = 1 << 16;
+
+/// What the defender stores per enrolled device.
+///
+/// The `key_digest` is the derived verification credential (see the
+/// crate-level protocol notes) — the registry never holds the PUF
+/// master key itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnrollmentRecord {
+    /// Wire tag of the scheme the device was enrolled under.
+    pub scheme_tag: u8,
+    /// The helper blob as enrolled (integrity reference).
+    pub helper: Vec<u8>,
+    /// SHA-256 of the enrolled key bytes — the HMAC verification key.
+    pub key_digest: [u8; 32],
+}
+
+/// Registry operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The device id is already enrolled.
+    Duplicate {
+        /// The offending id.
+        device_id: u64,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Duplicate { device_id } => {
+                write!(f, "device {device_id} is already enrolled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Snapshot load errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The document is not valid JSON.
+    Json(String),
+    /// The document parses but violates the `ropuf-verifier/v1` shape.
+    Schema(&'static str),
+    /// A hex field failed to decode.
+    Hex(&'static str),
+    /// Two devices share an id.
+    Duplicate(u64),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Json(e) => write!(f, "snapshot is not valid JSON: {e}"),
+            SnapshotError::Schema(what) => write!(f, "snapshot schema violation: {what}"),
+            SnapshotError::Hex(field) => write!(f, "snapshot field {field} is not valid hex"),
+            SnapshotError::Duplicate(id) => write!(f, "snapshot enrolls device {id} twice"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One shard entry: the durable record plus the device's detector
+/// runtime state, co-located so a single shard lock covers an entire
+/// authenticate step.
+#[derive(Debug, Clone)]
+pub(crate) struct DeviceEntry {
+    pub(crate) record: EnrollmentRecord,
+    pub(crate) detector: DeviceDetector,
+}
+
+/// Device-id → [`EnrollmentRecord`] map, hashed across N independently
+/// locked shards.
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    shards: Vec<Mutex<HashMap<u64, DeviceEntry>>>,
+    detector_config: DetectorConfig,
+}
+
+impl ShardedRegistry {
+    /// Creates an empty registry with `shards` shards (`0` is promoted
+    /// to 1). Every enrolled device gets a [`DeviceDetector`] built
+    /// from `detector_config`.
+    pub fn new(shards: usize, detector_config: DetectorConfig) -> Self {
+        let n = shards.max(1);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            detector_config,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The detector thresholds new enrollments receive.
+    pub fn detector_config(&self) -> DetectorConfig {
+        self.detector_config
+    }
+
+    /// Shard index a device id hashes to.
+    pub fn shard_of(&self, device_id: u64) -> usize {
+        (mix(device_id) % self.shards.len() as u64) as usize
+    }
+
+    /// Enrolls a device.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Duplicate`] when the id is already enrolled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard lock is poisoned (a previous holder
+    /// panicked).
+    pub fn enroll(&self, device_id: u64, record: EnrollmentRecord) -> Result<(), RegistryError> {
+        let detector = DeviceDetector::new(self.detector_config, record.scheme_tag, &record.helper);
+        let mut shard = self.shards[self.shard_of(device_id)]
+            .lock()
+            .expect("shard lock poisoned");
+        if shard.contains_key(&device_id) {
+            return Err(RegistryError::Duplicate { device_id });
+        }
+        shard.insert(device_id, DeviceEntry { record, detector });
+        Ok(())
+    }
+
+    /// Total enrolled devices (locks every shard once).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no device is enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` on the device's entry under its shard lock.
+    pub(crate) fn with_entry<R>(
+        &self,
+        device_id: u64,
+        f: impl FnOnce(&mut DeviceEntry) -> R,
+    ) -> Option<R> {
+        let mut shard = self.shards[self.shard_of(device_id)]
+            .lock()
+            .expect("shard lock poisoned");
+        shard.get_mut(&device_id).map(f)
+    }
+
+    /// Grants `f` direct access to one locked shard (the batched
+    /// authentication path locks each shard once per batch).
+    pub(crate) fn with_shard<R>(
+        &self,
+        shard_index: usize,
+        f: impl FnOnce(&mut HashMap<u64, DeviceEntry>) -> R,
+    ) -> R {
+        let mut shard = self.shards[shard_index]
+            .lock()
+            .expect("shard lock poisoned");
+        f(&mut shard)
+    }
+
+    /// Copy of a device's enrollment record.
+    pub fn record(&self, device_id: u64) -> Option<EnrollmentRecord> {
+        self.with_entry(device_id, |e| e.record.clone())
+    }
+
+    /// `(timestamp, reason)` of the device's first flag, if flagged.
+    pub fn flag_info(&self, device_id: u64) -> Option<(u64, FlagReason)> {
+        self.with_entry(device_id, |e| e.detector.flagged())
+            .flatten()
+    }
+
+    /// Device ids currently flagged, ascending.
+    pub fn flagged_devices(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock poisoned");
+            out.extend(
+                shard
+                    .iter()
+                    .filter(|(_, e)| e.detector.flagged().is_some())
+                    .map(|(&id, _)| id),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Serializes the registry under the `ropuf-verifier/v1` schema
+    /// (fixed key order, devices sorted by id — byte-identical for the
+    /// same enrolled set regardless of enrollment order or shard
+    /// count, apart from the recorded `shards` field itself).
+    pub fn snapshot_json(&self) -> String {
+        let mut devices: Vec<(u64, EnrollmentRecord)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock poisoned");
+            devices.extend(shard.iter().map(|(&id, e)| (id, e.record.clone())));
+        }
+        devices.sort_unstable_by_key(|(id, _)| *id);
+
+        let mut out = String::with_capacity(128 + 160 * devices.len());
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards.len()));
+        out.push_str("  \"devices\": [\n");
+        for (i, (id, record)) in devices.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"device_id\": {id}, \"scheme\": \"{}\", \"scheme_tag\": {}, \"helper\": \"{}\", \"key_digest\": \"{}\"}}",
+                scheme_name_of_tag(record.scheme_tag).unwrap_or("unknown"),
+                record.scheme_tag,
+                json::to_hex(&record.helper),
+                json::to_hex(&record.key_digest),
+            ));
+            if i + 1 < devices.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Loads a `ropuf-verifier/v1` snapshot. The shard count comes from
+    /// the snapshot; detectors start fresh (unflagged) under
+    /// `detector_config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] for malformed JSON, a schema
+    /// violation, bad hex, or duplicate device ids.
+    pub fn from_snapshot(
+        snapshot: &str,
+        detector_config: DetectorConfig,
+    ) -> Result<Self, SnapshotError> {
+        let doc = json::parse(snapshot).map_err(|e| SnapshotError::Json(e.to_string()))?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(s) if s == SCHEMA => {}
+            _ => return Err(SnapshotError::Schema("missing or unsupported schema tag")),
+        }
+        let shards = doc
+            .get("shards")
+            .and_then(JsonValue::as_u64)
+            .filter(|&n| n <= MAX_SHARDS)
+            .ok_or(SnapshotError::Schema("missing or implausible shard count"))?
+            as usize;
+        let devices = doc
+            .get("devices")
+            .and_then(JsonValue::as_array)
+            .ok_or(SnapshotError::Schema("missing devices array"))?;
+
+        let registry = Self::new(shards, detector_config);
+        for device in devices {
+            let device_id = device
+                .get("device_id")
+                .and_then(JsonValue::as_u64)
+                .ok_or(SnapshotError::Schema("device without device_id"))?;
+            let scheme_tag = device
+                .get("scheme_tag")
+                .and_then(JsonValue::as_u64)
+                .filter(|&t| t <= u8::MAX as u64)
+                .ok_or(SnapshotError::Schema("device without scheme_tag"))?
+                as u8;
+            let helper_hex = device
+                .get("helper")
+                .and_then(JsonValue::as_str)
+                .ok_or(SnapshotError::Schema("device without helper"))?;
+            let helper = json::from_hex(helper_hex).map_err(|_| SnapshotError::Hex("helper"))?;
+            let digest_hex = device
+                .get("key_digest")
+                .and_then(JsonValue::as_str)
+                .ok_or(SnapshotError::Schema("device without key_digest"))?;
+            let digest_bytes =
+                json::from_hex(digest_hex).map_err(|_| SnapshotError::Hex("key_digest"))?;
+            let key_digest: [u8; 32] = digest_bytes
+                .try_into()
+                .map_err(|_| SnapshotError::Schema("key_digest is not 32 bytes"))?;
+            registry
+                .enroll(
+                    device_id,
+                    EnrollmentRecord {
+                        scheme_tag,
+                        helper,
+                        key_digest,
+                    },
+                )
+                .map_err(|_| SnapshotError::Duplicate(device_id))?;
+        }
+        Ok(registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropuf_constructions::pairing::lisa::LISA_TAG;
+    use std::sync::Arc;
+
+    fn record(fill: u8) -> EnrollmentRecord {
+        EnrollmentRecord {
+            scheme_tag: LISA_TAG,
+            helper: vec![LISA_TAG, 1, fill, fill],
+            key_digest: [fill; 32],
+        }
+    }
+
+    #[test]
+    fn enroll_lookup_and_duplicate_rejection() {
+        let r = ShardedRegistry::new(4, DetectorConfig::default());
+        assert!(r.is_empty());
+        r.enroll(1, record(7)).unwrap();
+        r.enroll(2, record(8)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.record(1).unwrap().key_digest, [7; 32]);
+        assert_eq!(r.record(3), None);
+        assert_eq!(
+            r.enroll(1, record(9)),
+            Err(RegistryError::Duplicate { device_id: 1 })
+        );
+    }
+
+    #[test]
+    fn sharding_spreads_sequential_ids() {
+        let r = ShardedRegistry::new(8, DetectorConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..64u64 {
+            seen.insert(r.shard_of(id));
+            assert!(r.shard_of(id) < 8);
+            assert_eq!(r.shard_of(id), r.shard_of(id), "stable");
+        }
+        assert!(
+            seen.len() >= 6,
+            "sequential ids should hit most of 8 shards, got {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn zero_shards_promoted_to_one() {
+        let r = ShardedRegistry::new(0, DetectorConfig::default());
+        assert_eq!(r.shard_count(), 1);
+        r.enroll(5, record(1)).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_enrollment_across_threads() {
+        let r = Arc::new(ShardedRegistry::new(4, DetectorConfig::default()));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let r = Arc::clone(&r);
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        r.enroll(t * 1000 + i, record((t * 50 + i) as u8)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 200);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_lossless_and_deterministic() {
+        let r = ShardedRegistry::new(4, DetectorConfig::default());
+        // Enroll out of order: the snapshot must sort by id.
+        r.enroll(9, record(9)).unwrap();
+        r.enroll(2, record(2)).unwrap();
+        r.enroll(700, record(3)).unwrap();
+        let snap = r.snapshot_json();
+        assert!(snap.contains("\"schema\": \"ropuf-verifier/v1\""));
+        assert!(snap.find("\"device_id\": 2").unwrap() < snap.find("\"device_id\": 9").unwrap());
+
+        let loaded = ShardedRegistry::from_snapshot(&snap, DetectorConfig::default()).unwrap();
+        assert_eq!(loaded.shard_count(), 4);
+        assert_eq!(loaded.len(), 3);
+        for id in [2u64, 9, 700] {
+            assert_eq!(loaded.record(id), r.record(id), "device {id}");
+        }
+        // Emit → load → emit is byte-identical.
+        assert_eq!(loaded.snapshot_json(), snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        let cfg = DetectorConfig::default();
+        assert!(matches!(
+            ShardedRegistry::from_snapshot("not json", cfg),
+            Err(SnapshotError::Json(_))
+        ));
+        assert!(matches!(
+            ShardedRegistry::from_snapshot("{\"schema\": \"other/v9\"}", cfg),
+            Err(SnapshotError::Schema(_))
+        ));
+        // A forged giant shard count must be a typed error, not an
+        // allocation abort.
+        let forged_shards =
+            format!("{{\"schema\": \"{SCHEMA}\", \"shards\": 99999999999999, \"devices\": []}}");
+        assert!(matches!(
+            ShardedRegistry::from_snapshot(&forged_shards, cfg),
+            Err(SnapshotError::Schema(_))
+        ));
+        let bad_hex = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"shards\": 1, \"devices\": [{{\"device_id\": 0, \"scheme\": \"lisa\", \"scheme_tag\": 76, \"helper\": \"zz\", \"key_digest\": \"00\"}}]}}"
+        );
+        assert!(matches!(
+            ShardedRegistry::from_snapshot(&bad_hex, cfg),
+            Err(SnapshotError::Hex("helper"))
+        ));
+        let dup = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"shards\": 1, \"devices\": [\
+             {{\"device_id\": 3, \"scheme\": \"lisa\", \"scheme_tag\": 76, \"helper\": \"4c01\", \"key_digest\": \"{}\"}},\
+             {{\"device_id\": 3, \"scheme\": \"lisa\", \"scheme_tag\": 76, \"helper\": \"4c01\", \"key_digest\": \"{}\"}}]}}",
+            "00".repeat(32),
+            "00".repeat(32)
+        );
+        assert!(matches!(
+            ShardedRegistry::from_snapshot(&dup, cfg),
+            Err(SnapshotError::Duplicate(3))
+        ));
+    }
+}
