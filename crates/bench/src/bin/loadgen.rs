@@ -1,0 +1,291 @@
+//! The load generator: mixed benign/LISA traffic against the real
+//! serving surface, with throughput and tail-latency reporting.
+//!
+//! ```text
+//! loadgen [--devices N] [--rounds R] [--seed S] [--shards M]
+//!         [--threads T] [--workers W] [--smoke] [--loopback]
+//! ```
+//!
+//! Builds a deterministic [`TrafficPlan`] (first quarter of the fleet:
+//! real LISA attack trajectories; the rest: benign authentication
+//! across the other three constructions), enrolls the fleet through
+//! one shard-partitioned `Verifier::enroll_batch` call, spawns the TCP
+//! server on an ephemeral localhost port (or wires up the in-process
+//! loopback transport with `--loopback`), and replays the plan from
+//! `T` client threads — each request timed into a per-thread
+//! log-bucketed histogram, merged at the end.
+//!
+//! Acceptance shape (asserted, not just printed): nonzero throughput,
+//! **every** attacked device rejected at the wire with the
+//! `DeviceFlagged` error code, and **zero** benign devices flagged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use ropuf_bench::parse_flags;
+use ropuf_constructions::pairing::lisa::LisaConfig;
+use ropuf_numeric::Histogram;
+use ropuf_proto::ErrorCode;
+use ropuf_server::{
+    Client, DeviceTraffic, LoopbackTransport, RequestHandler, Role, TcpServer, TcpTransport,
+    TrafficPlan, TrafficSpec, Transport, VerifierHandler,
+};
+use ropuf_verifier::{DetectorConfig, Verifier};
+
+/// What one device's replay produced.
+struct DeviceOutcome {
+    device_id: u64,
+    scheme: &'static str,
+    role: Role,
+    requests: usize,
+    accepted: usize,
+    rejected: usize,
+    /// 0-based request index of the first wire-level `DeviceFlagged`
+    /// rejection, if any.
+    wire_flagged_at: Option<usize>,
+    /// Flag reason label from a post-replay `QueryVerdict`, if flagged.
+    flag_reason: Option<String>,
+}
+
+/// Replays every request of one device, in order, through `client`.
+fn replay_device<T: Transport>(
+    client: &mut Client<T>,
+    device: &DeviceTraffic,
+    latencies: &mut Histogram,
+) -> DeviceOutcome {
+    let mut outcome = DeviceOutcome {
+        device_id: device.device_id,
+        scheme: device.scheme,
+        role: device.role,
+        requests: device.requests.len(),
+        accepted: 0,
+        rejected: 0,
+        wire_flagged_at: None,
+        flag_reason: None,
+    };
+    for (i, item) in device.requests.iter().enumerate() {
+        let t0 = Instant::now();
+        let result = client.authenticate(item.clone());
+        latencies.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        match result {
+            Ok(verdict) if verdict.is_accept() => outcome.accepted += 1,
+            Ok(_) => outcome.rejected += 1,
+            Err(e) if e.error_code() == Some(ErrorCode::DeviceFlagged) => {
+                if outcome.wire_flagged_at.is_none() {
+                    outcome.wire_flagged_at = Some(i);
+                }
+            }
+            Err(e) => panic!("device {}: transport failure: {e}", device.device_id),
+        }
+    }
+    outcome.flag_reason = client
+        .query_verdict(device.device_id)
+        .expect("enrolled device must be queryable")
+        .map(|(_, reason)| reason.label().to_string());
+    outcome
+}
+
+/// Runs the whole plan from `threads` client threads, each with its
+/// own transport from `connect`. Returns per-device outcomes (sorted
+/// by id) and the merged latency histogram.
+fn run_clients<T: Transport, F>(
+    plan: &TrafficPlan,
+    threads: usize,
+    connect: F,
+) -> (Vec<DeviceOutcome>, Histogram)
+where
+    T: Transport,
+    F: Fn() -> Client<T> + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(Vec<DeviceOutcome>, Histogram)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let connect = &connect;
+            scope.spawn(move || {
+                let mut client = connect();
+                client.hello("loadgen").expect("handshake");
+                let mut latencies = Histogram::new();
+                let mut outcomes = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(device) = plan.devices.get(i) else {
+                        break;
+                    };
+                    outcomes.push(replay_device(&mut client, device, &mut latencies));
+                }
+                tx.send((outcomes, latencies)).expect("collector alive");
+            });
+        }
+        drop(tx);
+    });
+    let mut all = Vec::new();
+    let mut merged = Histogram::new();
+    for (outcomes, latencies) in rx {
+        all.extend(outcomes);
+        merged.merge(&latencies);
+    }
+    all.sort_by_key(|o| o.device_id);
+    (all, merged)
+}
+
+fn main() {
+    let flags = parse_flags();
+    flags.expect_known(&[
+        "devices", "rounds", "seed", "shards", "threads", "workers", "smoke", "loopback",
+    ]);
+    let smoke = flags.has("smoke");
+    let devices = flags
+        .get_usize("devices")
+        .unwrap_or(if smoke { 8 } else { 32 });
+    let rounds = flags
+        .get_usize("rounds")
+        .unwrap_or(if smoke { 4 } else { 16 });
+    let master_seed = flags.get_u64("seed").unwrap_or(1);
+    let shards = flags.get_usize("shards").unwrap_or(8);
+    let threads = flags
+        .get_usize("threads")
+        .unwrap_or(if smoke { 2 } else { 4 });
+    let workers = flags.get_usize("workers").unwrap_or(4);
+    let loopback = flags.has("loopback") || smoke;
+
+    ropuf_bench::header(
+        "LOADGEN — mixed benign/LISA traffic against the serving surface",
+        "the wire rejects every attacked device with the DeviceFlagged error code while benign fleets authenticate flag-free at serving speed",
+    );
+
+    let detector = DetectorConfig::default();
+    let spec = TrafficSpec {
+        devices,
+        master_seed,
+        rounds,
+        lisa: LisaConfig::default(),
+        detector,
+    };
+    let t0 = Instant::now();
+    let plan = TrafficPlan::build(&spec);
+    println!(
+        "traffic plan: {} devices ({} attacked, {} benign), {} requests, built in {:.0} ms",
+        plan.devices.len(),
+        plan.attackers().count(),
+        plan.benign().count(),
+        plan.total_requests(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+
+    // One shard-partitioned enrollment call for the whole fleet.
+    let verifier = Arc::new(Verifier::new(shards, detector));
+    let t0 = Instant::now();
+    let enroll_results = verifier.enroll_batch(plan.enrollments());
+    assert!(
+        enroll_results.iter().all(Result::is_ok),
+        "fresh fleet ids cannot collide"
+    );
+    println!(
+        "enrolled {} devices into {} shards via one enroll_batch call in {:.1} ms",
+        enroll_results.len(),
+        shards,
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+
+    let handler: Arc<dyn RequestHandler> = Arc::new(VerifierHandler::new(Arc::clone(&verifier)));
+    let t0 = Instant::now();
+    let (outcomes, latencies) = if loopback {
+        println!("transport: in-process loopback (full wire codec, no sockets), {threads} client thread(s)");
+        run_clients(&plan, threads, || {
+            Client::new(LoopbackTransport::new(Arc::clone(&handler)))
+        })
+    } else {
+        let server =
+            TcpServer::spawn("127.0.0.1:0", Arc::clone(&handler), workers).expect("bind localhost");
+        let addr = server.local_addr();
+        println!("transport: TCP {addr}, {workers} server worker(s), {threads} client thread(s)");
+        let result = run_clients(&plan, threads, || {
+            Client::new(TcpTransport::connect(addr).expect("connect to own server"))
+        });
+        server.shutdown();
+        result
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    // ── Report ──────────────────────────────────────────────────────
+    let total: usize = outcomes.iter().map(|o| o.requests).sum();
+    let ops = total as f64 / wall.max(1e-9);
+    let s = latencies.summary();
+    println!(
+        "\nreplayed {total} authentication requests in {:.2} s = {ops:.0} ops/s",
+        wall
+    );
+    println!(
+        "latency: p50 {:.1} us | p90 {:.1} us | p99 {:.1} us | p999 {:.1} us | max {:.1} us",
+        s.p50 as f64 / 1e3,
+        s.p90 as f64 / 1e3,
+        s.p99 as f64 / 1e3,
+        s.p999 as f64 / 1e3,
+        s.max as f64 / 1e3,
+    );
+
+    println!(
+        "\n{:>7} {:>18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>17}",
+        "device", "scheme", "role", "requests", "accepted", "rejected", "flagged@", "reason"
+    );
+    for o in &outcomes {
+        println!(
+            "{:>7} {:>18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>17}",
+            o.device_id,
+            o.scheme,
+            match o.role {
+                Role::Benign => "benign",
+                Role::LisaAttacker => "attacker",
+            },
+            o.requests,
+            o.accepted,
+            o.rejected,
+            o.wire_flagged_at.map_or("-".into(), |i| i.to_string()),
+            o.flag_reason.as_deref().unwrap_or("-"),
+        );
+    }
+
+    // ── Acceptance gates ────────────────────────────────────────────
+    assert!(total > 0 && ops > 0.0, "throughput must be nonzero");
+    let attackers: Vec<&DeviceOutcome> = outcomes
+        .iter()
+        .filter(|o| o.role == Role::LisaAttacker)
+        .collect();
+    let benign: Vec<&DeviceOutcome> = outcomes.iter().filter(|o| o.role == Role::Benign).collect();
+    for o in &attackers {
+        assert!(
+            o.wire_flagged_at.is_some(),
+            "attacked device {} was never rejected with the DeviceFlagged wire error",
+            o.device_id
+        );
+        assert!(
+            o.flag_reason.is_some(),
+            "attacked device {} not flagged in the registry",
+            o.device_id
+        );
+    }
+    for o in &benign {
+        assert!(
+            o.wire_flagged_at.is_none() && o.flag_reason.is_none(),
+            "benign device {} was flagged ({:?})",
+            o.device_id,
+            o.flag_reason
+        );
+    }
+    let mean_flag_at = attackers
+        .iter()
+        .filter_map(|o| o.wire_flagged_at)
+        .sum::<usize>() as f64
+        / attackers.len().max(1) as f64;
+    println!(
+        "\nverdict: {}/{} attacked devices rejected at the wire (DeviceFlagged, mean request index {mean_flag_at:.1}), {}/{} benign devices flagged — all gates asserted.",
+        attackers.iter().filter(|o| o.wire_flagged_at.is_some()).count(),
+        attackers.len(),
+        benign.iter().filter(|o| o.flag_reason.is_some()).count(),
+        benign.len(),
+    );
+}

@@ -5,24 +5,31 @@
 //! perf_verifier [--devices D] [--auths A] [--threads T] [--batch B] [--seed S]
 //! ```
 //!
-//! A fixed fleet is enrolled once; the same pre-recorded request stream
-//! (valid tags, enrolled helpers — the integrity check does full digest
-//! work per auth) is then replayed through verifiers with 1, 2, 4, 8
-//! and 16 shards by `T` serving threads in batches of `B`. With one
-//! registry-wide lock (1 shard) the serving threads serialize; per-shard
-//! locks let them proceed in parallel, so throughput should grow with
-//! the shard count on a multicore host (on a single core the effect
-//! shrinks to reduced contention overhead).
+//! A fixed fleet is enrolled once (one `enroll_batch` call); the same
+//! pre-recorded request stream (valid tags, enrolled helpers — the
+//! integrity check does full digest work per auth) is then replayed
+//! through verifiers with 1, 2, 4, 8 and 16 shards by `T` serving
+//! threads in batches of `B`. With one registry-wide lock (1 shard)
+//! the serving threads serialize; per-shard locks let them proceed in
+//! parallel, so throughput should grow with the shard count on a
+//! multicore host (on a single core the effect shrinks to reduced
+//! contention overhead). Per-batch serving latency is recorded into
+//! per-thread log-bucketed `Histogram`s (merged after the run), so the
+//! table reports tail percentiles, not just wall-clock division.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::Instant;
 
 use ropuf_bench::parse_flags;
 use ropuf_campaign::FleetSpec;
 use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme, LISA_TAG};
 use ropuf_constructions::DeviceResponse;
+use ropuf_numeric::Histogram;
 use ropuf_sim::ArrayDims;
-use ropuf_verifier::{auth_key, client_tag, AuthRequest, DetectorConfig, Verifier};
+use ropuf_verifier::{
+    auth_key, client_tag, AuthRequest, BatchEnrollment, DetectorConfig, Verifier,
+};
 
 /// One enrolled credential: what the registry stores, plus the helper
 /// clients present.
@@ -113,30 +120,40 @@ fn main() {
         cores
     );
     println!(
-        "{:>7} {:>12} {:>12} {:>14} {:>10}",
-        "shards", "wall ms", "auths/sec", "vs 1 shard", "accepted"
+        "{:>7} {:>12} {:>12} {:>14} {:>12} {:>12} {:>12} {:>10}",
+        "shards",
+        "wall ms",
+        "auths/sec",
+        "vs 1 shard",
+        "batch p50us",
+        "batch p99us",
+        "p999us",
+        "accepted"
     );
 
     let mut baseline: Option<f64> = None;
     for shards in [1usize, 2, 4, 8, 16] {
         let verifier = Verifier::new(shards, config);
-        for cred in &credentials {
-            verifier
-                .registry()
-                .enroll(
-                    cred.device_id,
-                    ropuf_verifier::EnrollmentRecord {
-                        scheme_tag: LISA_TAG,
-                        helper: cred.helper.clone(),
-                        key_digest: cred.key_digest,
-                    },
-                )
-                .expect("fresh registry cannot collide");
-        }
+        let enrolled = verifier.enroll_batch(
+            credentials
+                .iter()
+                .map(|cred| BatchEnrollment {
+                    device_id: cred.device_id,
+                    scheme_tag: LISA_TAG,
+                    helper: cred.helper.clone(),
+                    key_digest: cred.key_digest,
+                })
+                .collect(),
+        );
+        assert!(
+            enrolled.iter().all(Result::is_ok),
+            "fresh registry cannot collide"
+        );
 
         let cursor = AtomicUsize::new(0);
         let accepted = AtomicUsize::new(0);
         let chunks: Vec<&[AuthRequest]> = requests.chunks(batch).collect();
+        let (tx, rx) = mpsc::channel::<Histogram>();
         let t0 = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -144,38 +161,59 @@ fn main() {
                 let accepted = &accepted;
                 let chunks = &chunks;
                 let verifier = &verifier;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= chunks.len() {
-                        break;
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut latencies = Histogram::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= chunks.len() {
+                            break;
+                        }
+                        let b0 = Instant::now();
+                        let ok = verifier
+                            .authenticate_batch(chunks[i])
+                            .iter()
+                            .filter(|v| v.is_accept())
+                            .count();
+                        latencies.record(b0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                        accepted.fetch_add(ok, Ordering::Relaxed);
                     }
-                    let ok = verifier
-                        .authenticate_batch(chunks[i])
-                        .iter()
-                        .filter(|v| v.is_accept())
-                        .count();
-                    accepted.fetch_add(ok, Ordering::Relaxed);
+                    tx.send(latencies).expect("collector alive");
                 });
             }
+            drop(tx);
         });
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut latencies = Histogram::new();
+        for h in rx {
+            latencies.merge(&h);
+        }
         let throughput = requests.len() as f64 / (wall_ms / 1e3);
         let speedup = baseline.map_or(1.0, |b| throughput / b);
         if baseline.is_none() {
             baseline = Some(throughput);
         }
+        let s = latencies.summary();
         println!(
-            "{:>7} {:>12.1} {:>12.0} {:>13.2}x {:>10}",
+            "{:>7} {:>12.1} {:>12.0} {:>13.2}x {:>12.1} {:>12.1} {:>12.1} {:>10}",
             shards,
             wall_ms,
             throughput,
             speedup,
+            s.p50 as f64 / 1e3,
+            s.p99 as f64 / 1e3,
+            s.p999 as f64 / 1e3,
             accepted.load(Ordering::Relaxed),
         );
         assert_eq!(
             accepted.load(Ordering::Relaxed),
             requests.len(),
             "every replayed auth must verify"
+        );
+        assert_eq!(
+            latencies.count() as usize,
+            chunks.len(),
+            "one latency sample per served batch"
         );
     }
 

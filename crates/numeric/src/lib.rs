@@ -18,6 +18,8 @@
 //!   for *Kendall coding* (Table I).
 //! * [`sampling`] — Gaussian sampling via Box–Muller (the offline crate set
 //!   has no `rand_distr`).
+//! * [`histogram`] — a mergeable log-bucketed latency histogram
+//!   (p50/p90/p99/p999) for the serving-layer harnesses.
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod histogram;
 pub mod linalg;
 pub mod permutation;
 pub mod polyfit;
@@ -40,6 +43,7 @@ pub mod sampling;
 pub mod stats;
 
 pub use bits::BitVec;
+pub use histogram::{Histogram, HistogramSummary};
 pub use linalg::Matrix;
 pub use permutation::Permutation;
 pub use polyfit::{Poly2d, PolyFitError};

@@ -1,0 +1,311 @@
+//! Bounds-checked little-endian primitives.
+//!
+//! Everything on the wire is built from the few shapes here: fixed-
+//! width little-endian integers, fixed 32-byte digests, and
+//! `u32`-length-prefixed byte strings. [`Reader`] is a cursor that can
+//! only fail with a typed [`DecodeError`] — it never panics and never
+//! reads past its slice — and every declared length is checked against
+//! both a semantic cap and the bytes actually remaining *before* any
+//! allocation, so a forged length can neither over-read nor
+//! over-allocate.
+
+use std::fmt;
+
+/// Largest length-prefixed byte field (helper blobs, nonces, names,
+/// error details) a peer may declare. Generous against real traffic —
+/// helper blobs are hundreds of bytes — while bounding what a forged
+/// length can make the decoder allocate.
+pub const MAX_BYTES: usize = 64 * 1024;
+
+/// Largest element count a peer may declare for a repeated field
+/// (batch items). Bounds allocation the same way [`MAX_BYTES`] does.
+pub const MAX_ITEMS: usize = 4096;
+
+/// Decoding failure. Every malformed input maps to one of these —
+/// decoding never panics and never reads out of bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before a field was complete.
+    UnexpectedEof {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were left.
+        remaining: usize,
+    },
+    /// A message decoded completely but bytes were left over (strict
+    /// framing: one frame is exactly one message).
+    TrailingBytes(usize),
+    /// A declared length exceeds its cap or the remaining input.
+    LengthOutOfBounds {
+        /// Which field declared it.
+        field: &'static str,
+        /// The declared length or count.
+        declared: u64,
+        /// The largest acceptable value at this point.
+        limit: u64,
+    },
+    /// Unknown message-type byte.
+    UnknownMessage(u8),
+    /// Unknown discriminant inside a message (verdict, response kind,
+    /// flag reason, error code, option marker).
+    UnknownDiscriminant {
+        /// Which enum field carried it.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// A text field is not valid UTF-8.
+    BadUtf8(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "input ended early: field needs {needed} bytes, {remaining} left"
+                )
+            }
+            DecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after a complete message")
+            }
+            DecodeError::LengthOutOfBounds {
+                field,
+                declared,
+                limit,
+            } => write!(
+                f,
+                "{field}: declared length {declared} exceeds limit {limit}"
+            ),
+            DecodeError::UnknownMessage(t) => write!(f, "unknown message type byte {t:#04x}"),
+            DecodeError::UnknownDiscriminant { field, value } => {
+                write!(f, "{field}: unknown discriminant {value:#04x}")
+            }
+            DecodeError::BadUtf8(field) => write!(f, "{field}: not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bounds-checked read cursor over one frame payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Errors with [`DecodeError::TrailingBytes`] unless the cursor
+    /// consumed its input exactly.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(DecodeError::TrailingBytes(n)),
+        }
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Fixed 32-byte digest/tag.
+    pub fn digest(&mut self) -> Result<[u8; 32], DecodeError> {
+        Ok(self.take(32)?.try_into().expect("len 32"))
+    }
+
+    /// A `u32`-length-prefixed byte string, capped at
+    /// `min(cap, remaining)` **before** allocation.
+    pub fn bytes(&mut self, field: &'static str, cap: usize) -> Result<Vec<u8>, DecodeError> {
+        let declared = self.u32()? as usize;
+        let limit = cap.min(self.remaining());
+        if declared > limit {
+            return Err(DecodeError::LengthOutOfBounds {
+                field,
+                declared: declared as u64,
+                limit: limit as u64,
+            });
+        }
+        Ok(self.take(declared)?.to_vec())
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn string(&mut self, field: &'static str, cap: usize) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes(field, cap)?).map_err(|_| DecodeError::BadUtf8(field))
+    }
+
+    /// A `u32` element count for a repeated field, capped at
+    /// `min(cap, remaining)` — an element occupies at least one byte,
+    /// so a count beyond the remaining bytes is always forged.
+    pub fn count(&mut self, field: &'static str, cap: usize) -> Result<usize, DecodeError> {
+        let declared = self.u32()? as usize;
+        let limit = cap.min(self.remaining());
+        if declared > limit {
+            return Err(DecodeError::LengthOutOfBounds {
+                field,
+                declared: declared as u64,
+                limit: limit as u64,
+            });
+        }
+        Ok(declared)
+    }
+}
+
+/// Encode-side helpers (append-only, infallible).
+pub trait Writer {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a `u32`-length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds `u32::MAX` — unreachable for fields
+    /// that respect [`MAX_BYTES`].
+    fn put_bytes(&mut self, bytes: &[u8]);
+}
+
+impl Writer for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_bytes(&mut self, bytes: &[u8]) {
+        let len = u32::try_from(bytes.len()).expect("field exceeds u32 length prefix");
+        self.put_u32(len);
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip_little_endian() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(buf[1..3], [0x34, 0x12], "u16 is little-endian");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn eof_is_typed_not_a_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(
+            r.u32(),
+            Err(DecodeError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            })
+        );
+    }
+
+    #[test]
+    fn forged_length_cannot_over_allocate() {
+        // Declares 4 GiB of payload backed by nothing.
+        let mut buf = Vec::new();
+        buf.put_u32(u32::MAX);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.bytes("helper", MAX_BYTES),
+            Err(DecodeError::LengthOutOfBounds {
+                field: "helper",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn caps_apply_even_with_enough_bytes() {
+        let mut buf = Vec::new();
+        buf.put_bytes(&vec![7u8; 32]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.bytes("nonce", 16),
+            Err(DecodeError::LengthOutOfBounds { field: "nonce", .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let r = Reader::new(&[0]);
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn utf8_is_validated() {
+        let mut buf = Vec::new();
+        buf.put_bytes(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            r.string("name", MAX_BYTES),
+            Err(DecodeError::BadUtf8("name"))
+        );
+    }
+}

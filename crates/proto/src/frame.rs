@@ -1,0 +1,283 @@
+//! Length-framed streaming over `std::io`.
+//!
+//! A frame is `[length: u32 le][payload: length bytes]`; the payload
+//! is exactly one encoded message. [`FrameReader`] / [`FrameWriter`]
+//! turn any `Read`/`Write` pair (a `TcpStream`, a pipe, an in-memory
+//! buffer) into a message stream. The length prefix is capped at
+//! [`MAX_FRAME`] **before** any allocation, so a hostile peer cannot
+//! make the reader balloon; a clean EOF *between* frames is a normal
+//! end-of-stream ([`FrameReader::read_request`] returns `Ok(None)`),
+//! while EOF *inside* a frame is an error.
+
+use std::io::{self, Read, Write};
+
+use crate::codec::DecodeError;
+use crate::message::{Request, Response};
+
+/// Largest frame a peer may declare (4 MiB): comfortably above any
+/// real message — the largest are registry snapshots — while bounding
+/// what a forged length can allocate.
+pub const MAX_FRAME: u32 = 4 * 1024 * 1024;
+
+/// Streaming failure: transport, framing, or message decoding.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (includes EOF mid-frame).
+    Io(io::Error),
+    /// The peer declared a frame larger than [`MAX_FRAME`].
+    Oversize(u32),
+    /// The frame arrived intact but its payload is not a well-formed
+    /// message.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport: {e}"),
+            FrameError::Oversize(n) => {
+                write!(f, "peer declared a {n}-byte frame (cap {MAX_FRAME})")
+            }
+            FrameError::Decode(e) => write!(f, "malformed message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+impl FrameError {
+    /// `true` when the failure is a malformed frame/message from the
+    /// peer (worth answering with a typed wire error) rather than a
+    /// dead transport.
+    pub fn is_peer_fault(&self) -> bool {
+        matches!(self, FrameError::Oversize(_) | FrameError::Decode(_))
+    }
+}
+
+/// Reads length-prefixed message frames from any [`Read`].
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// Reads one raw frame payload; `Ok(None)` on clean EOF between
+    /// frames.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Io`] on transport failure or EOF mid-frame,
+    /// [`FrameError::Oversize`] on a forged length prefix.
+    pub fn read_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let mut len_bytes = [0u8; 4];
+        match read_exact_or_eof(&mut self.inner, &mut len_bytes)? {
+            false => return Ok(None),
+            true => {}
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversize(len));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.inner.read_exact(&mut payload)?;
+        Ok(Some(payload))
+    }
+
+    /// Reads and decodes one [`Request`]; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]; malformed payloads are
+    /// [`FrameError::Decode`], never a panic.
+    pub fn read_request(&mut self) -> Result<Option<Request>, FrameError> {
+        match self.read_frame()? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(Request::decode(&payload)?)),
+        }
+    }
+
+    /// Reads and decodes one [`Response`]; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]; malformed payloads are
+    /// [`FrameError::Decode`], never a panic.
+    pub fn read_response(&mut self) -> Result<Option<Response>, FrameError> {
+        match self.read_frame()? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(Response::decode(&payload)?)),
+        }
+    }
+}
+
+/// Fills `buf` completely, distinguishing clean EOF before the first
+/// byte (`Ok(false)`) from EOF mid-read (an error).
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<bool, io::Error> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended {filled} bytes into a frame header"),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes length-prefixed message frames to any [`Write`].
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a byte sink.
+    pub fn new(inner: W) -> Self {
+        Self { inner }
+    }
+
+    /// Writes one raw payload as a frame and flushes.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversize`] when the payload exceeds [`MAX_FRAME`]
+    /// (nothing is written), [`FrameError::Io`] on transport failure.
+    pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), FrameError> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&n| n <= MAX_FRAME)
+            .ok_or(FrameError::Oversize(
+                payload.len().min(u32::MAX as usize) as u32
+            ))?;
+        self.inner.write_all(&len.to_le_bytes())?;
+        self.inner.write_all(payload)?;
+        self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Encodes and writes one [`Request`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameWriter::write_frame`].
+    pub fn write_request(&mut self, request: &Request) -> Result<(), FrameError> {
+        self.write_frame(&request.encode())
+    }
+
+    /// Encodes and writes one [`Response`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameWriter::write_frame`].
+    pub fn write_response(&mut self, response: &Response) -> Result<(), FrameError> {
+        self.write_frame(&response.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ErrorCode, WireVerdict, PROTOCOL_VERSION};
+
+    #[test]
+    fn frames_stream_through_a_buffer() {
+        let mut wire = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut wire);
+            w.write_request(&Request::Hello {
+                protocol: PROTOCOL_VERSION,
+                client: "t".into(),
+            })
+            .unwrap();
+            w.write_request(&Request::Snapshot).unwrap();
+        }
+        let mut r = FrameReader::new(&wire[..]);
+        assert!(matches!(
+            r.read_request().unwrap(),
+            Some(Request::Hello { .. })
+        ));
+        assert_eq!(r.read_request().unwrap(), Some(Request::Snapshot));
+        assert_eq!(r.read_request().unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn responses_stream_too() {
+        let mut wire = Vec::new();
+        FrameWriter::new(&mut wire)
+            .write_response(&Response::Verdict(WireVerdict::Accept))
+            .unwrap();
+        let mut r = FrameReader::new(&wire[..]);
+        assert_eq!(
+            r.read_response().unwrap(),
+            Some(Response::Verdict(WireVerdict::Accept))
+        );
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error_not_a_hang_or_panic() {
+        let mut wire = Vec::new();
+        FrameWriter::new(&mut wire)
+            .write_response(&Response::Error {
+                code: ErrorCode::MalformedRequest,
+                detail: "x".into(),
+            })
+            .unwrap();
+        for cut in 1..wire.len() {
+            let mut r = FrameReader::new(&wire[..cut]);
+            assert!(
+                matches!(r.read_response(), Err(FrameError::Io(_))),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_header_rejected_before_allocation() {
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut r = FrameReader::new(&huge[..]);
+        assert!(matches!(r.read_frame(), Err(FrameError::Oversize(_))));
+    }
+
+    #[test]
+    fn oversize_payload_refused_on_write() {
+        let mut sink = Vec::new();
+        let mut w = FrameWriter::new(&mut sink);
+        let too_big = vec![0u8; MAX_FRAME as usize + 1];
+        assert!(matches!(
+            w.write_frame(&too_big),
+            Err(FrameError::Oversize(_))
+        ));
+        assert!(sink.is_empty(), "nothing half-written");
+    }
+
+    #[test]
+    fn peer_fault_classification() {
+        assert!(FrameError::Oversize(9).is_peer_fault());
+        assert!(FrameError::Decode(DecodeError::UnknownMessage(0)).is_peer_fault());
+        assert!(!FrameError::Io(io::Error::other("x")).is_peer_fault());
+    }
+}

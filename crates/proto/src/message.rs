@@ -1,0 +1,674 @@
+//! `ropuf-wire/v1` message types and their byte encodings.
+//!
+//! One frame carries exactly one message: a one-byte message type
+//! followed by the type's fields in declaration order, all integers
+//! little-endian, all variable-length fields `u32`-length-prefixed
+//! (see [`codec`](crate::codec)). Requests use type bytes `0x01..`,
+//! responses `0x81..`, so a stream audit can tell directions apart.
+//! Decoding is strict: unknown type bytes, unknown discriminants,
+//! forged lengths, truncation and trailing bytes are all typed
+//! [`DecodeError`]s — never panics, never over-reads.
+
+use crate::codec::{DecodeError, Reader, Writer, MAX_BYTES, MAX_ITEMS};
+
+/// Protocol revision spoken by this crate. A [`Request::Hello`] with a
+/// different value is answered with
+/// [`ErrorCode::UnsupportedProtocol`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Human-readable name of the wire schema (mirrors the JSON schema
+/// tags used by the campaign/verifier artifacts).
+pub const WIRE_SCHEMA: &str = "ropuf-wire/v1";
+
+mod ty {
+    //! Message-type bytes.
+    pub const HELLO: u8 = 0x01;
+    pub const ENROLL: u8 = 0x02;
+    pub const AUTHENTICATE: u8 = 0x03;
+    pub const BATCH_AUTHENTICATE: u8 = 0x04;
+    pub const QUERY_VERDICT: u8 = 0x05;
+    pub const SNAPSHOT: u8 = 0x06;
+    pub const HELLO_OK: u8 = 0x81;
+    pub const ENROLL_OK: u8 = 0x82;
+    pub const VERDICT: u8 = 0x83;
+    pub const VERDICT_BATCH: u8 = 0x84;
+    pub const FLAG_INFO: u8 = 0x85;
+    pub const SNAPSHOT_TEXT: u8 = 0x86;
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// Why a device was flagged, on the wire. Mirrors the verifier's
+/// `FlagReason` without depending on it — the protocol crate stands
+/// alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFlagReason {
+    /// Presented helper parses but differs from the enrolled bytes.
+    HelperMismatch,
+    /// Presented helper no longer parses for the enrolled scheme.
+    MalformedHelper,
+    /// Query-rate budget exceeded.
+    RateBudget,
+    /// Too many consecutive failed authentications.
+    FailureStreak,
+}
+
+impl WireFlagReason {
+    /// Wire discriminant.
+    pub fn code(self) -> u8 {
+        match self {
+            WireFlagReason::HelperMismatch => 0,
+            WireFlagReason::MalformedHelper => 1,
+            WireFlagReason::RateBudget => 2,
+            WireFlagReason::FailureStreak => 3,
+        }
+    }
+
+    /// Parses a wire discriminant.
+    pub fn from_code(value: u8) -> Result<Self, DecodeError> {
+        match value {
+            0 => Ok(WireFlagReason::HelperMismatch),
+            1 => Ok(WireFlagReason::MalformedHelper),
+            2 => Ok(WireFlagReason::RateBudget),
+            3 => Ok(WireFlagReason::FailureStreak),
+            _ => Err(DecodeError::UnknownDiscriminant {
+                field: "flag_reason",
+                value,
+            }),
+        }
+    }
+
+    /// Short machine-readable label, matching the verifier's
+    /// `FlagReason::label` strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireFlagReason::HelperMismatch => "helper-mismatch",
+            WireFlagReason::MalformedHelper => "malformed-helper",
+            WireFlagReason::RateBudget => "rate-budget",
+            WireFlagReason::FailureStreak => "failure-streak",
+        }
+    }
+}
+
+/// Per-request verdict, on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireVerdict {
+    /// The response verified and no detector tripped.
+    Accept,
+    /// The response did not verify — below the flagging bar.
+    Reject,
+    /// A detector tripped; the device is quarantined.
+    Flagged(WireFlagReason),
+}
+
+impl WireVerdict {
+    /// `true` for [`WireVerdict::Accept`].
+    pub fn is_accept(self) -> bool {
+        matches!(self, WireVerdict::Accept)
+    }
+
+    /// `true` for [`WireVerdict::Flagged`].
+    pub fn is_flagged(self) -> bool {
+        matches!(self, WireVerdict::Flagged(_))
+    }
+
+    fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            WireVerdict::Accept => out.put_u8(0),
+            WireVerdict::Reject => out.put_u8(1),
+            WireVerdict::Flagged(reason) => {
+                out.put_u8(2);
+                out.put_u8(reason.code());
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(WireVerdict::Accept),
+            1 => Ok(WireVerdict::Reject),
+            2 => Ok(WireVerdict::Flagged(WireFlagReason::from_code(r.u8()?)?)),
+            value => Err(DecodeError::UnknownDiscriminant {
+                field: "verdict",
+                value,
+            }),
+        }
+    }
+}
+
+/// What the authenticating device answered the nonce with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireAuthResponse {
+    /// Key reconstruction failed observably.
+    Failure,
+    /// HMAC tag over the nonce under the device's derived credential.
+    Tag([u8; 32]),
+}
+
+impl WireAuthResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WireAuthResponse::Failure => out.put_u8(0),
+            WireAuthResponse::Tag(tag) => {
+                out.put_u8(1);
+                out.extend_from_slice(tag);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(WireAuthResponse::Failure),
+            1 => Ok(WireAuthResponse::Tag(r.digest()?)),
+            value => Err(DecodeError::UnknownDiscriminant {
+                field: "auth_response",
+                value,
+            }),
+        }
+    }
+}
+
+/// One authentication attempt: the unit of both
+/// [`Request::Authenticate`] and [`Request::BatchAuthenticate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthItem {
+    /// Claimed device identity.
+    pub device_id: u64,
+    /// Logical timestamp (non-decreasing per device) driving the
+    /// verifier's rate-budget window.
+    pub now: u64,
+    /// Challenge nonce this request answers.
+    pub nonce: Vec<u8>,
+    /// The device's answer.
+    pub response: WireAuthResponse,
+    /// The device's current helper NVM contents when the gateway can
+    /// read them (`None` skips the integrity signal).
+    pub presented_helper: Option<Vec<u8>>,
+}
+
+impl AuthItem {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.device_id);
+        out.put_u64(self.now);
+        out.put_bytes(&self.nonce);
+        self.response.encode(out);
+        match &self.presented_helper {
+            None => out.put_u8(0),
+            Some(helper) => {
+                out.put_u8(1);
+                out.put_bytes(helper);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let device_id = r.u64()?;
+        let now = r.u64()?;
+        let nonce = r.bytes("nonce", MAX_BYTES)?;
+        let response = WireAuthResponse::decode(r)?;
+        let presented_helper = match r.u8()? {
+            0 => None,
+            1 => Some(r.bytes("presented_helper", MAX_BYTES)?),
+            value => {
+                return Err(DecodeError::UnknownDiscriminant {
+                    field: "presented_helper_marker",
+                    value,
+                })
+            }
+        };
+        Ok(Self {
+            device_id,
+            now,
+            nonce,
+            response,
+            presented_helper,
+        })
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Version handshake; the first message on a connection.
+    Hello {
+        /// Client's [`PROTOCOL_VERSION`].
+        protocol: u16,
+        /// Free-form client identification (UTF-8).
+        client: String,
+    },
+    /// Enroll a device: the registry stores the derived credential,
+    /// never the key.
+    Enroll {
+        /// Identity to enroll under.
+        device_id: u64,
+        /// Wire tag of the helper-data scheme.
+        scheme_tag: u8,
+        /// Helper blob as enrolled (integrity reference).
+        helper: Vec<u8>,
+        /// SHA-256 of the enrolled key bytes.
+        key_digest: [u8; 32],
+    },
+    /// One authentication attempt.
+    Authenticate(AuthItem),
+    /// A batch of attempts, served under amortized shard locking.
+    BatchAuthenticate {
+        /// The attempts, verdicts come back in this order.
+        items: Vec<AuthItem>,
+    },
+    /// Ask for a device's flag state.
+    QueryVerdict {
+        /// Device to look up.
+        device_id: u64,
+    },
+    /// Ask for a `ropuf-verifier/v1` registry snapshot.
+    Snapshot,
+}
+
+impl Request {
+    /// Encodes into a frame payload (type byte + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { protocol, client } => {
+                out.put_u8(ty::HELLO);
+                out.put_u16(*protocol);
+                out.put_bytes(client.as_bytes());
+            }
+            Request::Enroll {
+                device_id,
+                scheme_tag,
+                helper,
+                key_digest,
+            } => {
+                out.put_u8(ty::ENROLL);
+                out.put_u64(*device_id);
+                out.put_u8(*scheme_tag);
+                out.put_bytes(helper);
+                out.extend_from_slice(key_digest);
+            }
+            Request::Authenticate(item) => {
+                out.put_u8(ty::AUTHENTICATE);
+                item.encode(&mut out);
+            }
+            Request::BatchAuthenticate { items } => {
+                out.put_u8(ty::BATCH_AUTHENTICATE);
+                let count = u32::try_from(items.len()).expect("batch exceeds u32");
+                out.put_u32(count);
+                for item in items {
+                    item.encode(&mut out);
+                }
+            }
+            Request::QueryVerdict { device_id } => {
+                out.put_u8(ty::QUERY_VERDICT);
+                out.put_u64(*device_id);
+            }
+            Request::Snapshot => out.put_u8(ty::SNAPSHOT),
+        }
+        out
+    }
+
+    /// Decodes one frame payload. Strict: the payload must be exactly
+    /// one well-formed request.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`DecodeError`] for any malformed input; this function
+    /// never panics.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload);
+        let request = match r.u8()? {
+            ty::HELLO => Request::Hello {
+                protocol: r.u16()?,
+                client: r.string("client", MAX_BYTES)?,
+            },
+            ty::ENROLL => Request::Enroll {
+                device_id: r.u64()?,
+                scheme_tag: r.u8()?,
+                helper: r.bytes("helper", MAX_BYTES)?,
+                key_digest: r.digest()?,
+            },
+            ty::AUTHENTICATE => Request::Authenticate(AuthItem::decode(&mut r)?),
+            ty::BATCH_AUTHENTICATE => {
+                let count = r.count("batch_items", MAX_ITEMS)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(AuthItem::decode(&mut r)?);
+                }
+                Request::BatchAuthenticate { items }
+            }
+            ty::QUERY_VERDICT => Request::QueryVerdict {
+                device_id: r.u64()?,
+            },
+            ty::SNAPSHOT => Request::Snapshot,
+            other => return Err(DecodeError::UnknownMessage(other)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+/// Typed failure a server reports instead of a success response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Hello carried a protocol version this server does not speak.
+    UnsupportedProtocol,
+    /// Enroll named an id that is already enrolled.
+    DuplicateDevice,
+    /// The named device is not enrolled (flag queries only —
+    /// authentication deliberately answers `Reject` instead, so the
+    /// wire does not reveal enrollment status to guessers).
+    UnknownDevice,
+    /// The device is quarantined: its detector flagged it, and the
+    /// flag latches. Carried by the wire-level rejection of further
+    /// single-authentication traffic.
+    DeviceFlagged,
+    /// The frame decoded to no valid request.
+    MalformedRequest,
+    /// The server produced a response that exceeds the frame cap
+    /// (e.g. a registry snapshot past `MAX_FRAME`); the request was
+    /// served but the answer cannot travel this protocol revision.
+    ResponseTooLarge,
+}
+
+impl ErrorCode {
+    /// Wire discriminant.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::UnsupportedProtocol => 1,
+            ErrorCode::DuplicateDevice => 2,
+            ErrorCode::UnknownDevice => 3,
+            ErrorCode::DeviceFlagged => 4,
+            ErrorCode::MalformedRequest => 5,
+            ErrorCode::ResponseTooLarge => 6,
+        }
+    }
+
+    /// Parses a wire discriminant.
+    pub fn from_code(value: u8) -> Result<Self, DecodeError> {
+        match value {
+            1 => Ok(ErrorCode::UnsupportedProtocol),
+            2 => Ok(ErrorCode::DuplicateDevice),
+            3 => Ok(ErrorCode::UnknownDevice),
+            4 => Ok(ErrorCode::DeviceFlagged),
+            5 => Ok(ErrorCode::MalformedRequest),
+            6 => Ok(ErrorCode::ResponseTooLarge),
+            _ => Err(DecodeError::UnknownDiscriminant {
+                field: "error_code",
+                value,
+            }),
+        }
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Successful handshake.
+    HelloOk {
+        /// Server's [`PROTOCOL_VERSION`].
+        protocol: u16,
+        /// Free-form server identification (UTF-8).
+        server: String,
+    },
+    /// The enrollment was recorded.
+    EnrollOk {
+        /// Echo of the enrolled id.
+        device_id: u64,
+    },
+    /// Verdict for one [`Request::Authenticate`].
+    Verdict(WireVerdict),
+    /// Verdicts for one [`Request::BatchAuthenticate`], in item order.
+    VerdictBatch(Vec<WireVerdict>),
+    /// Answer to [`Request::QueryVerdict`].
+    FlagInfo {
+        /// `(timestamp, reason)` of the first flag; `None` when the
+        /// device is enrolled and unflagged.
+        flagged: Option<(u64, WireFlagReason)>,
+    },
+    /// A `ropuf-verifier/v1` registry snapshot.
+    SnapshotText {
+        /// The snapshot JSON document.
+        json: String,
+    },
+    /// Typed failure.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail (UTF-8, for logs — codes are the
+        /// contract).
+        detail: String,
+    },
+}
+
+impl Response {
+    /// Encodes into a frame payload (type byte + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::HelloOk { protocol, server } => {
+                out.put_u8(ty::HELLO_OK);
+                out.put_u16(*protocol);
+                out.put_bytes(server.as_bytes());
+            }
+            Response::EnrollOk { device_id } => {
+                out.put_u8(ty::ENROLL_OK);
+                out.put_u64(*device_id);
+            }
+            Response::Verdict(verdict) => {
+                out.put_u8(ty::VERDICT);
+                verdict.encode(&mut out);
+            }
+            Response::VerdictBatch(verdicts) => {
+                out.put_u8(ty::VERDICT_BATCH);
+                let count = u32::try_from(verdicts.len()).expect("batch exceeds u32");
+                out.put_u32(count);
+                for v in verdicts {
+                    v.encode(&mut out);
+                }
+            }
+            Response::FlagInfo { flagged } => {
+                out.put_u8(ty::FLAG_INFO);
+                match flagged {
+                    None => out.put_u8(0),
+                    Some((at, reason)) => {
+                        out.put_u8(1);
+                        out.put_u64(*at);
+                        out.put_u8(reason.code());
+                    }
+                }
+            }
+            Response::SnapshotText { json } => {
+                out.put_u8(ty::SNAPSHOT_TEXT);
+                out.put_bytes(json.as_bytes());
+            }
+            Response::Error { code, detail } => {
+                out.put_u8(ty::ERROR);
+                out.put_u8(code.code());
+                out.put_bytes(detail.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame payload. Strict, like [`Request::decode`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`DecodeError`] for any malformed input; this function
+    /// never panics.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload);
+        let response = match r.u8()? {
+            ty::HELLO_OK => Response::HelloOk {
+                protocol: r.u16()?,
+                server: r.string("server", MAX_BYTES)?,
+            },
+            ty::ENROLL_OK => Response::EnrollOk {
+                device_id: r.u64()?,
+            },
+            ty::VERDICT => Response::Verdict(WireVerdict::decode(&mut r)?),
+            ty::VERDICT_BATCH => {
+                let count = r.count("batch_verdicts", MAX_ITEMS)?;
+                let mut verdicts = Vec::with_capacity(count);
+                for _ in 0..count {
+                    verdicts.push(WireVerdict::decode(&mut r)?);
+                }
+                Response::VerdictBatch(verdicts)
+            }
+            ty::FLAG_INFO => Response::FlagInfo {
+                flagged: match r.u8()? {
+                    0 => None,
+                    1 => Some((r.u64()?, WireFlagReason::from_code(r.u8()?)?)),
+                    value => {
+                        return Err(DecodeError::UnknownDiscriminant {
+                            field: "flag_marker",
+                            value,
+                        })
+                    }
+                },
+            },
+            ty::SNAPSHOT_TEXT => Response::SnapshotText {
+                // Snapshots may legitimately exceed MAX_BYTES; the
+                // frame-size cap is the allocation bound here.
+                json: r.string("snapshot", crate::frame::MAX_FRAME as usize)?,
+            },
+            ty::ERROR => Response::Error {
+                code: ErrorCode::from_code(r.u8()?)?,
+                detail: r.string("detail", MAX_BYTES)?,
+            },
+            other => return Err(DecodeError::UnknownMessage(other)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_item() -> AuthItem {
+        AuthItem {
+            device_id: 42,
+            now: 7,
+            nonce: b"nonce-0".to_vec(),
+            response: WireAuthResponse::Tag([9; 32]),
+            presented_helper: Some(vec![0x4C, 1, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        let requests = vec![
+            Request::Hello {
+                protocol: PROTOCOL_VERSION,
+                client: "loadgen".into(),
+            },
+            Request::Enroll {
+                device_id: 5,
+                scheme_tag: b'L',
+                helper: vec![1, 2, 3],
+                key_digest: [7; 32],
+            },
+            Request::Authenticate(sample_item()),
+            Request::BatchAuthenticate {
+                items: vec![
+                    sample_item(),
+                    AuthItem {
+                        presented_helper: None,
+                        response: WireAuthResponse::Failure,
+                        ..sample_item()
+                    },
+                ],
+            },
+            Request::QueryVerdict { device_id: 1 },
+            Request::Snapshot,
+        ];
+        for request in requests {
+            let bytes = request.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        let responses = vec![
+            Response::HelloOk {
+                protocol: 1,
+                server: "ropuf-server".into(),
+            },
+            Response::EnrollOk { device_id: 9 },
+            Response::Verdict(WireVerdict::Accept),
+            Response::Verdict(WireVerdict::Flagged(WireFlagReason::RateBudget)),
+            Response::VerdictBatch(vec![
+                WireVerdict::Accept,
+                WireVerdict::Reject,
+                WireVerdict::Flagged(WireFlagReason::HelperMismatch),
+            ]),
+            Response::FlagInfo { flagged: None },
+            Response::FlagInfo {
+                flagged: Some((77, WireFlagReason::FailureStreak)),
+            },
+            Response::SnapshotText {
+                json: "{\"schema\": \"ropuf-verifier/v1\"}".into(),
+            },
+            Response::Error {
+                code: ErrorCode::DeviceFlagged,
+                detail: "quarantined".into(),
+            },
+        ];
+        for response in responses {
+            let bytes = response.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn unknown_type_bytes_are_typed_errors() {
+        assert_eq!(
+            Request::decode(&[0x7F]),
+            Err(DecodeError::UnknownMessage(0x7F))
+        );
+        assert_eq!(
+            Response::decode(&[0x02, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(DecodeError::UnknownMessage(0x02)),
+            "request bytes are not valid responses"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Request::Snapshot.encode();
+        bytes.push(0);
+        assert_eq!(Request::decode(&bytes), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn forged_batch_count_is_rejected_before_allocation() {
+        let mut bytes = vec![0x04]; // BatchAuthenticate
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(DecodeError::LengthOutOfBounds {
+                field: "batch_items",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn error_code_discriminants_are_stable() {
+        for code in [
+            ErrorCode::UnsupportedProtocol,
+            ErrorCode::DuplicateDevice,
+            ErrorCode::UnknownDevice,
+            ErrorCode::DeviceFlagged,
+            ErrorCode::MalformedRequest,
+            ErrorCode::ResponseTooLarge,
+        ] {
+            assert_eq!(ErrorCode::from_code(code.code()), Ok(code));
+        }
+        assert!(ErrorCode::from_code(0).is_err());
+        assert!(ErrorCode::from_code(7).is_err());
+        assert!(ErrorCode::from_code(99).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! The network serving surface of the ropuf verifier.
+//!
+//! PR 2 built the defender half — sharded registry, HMAC
+//! authentication, online attack detection — but only as an in-process
+//! library. This crate puts it on the wire: a concurrent TCP server
+//! speaking [`ropuf-wire/v1`](ropuf_proto), an in-process loopback
+//! transport with byte-identical semantics for deterministic tests,
+//! a typed client, and the campaign-driven traffic model the `loadgen`
+//! harness replays against it. Every future scaling PR (async I/O,
+//! caching, replication) builds on this layer.
+//!
+//! # Pieces
+//!
+//! * [`handler`] — [`RequestHandler`]: protocol semantics against the
+//!   shared [`Verifier`](ropuf_verifier::Verifier); quarantined
+//!   devices are rejected at the wire with
+//!   [`ErrorCode::DeviceFlagged`](ropuf_proto::ErrorCode).
+//! * [`tcp`] — [`TcpServer`]: `std::net::TcpListener` accept loop
+//!   dispatching connections to a fixed worker-thread pool, plus the
+//!   client-side [`TcpTransport`].
+//! * [`transport`] — the [`Transport`] abstraction, the
+//!   [`LoopbackTransport`] (same handler, full codec, no sockets) and
+//!   the typed [`Client`].
+//! * [`traffic`] — [`TrafficPlan`]: deterministic mixed benign/LISA
+//!   workloads built from campaign fleet seeds, replayable over any
+//!   transport.
+//!
+//! # Example: loopback serving
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ropuf_server::{Client, LoopbackTransport, VerifierHandler};
+//! use ropuf_verifier::{DetectorConfig, Verifier};
+//!
+//! let verifier = Arc::new(Verifier::new(4, DetectorConfig::default()));
+//! let handler = Arc::new(VerifierHandler::new(verifier));
+//! let mut client = Client::new(LoopbackTransport::new(handler));
+//! let server = client.hello("example").unwrap();
+//! assert!(server.starts_with("ropuf-server/"));
+//! ```
+//!
+//! For the socket path, see [`TcpServer`] and the `loadgen` binary in
+//! `crates/bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod handler;
+pub mod tcp;
+pub mod traffic;
+pub mod transport;
+
+pub use handler::{wire_reason, wire_verdict, RequestHandler, VerifierHandler};
+pub use tcp::{TcpServer, TcpTransport};
+pub use traffic::{DeviceTraffic, Role, TrafficPlan, TrafficSpec};
+pub use transport::{Client, ClientError, LoopbackTransport, Transport};

@@ -1,0 +1,250 @@
+//! The TCP serving surface.
+//!
+//! ```text
+//!            accept loop (1 thread)
+//!   TcpListener ──────────────┐
+//!        │   connections      │ mpsc channel (bounded by backlog)
+//!        ▼                    ▼
+//!   ┌─────────────────────────────────────┐
+//!   │ fixed worker pool (N threads)       │   each worker:
+//!   │  worker 0   worker 1  …  worker N-1 │   FrameReader → Request
+//!   └─────────────────────────────────────┘   → handler.handle()
+//!        │ per-shard locks inside the Verifier │ → FrameWriter
+//!        ▼
+//!   shared RequestHandler (Arc)
+//! ```
+//!
+//! One worker owns one connection at a time and serves its requests
+//! back-to-back (the protocol is strictly request/response per
+//! connection; concurrency comes from many connections). Malformed
+//! frames are answered with a typed
+//! [`ErrorCode::MalformedRequest`](ropuf_proto::ErrorCode) error
+//! before the connection is dropped — a hostile peer learns the
+//! request was bad, not a stack trace.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ropuf_proto::{ErrorCode, FrameError, FrameReader, FrameWriter, Response};
+
+use crate::handler::RequestHandler;
+
+/// A running TCP server: accept thread + fixed worker pool.
+///
+/// Dropping the handle without calling [`TcpServer::shutdown`] leaks
+/// the serving threads until process exit; tests and binaries should
+/// shut down explicitly.
+#[derive(Debug)]
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// Clones of the currently live connections keyed by a serial id,
+    /// so shutdown can force-close streams a worker is still blocked
+    /// reading. Workers remove their entry (dropping the duplicate
+    /// descriptor) as soon as their connection finishes.
+    connections: Arc<Mutex<Vec<(u64, TcpStream)>>>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts one
+    /// accept thread plus `workers` serving threads (`0` is promoted
+    /// to 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+        workers: usize,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let worker_handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let connections = Arc::clone(&connections);
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only while claiming.
+                    let next = rx.lock().expect("worker queue poisoned").recv();
+                    match next {
+                        Ok((conn_id, stream)) => {
+                            serve_connection(stream, handler.as_ref());
+                            // Release the shutdown registry's duplicate
+                            // descriptor now, not at server shutdown.
+                            connections
+                                .lock()
+                                .expect("connection list poisoned")
+                                .retain(|(id, _)| *id != conn_id);
+                        }
+                        Err(_) => break, // accept loop gone: drain done
+                    }
+                })
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&connections);
+        let accept_thread = std::thread::spawn(move || {
+            let mut next_id = 0u64;
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let conn_id = next_id;
+                        next_id += 1;
+                        if let Ok(clone) = stream.try_clone() {
+                            accept_conns
+                                .lock()
+                                .expect("connection list poisoned")
+                                .push((conn_id, clone));
+                        }
+                        if tx.send((conn_id, stream)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // `tx` drops here; workers drain queued connections and exit.
+        });
+
+        Ok(Self {
+            local_addr,
+            stop,
+            connections,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, force-closes every open connection (clients
+    /// mid-exchange see EOF/reset), and joins every serving thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Unblock workers parked in a read on a live connection.
+        for (_, conn) in self
+            .connections
+            .lock()
+            .expect("connection list poisoned")
+            .drain(..)
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serves one connection to completion: request frames in, response
+/// frames out, until clean EOF, transport failure, or a malformed
+/// frame (answered, then dropped).
+fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
+    stream.set_nodelay(true).ok(); // response latency over batching
+    let (Ok(write_half), Ok(closer)) = (stream.try_clone(), stream.try_clone()) else {
+        return;
+    };
+    let mut reader = FrameReader::new(stream);
+    let mut writer = FrameWriter::new(write_half);
+    loop {
+        match reader.read_request() {
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                match writer.write_response(&handler.handle(request)) {
+                    Ok(()) => {}
+                    // The answer outgrew the frame cap (giant registry
+                    // snapshot): tell the client why and keep serving —
+                    // nothing was half-written.
+                    Err(FrameError::Oversize(n)) => {
+                        let fallback = writer.write_response(&Response::Error {
+                            code: ErrorCode::ResponseTooLarge,
+                            detail: format!(
+                                "response needs {n} bytes, frame cap is {}",
+                                ropuf_proto::MAX_FRAME
+                            ),
+                        });
+                        if fallback.is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            Err(e) if e.is_peer_fault() => {
+                let _ = writer.write_response(&Response::Error {
+                    code: ErrorCode::MalformedRequest,
+                    detail: e.to_string(),
+                });
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    // Actively close: the server's shutdown registry may still hold a
+    // clone of this socket, and the peer deserves a real EOF now.
+    let _ = closer.shutdown(std::net::Shutdown::Both);
+}
+
+/// Client-side transport over a connected [`TcpStream`].
+#[derive(Debug)]
+pub struct TcpTransport {
+    reader: FrameReader<TcpStream>,
+    writer: FrameWriter<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok(); // latency over batching
+        let write_half = stream.try_clone()?;
+        Ok(Self {
+            reader: FrameReader::new(stream),
+            writer: FrameWriter::new(write_half),
+        })
+    }
+}
+
+impl crate::transport::Transport for TcpTransport {
+    fn roundtrip(
+        &mut self,
+        request: &ropuf_proto::Request,
+    ) -> Result<ropuf_proto::Response, FrameError> {
+        self.writer.write_request(request)?;
+        match self.reader.read_response()? {
+            Some(response) => Ok(response),
+            None => Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-exchange",
+            ))),
+        }
+    }
+}

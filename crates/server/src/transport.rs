@@ -1,0 +1,262 @@
+//! Client-side transports and the typed protocol client.
+//!
+//! [`Transport`] is one request/response exchange; two implementations
+//! exist — [`TcpTransport`](crate::tcp::TcpTransport) over real
+//! sockets and [`LoopbackTransport`] calling a handler in-process.
+//! The loopback path still **encodes and decodes both directions**
+//! through the `ropuf_proto` codec, so a loopback scenario exercises
+//! byte-identical wire behavior (minus the kernel) and replays
+//! bit-for-bit deterministically — which is what the campaign replay
+//! tests assert.
+
+use std::sync::Arc;
+
+use ropuf_proto::{
+    AuthItem, ErrorCode, FrameError, Request, Response, WireFlagReason, WireVerdict,
+    PROTOCOL_VERSION,
+};
+
+use crate::handler::RequestHandler;
+
+/// One synchronous request/response exchange with a server.
+pub trait Transport {
+    /// Sends `request` and awaits its response.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] on transport or codec failure.
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, FrameError>;
+}
+
+/// In-process transport: the same handler the TCP workers call,
+/// reached through a full encode/decode of both the request and the
+/// response, without sockets. Deterministic and dependency-free — the
+/// campaign/test path.
+pub struct LoopbackTransport {
+    handler: Arc<dyn RequestHandler>,
+}
+
+impl std::fmt::Debug for LoopbackTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackTransport").finish_non_exhaustive()
+    }
+}
+
+impl LoopbackTransport {
+    /// Wraps a handler.
+    pub fn new(handler: Arc<dyn RequestHandler>) -> Self {
+        Self { handler }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, FrameError> {
+        // Encode → decode the request, exactly as the socket path would.
+        let decoded = Request::decode(&request.encode())?;
+        let response = self.handler.handle(decoded);
+        // And the response takes the same trip back.
+        Ok(Response::decode(&response.encode())?)
+    }
+}
+
+/// Client-side failure: transport trouble, a server-reported wire
+/// error, or a response of the wrong shape.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The exchange itself failed.
+    Transport(FrameError),
+    /// The server answered with a typed wire error.
+    Server {
+        /// The typed code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The server answered with a response type the request cannot
+    /// produce (protocol bug or hostile server).
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Server { code, detail } => {
+                write!(f, "server error {code:?}: {detail}")
+            }
+            ClientError::UnexpectedResponse(expected) => {
+                write!(f, "response shape mismatch: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl ClientError {
+    /// The wire error code, when the failure is a server-reported
+    /// error.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// Typed `ropuf-wire/v1` client over any [`Transport`].
+#[derive(Debug)]
+pub struct Client<T: Transport> {
+    transport: T,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a transport. Callers usually [`Client::hello`] first.
+    pub fn new(transport: T) -> Self {
+        Self { transport }
+    }
+
+    fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.transport.roundtrip(request)? {
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            response => Ok(response),
+        }
+    }
+
+    /// Version handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnsupportedProtocol`]
+    /// on version mismatch.
+    pub fn hello(&mut self, client_name: &str) -> Result<String, ClientError> {
+        match self.exchange(&Request::Hello {
+            protocol: PROTOCOL_VERSION,
+            client: client_name.to_string(),
+        })? {
+            Response::HelloOk { server, .. } => Ok(server),
+            _ => Err(ClientError::UnexpectedResponse("HelloOk")),
+        }
+    }
+
+    /// Enrolls a device (the registry stores the digest, never a key).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::DuplicateDevice`] when the id is taken.
+    pub fn enroll(
+        &mut self,
+        device_id: u64,
+        scheme_tag: u8,
+        helper: Vec<u8>,
+        key_digest: [u8; 32],
+    ) -> Result<(), ClientError> {
+        match self.exchange(&Request::Enroll {
+            device_id,
+            scheme_tag,
+            helper,
+            key_digest,
+        })? {
+            Response::EnrollOk { .. } => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("EnrollOk")),
+        }
+    }
+
+    /// One authentication attempt.
+    ///
+    /// # Errors
+    ///
+    /// A quarantined device comes back as [`ClientError::Server`] with
+    /// [`ErrorCode::DeviceFlagged`] — the wire-level rejection.
+    pub fn authenticate(&mut self, item: AuthItem) -> Result<WireVerdict, ClientError> {
+        match self.exchange(&Request::Authenticate(item))? {
+            Response::Verdict(verdict) => Ok(verdict),
+            _ => Err(ClientError::UnexpectedResponse("Verdict")),
+        }
+    }
+
+    /// A batch of attempts; verdicts come back in item order, flags
+    /// inline.
+    ///
+    /// # Errors
+    ///
+    /// Transport/shape failures only — per-item outcomes are verdicts.
+    pub fn authenticate_batch(
+        &mut self,
+        items: Vec<AuthItem>,
+    ) -> Result<Vec<WireVerdict>, ClientError> {
+        match self.exchange(&Request::BatchAuthenticate { items })? {
+            Response::VerdictBatch(verdicts) => Ok(verdicts),
+            _ => Err(ClientError::UnexpectedResponse("VerdictBatch")),
+        }
+    }
+
+    /// A device's flag state: `None` when enrolled and unflagged.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownDevice`] when the id is not enrolled.
+    pub fn query_verdict(
+        &mut self,
+        device_id: u64,
+    ) -> Result<Option<(u64, WireFlagReason)>, ClientError> {
+        match self.exchange(&Request::QueryVerdict { device_id })? {
+            Response::FlagInfo { flagged } => Ok(flagged),
+            _ => Err(ClientError::UnexpectedResponse("FlagInfo")),
+        }
+    }
+
+    /// A `ropuf-verifier/v1` registry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport/shape failures.
+    pub fn snapshot(&mut self) -> Result<String, ClientError> {
+        match self.exchange(&Request::Snapshot)? {
+            Response::SnapshotText { json } => Ok(json),
+            _ => Err(ClientError::UnexpectedResponse("SnapshotText")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::VerifierHandler;
+    use ropuf_verifier::{DetectorConfig, Verifier};
+
+    fn loopback_client() -> Client<LoopbackTransport> {
+        let verifier = Arc::new(Verifier::new(2, DetectorConfig::default()));
+        Client::new(LoopbackTransport::new(Arc::new(VerifierHandler::new(
+            verifier,
+        ))))
+    }
+
+    #[test]
+    fn hello_over_loopback() {
+        let mut client = loopback_client();
+        let server = client.hello("unit-test").unwrap();
+        assert!(server.starts_with("ropuf-server/"), "{server}");
+    }
+
+    #[test]
+    fn server_errors_become_typed_client_errors() {
+        let mut client = loopback_client();
+        let err = client.query_verdict(12345).unwrap_err();
+        assert_eq!(err.error_code(), Some(ErrorCode::UnknownDevice));
+        assert!(err.to_string().contains("12345"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_over_loopback() {
+        let mut client = loopback_client();
+        let json = client.snapshot().unwrap();
+        assert!(json.contains("ropuf-verifier/v1"));
+    }
+}

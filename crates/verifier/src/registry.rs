@@ -177,6 +177,57 @@ impl ShardedRegistry {
         Ok(())
     }
 
+    /// Enrolls a whole batch, locking each shard **once** per batch
+    /// instead of once per device — the bulk path fleet provisioning
+    /// (loadgen, server startup) goes through. Results come back in
+    /// input order; a device id appearing twice in one batch enrolls
+    /// the first occurrence and reports
+    /// [`RegistryError::Duplicate`] for the rest, exactly as
+    /// sequential [`ShardedRegistry::enroll`] calls would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock is poisoned (a previous holder panicked).
+    pub fn enroll_batch(
+        &self,
+        entries: Vec<(u64, EnrollmentRecord)>,
+    ) -> Vec<Result<(), RegistryError>> {
+        let mut results: Vec<Result<(), RegistryError>> = Vec::with_capacity(entries.len());
+        results.resize_with(entries.len(), || Ok(()));
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.shard_count()];
+        for (i, (device_id, _)) in entries.iter().enumerate() {
+            buckets[self.shard_of(*device_id)].push(i);
+        }
+        // Build the detectors (digest work over each helper blob)
+        // *before* taking any shard lock, like the sequential path —
+        // concurrent serving traffic must not stall behind a bulk load.
+        let mut entries: Vec<Option<(u64, DeviceEntry)>> = entries
+            .into_iter()
+            .map(|(device_id, record)| {
+                let detector =
+                    DeviceDetector::new(self.detector_config, record.scheme_tag, &record.helper);
+                Some((device_id, DeviceEntry { record, detector }))
+            })
+            .collect();
+        for (shard_index, indices) in buckets.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[shard_index]
+                .lock()
+                .expect("shard lock poisoned");
+            for &i in indices {
+                let (device_id, entry) = entries[i].take().expect("each entry consumed once");
+                if shard.contains_key(&device_id) {
+                    results[i] = Err(RegistryError::Duplicate { device_id });
+                    continue;
+                }
+                shard.insert(device_id, entry);
+            }
+        }
+        results
+    }
+
     /// Total enrolled devices (locks every shard once).
     pub fn len(&self) -> usize {
         self.shards
@@ -388,6 +439,41 @@ mod tests {
             "sequential ids should hit most of 8 shards, got {}",
             seen.len()
         );
+    }
+
+    #[test]
+    fn enroll_batch_matches_sequential_and_reports_duplicates_in_order() {
+        // Sequential reference.
+        let seq = ShardedRegistry::new(4, DetectorConfig::default());
+        for id in 0..16u64 {
+            seq.enroll(id, record(id as u8)).unwrap();
+        }
+        // Batched: same 16 devices plus an intra-batch duplicate and a
+        // duplicate of an already-batched id.
+        let pre = ShardedRegistry::new(4, DetectorConfig::default());
+        pre.enroll(100, record(1)).unwrap();
+        let mut batch: Vec<(u64, EnrollmentRecord)> =
+            (0..16u64).map(|id| (id, record(id as u8))).collect();
+        batch.push((3, record(99))); // intra-batch duplicate
+        batch.push((100, record(98))); // already enrolled
+        let results = pre.enroll_batch(batch);
+        assert_eq!(results.len(), 18);
+        assert!(results[..16].iter().all(Result::is_ok));
+        assert_eq!(
+            results[16],
+            Err(RegistryError::Duplicate { device_id: 3 }),
+            "second occurrence in one batch loses"
+        );
+        assert_eq!(
+            results[17],
+            Err(RegistryError::Duplicate { device_id: 100 })
+        );
+        assert_eq!(pre.len(), 17);
+        // First occurrence won: device 3 kept its original record.
+        assert_eq!(pre.record(3).unwrap().key_digest, [3; 32]);
+        for id in 0..16u64 {
+            assert_eq!(pre.record(id), seq.record(id), "device {id}");
+        }
     }
 
     #[test]

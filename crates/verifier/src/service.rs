@@ -44,6 +44,22 @@ pub fn device_auth_response(device: &mut Device, nonce: &[u8], env: Environment)
     }
 }
 
+/// One device's inputs to [`Verifier::enroll_batch`]: the same data
+/// [`Verifier::enroll`] takes, with the key already reduced to its
+/// digest so bulk callers (wire enrollment, snapshot imports) never
+/// need the raw key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEnrollment {
+    /// Identity to enroll under.
+    pub device_id: u64,
+    /// Wire tag of the scheme the device was enrolled with.
+    pub scheme_tag: u8,
+    /// The helper blob as enrolled (integrity reference).
+    pub helper: Vec<u8>,
+    /// The derived verification credential ([`auth_key`]).
+    pub key_digest: [u8; 32],
+}
+
 /// One authentication request as the verifier sees it.
 #[derive(Debug, Clone)]
 pub struct AuthRequest {
@@ -122,6 +138,30 @@ impl Verifier {
                 helper: helper.to_vec(),
                 key_digest: auth_key(key),
             },
+        )
+    }
+
+    /// Enrolls a whole fleet in one shard-partitioned call: entries
+    /// are bucketed by shard and each shard lock is taken **once** per
+    /// batch instead of once per device. Results come back in input
+    /// order; duplicates (against the registry or within the batch)
+    /// report [`RegistryError::Duplicate`] individually, exactly as a
+    /// per-device [`Verifier::enroll`] loop would.
+    pub fn enroll_batch(&self, batch: Vec<BatchEnrollment>) -> Vec<Result<(), RegistryError>> {
+        self.registry.enroll_batch(
+            batch
+                .into_iter()
+                .map(|e| {
+                    (
+                        e.device_id,
+                        EnrollmentRecord {
+                            scheme_tag: e.scheme_tag,
+                            helper: e.helper,
+                            key_digest: e.key_digest,
+                        },
+                    )
+                })
+                .collect(),
         )
     }
 
@@ -371,6 +411,48 @@ mod tests {
         let verdicts = v.authenticate_batch(&[stranger, good]);
         assert_eq!(verdicts[0], AuthVerdict::Reject);
         assert!(verdicts[1].is_accept());
+    }
+
+    #[test]
+    fn enroll_batch_then_authenticate() {
+        let mut d0 = provisioned(9);
+        let mut d1 = provisioned(10);
+        let v = Verifier::new(4, DetectorConfig::default());
+        let batch = vec![
+            BatchEnrollment {
+                device_id: 0,
+                scheme_tag: LISA_TAG,
+                helper: d0.helper().to_vec(),
+                key_digest: auth_key(d0.enrolled_key()),
+            },
+            BatchEnrollment {
+                device_id: 1,
+                scheme_tag: LISA_TAG,
+                helper: d1.helper().to_vec(),
+                key_digest: auth_key(d1.enrolled_key()),
+            },
+            BatchEnrollment {
+                device_id: 1, // intra-batch duplicate
+                scheme_tag: LISA_TAG,
+                helper: d1.helper().to_vec(),
+                key_digest: [0; 32],
+            },
+        ];
+        let results = v.enroll_batch(batch);
+        assert_eq!(
+            results,
+            vec![
+                Ok(()),
+                Ok(()),
+                Err(RegistryError::Duplicate { device_id: 1 })
+            ]
+        );
+        assert_eq!(v.registry().len(), 2);
+        // The first occurrence's credential won, so both authenticate.
+        for (id, dev) in [(0u64, &mut d0), (1u64, &mut d1)] {
+            let req = genuine_request(dev, id, 0, b"post-batch");
+            assert!(v.authenticate(&req).is_accept(), "device {id}");
+        }
     }
 
     #[test]
