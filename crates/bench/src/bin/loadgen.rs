@@ -66,7 +66,9 @@ fn replay_device<T: Transport>(
     };
     for (i, item) in device.requests.iter().enumerate() {
         let t0 = Instant::now();
-        let result = client.authenticate(item.clone());
+        // Borrowed replay: the recorded item is encoded straight from
+        // the plan's buffers — no per-request clone.
+        let result = client.authenticate_ref(item.as_ref());
         latencies.record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
         match result {
             Ok(verdict) if verdict.is_accept() => outcome.accepted += 1,

@@ -1,0 +1,298 @@
+//! Layer-by-layer hot-path benchmark with a machine-readable artifact
+//! — the first entry of the repo's perf trajectory.
+//!
+//! ```text
+//! perf_hotpath [--smoke] [--seed S] [--devices D] [--shards M]
+//!              [--batch B] [--json PATH]
+//! ```
+//!
+//! Measures each layer of the authentication serving stack in one run,
+//! fast path against its in-tree reference path, and writes the
+//! results as `BENCH_hotpath.json` (schema `ropuf-bench-hotpath/v1`)
+//! so later PRs have a baseline to regress against:
+//!
+//! 1. **hash** — HMAC-SHA256 tags/s with a cached [`HmacKey`] midstate
+//!    vs the one-shot `hmac_sha256` that re-derives the key schedule
+//!    per message.
+//! 2. **proto** — ns/message for `encode_into` (reused buffer) vs
+//!    `encode` (fresh `Vec`), and borrowing `RequestRef::decode` vs
+//!    owned `Request::decode`, over a representative authenticate
+//!    frame.
+//! 3. **verifier** — batched authentication ops/s through the cached
+//!    midstate + preallocated-scratch path vs
+//!    `authenticate_batch_reference` (full key schedule per request),
+//!    same fleet, same run.
+//! 4. **sim/oracle** — oracle queries/s through `probe_failures` with
+//!    the device's reused measurement scratch.
+//!
+//! The speedup gates are **asserted**, not just printed: the binary
+//! exits nonzero if the cached-HMAC or cached-auth speedups fall below
+//! their floors, so CI catches a regression that silently disables the
+//! caches.
+
+use std::time::Instant;
+
+use ropuf_attacks::oracle::Probe;
+use ropuf_attacks::Oracle;
+use ropuf_bench::{parse_flags, write_artifact};
+use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme, LISA_TAG};
+use ropuf_constructions::{Device, DeviceResponse};
+use ropuf_hash::{hmac_sha256, HmacKey};
+use ropuf_proto::{AuthItem, Request, RequestRef, WireAuthResponse};
+use ropuf_sim::{ArrayDims, Environment, RoArrayBuilder};
+use ropuf_verifier::{
+    client_tag, AuthRequest, BatchScratch, DetectorConfig, EnrollmentRecord, Verifier,
+};
+
+/// Schema tag of the artifact this binary writes.
+const SCHEMA: &str = "ropuf-bench-hotpath/v1";
+
+/// Times `iters` runs of `f`, returning (ops/s, ns/op).
+fn time_ops(iters: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-12);
+    (iters as f64 / secs, secs * 1e9 / iters as f64)
+}
+
+/// Deterministic pseudo-random bytes (no RNG dependency needed here).
+fn fill_bytes(seed: u64, out: &mut [u8]) {
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for b in out {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = x as u8;
+    }
+}
+
+fn main() {
+    let flags = parse_flags();
+    flags.expect_known(&["smoke", "seed", "devices", "shards", "batch", "json"]);
+    let smoke = flags.has("smoke");
+    let seed = flags.get_u64("seed").unwrap_or(1);
+    let devices = flags.get_usize("devices").unwrap_or(64);
+    let shards = flags.get_usize("shards").unwrap_or(8);
+    let batch = flags.get_usize("batch").unwrap_or(256);
+    let json_path = flags
+        .get_required_value("json")
+        .unwrap_or("BENCH_hotpath.json")
+        .to_string();
+    // Iteration counts: smoke keeps CI fast but stays well above
+    // timer resolution (each measurement runs tens of milliseconds).
+    let hmac_iters = if smoke { 200_000 } else { 2_000_000 };
+    let codec_iters = if smoke { 50_000 } else { 500_000 };
+    let auth_rounds = if smoke { 40 } else { 400 };
+    let oracle_trials = if smoke { 400 } else { 4_000 };
+    // Speedup floors. The full-run floors are the acceptance bar; the
+    // smoke floors keep a guardband for short measurements on noisy
+    // shared CI cores without letting a disabled cache slip through.
+    let (hmac_floor, auth_floor) = if smoke { (1.3, 1.2) } else { (1.5, 1.5) };
+
+    ropuf_bench::header(
+        "PERF_HOTPATH — per-layer serving-stack benchmark",
+        "cached HMAC midstates, allocation-free codec and scratch-reusing batch auth keep the request path compute-bound, >=1.5x over the key-schedule-per-request reference",
+    );
+
+    // ── 1. hash: cached midstate vs one-shot key schedule ──────────
+    let mut key = [0u8; 32];
+    fill_bytes(seed, &mut key);
+    let mut nonce = [0u8; 32];
+    fill_bytes(seed ^ 0xA5A5, &mut nonce);
+    let cached_key = HmacKey::new(&key);
+    // Fold each tag byte into a sink so the hash work cannot be
+    // optimized away.
+    let mut sink = 0u64;
+    let (hmac_cached_ops, hmac_cached_ns) = time_ops(hmac_iters, || {
+        sink = sink.wrapping_add(u64::from(cached_key.tag(&nonce)[0]));
+    });
+    let (hmac_uncached_ops, hmac_uncached_ns) = time_ops(hmac_iters, || {
+        sink = sink.wrapping_add(u64::from(hmac_sha256(&key, &nonce)[0]));
+    });
+    let hmac_speedup = hmac_cached_ops / hmac_uncached_ops;
+    println!("\n[hash] HMAC-SHA256 over a 32-byte nonce ({hmac_iters} iters)");
+    println!("  cached midstate : {hmac_cached_ops:>12.0} tags/s  ({hmac_cached_ns:.0} ns/tag)");
+    println!(
+        "  one-shot        : {hmac_uncached_ops:>12.0} tags/s  ({hmac_uncached_ns:.0} ns/tag)"
+    );
+    println!("  speedup         : {hmac_speedup:.2}x");
+
+    // ── 2. proto: reused vs allocating encode/decode ───────────────
+    let mut helper = vec![0u8; 120];
+    fill_bytes(seed ^ 0x0C0DE, &mut helper);
+    let item = AuthItem {
+        device_id: 42,
+        now: 7,
+        nonce: nonce.to_vec(),
+        response: WireAuthResponse::Tag([9; 32]),
+        presented_helper: Some(helper.clone()),
+    };
+    let request = Request::Authenticate(item);
+    let frame = request.encode();
+    let mut reused = Vec::new();
+    let mut len_sink = 0usize;
+    let (_, encode_into_ns) = time_ops(codec_iters, || {
+        request.encode_into(&mut reused);
+        len_sink = len_sink.wrapping_add(reused.len());
+    });
+    let (_, encode_alloc_ns) = time_ops(codec_iters, || {
+        len_sink = len_sink.wrapping_add(request.encode().len());
+    });
+    let (_, decode_ref_ns) = time_ops(codec_iters, || {
+        let decoded = RequestRef::decode(&frame).expect("valid frame");
+        if let RequestRef::Authenticate(item) = decoded {
+            len_sink = len_sink.wrapping_add(item.nonce.len());
+        }
+    });
+    let (_, decode_owned_ns) = time_ops(codec_iters, || {
+        let decoded = Request::decode(&frame).expect("valid frame");
+        if let Request::Authenticate(item) = decoded {
+            len_sink = len_sink.wrapping_add(item.nonce.len());
+        }
+    });
+    println!(
+        "\n[proto] {}-byte authenticate frame ({codec_iters} iters)",
+        frame.len()
+    );
+    println!("  encode_into (reused buffer) : {encode_into_ns:>8.0} ns/msg");
+    println!("  encode (fresh Vec)          : {encode_alloc_ns:>8.0} ns/msg");
+    println!("  decode RequestRef (borrow)  : {decode_ref_ns:>8.0} ns/msg");
+    println!("  decode Request (owned)      : {decode_owned_ns:>8.0} ns/msg");
+
+    // ── 3. verifier: cached batch auth vs reference key schedule ───
+    // Synthetic fleet: credentials only — this layer measures serving,
+    // not PUF physics. Detector budgets are opened wide so the
+    // measured loop is lookup + HMAC + detector bookkeeping, with no
+    // device ever latching into quarantine mid-benchmark.
+    let wide_open = DetectorConfig {
+        integrity_check: true,
+        rate_window: 1,
+        rate_budget: u32::MAX,
+        failure_streak: u32::MAX,
+    };
+    let enroll_fleet = |shards: usize| {
+        let v = Verifier::new(shards, wide_open);
+        for d in 0..devices as u64 {
+            let mut digest = [0u8; 32];
+            fill_bytes(seed ^ d, &mut digest);
+            let mut helper = vec![0u8; 64];
+            fill_bytes(seed ^ d ^ 0x48_45_4C_50, &mut helper);
+            v.registry()
+                .enroll(
+                    d,
+                    EnrollmentRecord {
+                        scheme_tag: LISA_TAG,
+                        helper,
+                        key_digest: digest,
+                    },
+                )
+                .expect("fresh ids");
+        }
+        v
+    };
+    let cached_v = enroll_fleet(shards);
+    let reference_v = enroll_fleet(shards);
+    // One recorded batch, replayed every round: genuine tags answered
+    // with per-request nonces, no presented helper (the integrity
+    // digest is a separate signal; this isolates the HMAC serving
+    // cost the midstate cache targets).
+    let requests: Vec<AuthRequest> = (0..batch)
+        .map(|i| {
+            let d = (i % devices) as u64;
+            let mut digest = [0u8; 32];
+            fill_bytes(seed ^ d, &mut digest);
+            let mut nonce = vec![0u8; 32];
+            fill_bytes(seed ^ (i as u64) << 20, &mut nonce);
+            let tag = client_tag(&digest, &nonce);
+            AuthRequest {
+                device_id: d,
+                now: i as u64,
+                nonce,
+                response: DeviceResponse::Tag(tag),
+                presented_helper: None,
+            }
+        })
+        .collect();
+    let queries: Vec<_> = requests.iter().map(AuthRequest::as_query).collect();
+    let mut scratch = BatchScratch::new();
+    let mut verdicts = Vec::new();
+    // Warm both paths (first-touch allocations, cache warmup).
+    cached_v.authenticate_batch_with(&queries, &mut scratch, &mut verdicts);
+    assert!(
+        verdicts.iter().all(|v| v.is_accept()),
+        "benchmark fleet must authenticate cleanly"
+    );
+    assert_eq!(
+        reference_v.authenticate_batch_reference(&requests),
+        verdicts,
+        "reference path must agree with the cached path"
+    );
+    let (_, cached_batch_ns) = time_ops(auth_rounds, || {
+        cached_v.authenticate_batch_with(&queries, &mut scratch, &mut verdicts);
+    });
+    let (_, reference_batch_ns) = time_ops(auth_rounds, || {
+        len_sink = len_sink.wrapping_add(reference_v.authenticate_batch_reference(&requests).len());
+    });
+    let auth_cached_ops = batch as f64 * 1e9 / cached_batch_ns;
+    let auth_reference_ops = batch as f64 * 1e9 / reference_batch_ns;
+    let auth_speedup = auth_cached_ops / auth_reference_ops;
+    println!(
+        "\n[verifier] batched auth: {devices} devices, {shards} shards, batch {batch}, {auth_rounds} rounds"
+    );
+    println!("  cached midstates + scratch : {auth_cached_ops:>12.0} ops/s");
+    println!("  reference key schedule     : {auth_reference_ops:>12.0} ops/s");
+    println!("  speedup                    : {auth_speedup:.2}x");
+
+    // ── 4. sim/oracle: probe throughput with scratch reuse ─────────
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let array = RoArrayBuilder::new(ArrayDims::new(16, 8)).build(&mut rng);
+    let mut device = Device::provision(
+        array,
+        Box::new(LisaScheme::new(LisaConfig::default())),
+        seed,
+    )
+    .expect("provision benchmark device");
+    let mut oracle = Oracle::new(&mut device);
+    let expected = oracle.query_original(Environment::nominal());
+    let good = oracle.original_helper().to_vec();
+    let probes = [Probe {
+        helper: &good,
+        expected: &expected,
+    }];
+    let before = oracle.queries();
+    let t0 = Instant::now();
+    let failures = oracle.probe_failures(&probes, Environment::nominal(), oracle_trials);
+    let oracle_secs = t0.elapsed().as_secs_f64().max(1e-12);
+    let oracle_queries = oracle.queries() - before;
+    let oracle_qps = oracle_queries as f64 / oracle_secs;
+    println!("\n[sim] oracle probe_failures: {oracle_queries} queries (16x8 LISA device)");
+    println!("  throughput : {oracle_qps:>12.0} queries/s");
+    println!(
+        "  failures   : {}/{oracle_trials} (genuine helper)",
+        failures[0]
+    );
+
+    // ── Artifact ───────────────────────────────────────────────────
+    let json = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{mode}\",\n  \"config\": {{\"seed\": {seed}, \"devices\": {devices}, \"shards\": {shards}, \"batch\": {batch}, \"hmac_iters\": {hmac_iters}, \"codec_iters\": {codec_iters}, \"auth_rounds\": {auth_rounds}, \"oracle_trials\": {oracle_trials}}},\n  \"hash\": {{\"message_len\": 32, \"cached_tags_per_s\": {hmac_cached_ops:.0}, \"oneshot_tags_per_s\": {hmac_uncached_ops:.0}, \"cached_ns_per_tag\": {hmac_cached_ns:.1}, \"oneshot_ns_per_tag\": {hmac_uncached_ns:.1}, \"speedup\": {hmac_speedup:.3}}},\n  \"proto\": {{\"frame_len\": {frame_len}, \"encode_into_ns\": {encode_into_ns:.1}, \"encode_alloc_ns\": {encode_alloc_ns:.1}, \"decode_ref_ns\": {decode_ref_ns:.1}, \"decode_owned_ns\": {decode_owned_ns:.1}}},\n  \"verifier\": {{\"cached_auth_ops_per_s\": {auth_cached_ops:.0}, \"reference_auth_ops_per_s\": {auth_reference_ops:.0}, \"speedup\": {auth_speedup:.3}}},\n  \"sim\": {{\"oracle_queries_per_s\": {oracle_qps:.0}, \"array\": \"16x8\", \"scheme\": \"lisa\"}}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        frame_len = frame.len(),
+    );
+    write_artifact(&json_path, &json);
+
+    // ── Gates (asserted, so CI fails on a silent cache regression) ─
+    std::hint::black_box((sink, len_sink));
+    assert!(
+        hmac_speedup >= hmac_floor,
+        "cached-HMAC speedup {hmac_speedup:.2}x below the {hmac_floor}x floor"
+    );
+    assert!(
+        auth_speedup >= auth_floor,
+        "cached batched-auth speedup {auth_speedup:.2}x below the {auth_floor}x floor"
+    );
+    println!(
+        "\nverdict: cached HMAC {hmac_speedup:.2}x (floor {hmac_floor}x), cached batched auth {auth_speedup:.2}x (floor {auth_floor}x) — gates asserted, artifact written."
+    );
+}

@@ -539,6 +539,7 @@ impl CooperativeScheme {
         parsed: &CooperativeHelper,
         env: Environment,
         rng: &mut dyn RngCore,
+        scratch: &mut Vec<f64>,
     ) -> Result<BitVec, ReconstructError> {
         let pairs = Self::pairs(array);
         if parsed.entries.len() != pairs.len() {
@@ -549,7 +550,8 @@ impl CooperativeScheme {
         }
         let t = env.temperature_c;
         // One measurement per RO, shared across direct and donor uses.
-        let freqs = array.measure_all(env, rng);
+        array.measure_all_into(env, rng, scratch);
+        let freqs: &[f64] = scratch;
         let sign = |idx: usize| -> bool {
             let (a, b) = pairs[idx];
             freqs[a] > freqs[b]
@@ -623,6 +625,17 @@ impl HelperDataScheme for CooperativeScheme {
         env: Environment,
         rng: &mut dyn RngCore,
     ) -> Result<BitVec, ReconstructError> {
+        self.reconstruct_with_scratch(array, helper, env, rng, &mut Vec::new())
+    }
+
+    fn reconstruct_with_scratch(
+        &self,
+        array: &RoArray,
+        helper: &[u8],
+        env: Environment,
+        rng: &mut dyn RngCore,
+        scratch: &mut Vec<f64>,
+    ) -> Result<BitVec, ReconstructError> {
         let parsed = CooperativeHelper::from_bytes(helper, self.config.sanity)?;
         if parsed.array_len as usize != array.len() {
             return Err(WireError::Semantic {
@@ -635,7 +648,7 @@ impl HelperDataScheme for CooperativeScheme {
                 temperature_c: env.temperature_c,
             });
         }
-        let bits = self.raw_bits(array, &parsed, env, rng)?;
+        let bits = self.raw_bits(array, &parsed, env, rng, scratch)?;
         if bits.is_empty() {
             return Err(ReconstructError::EccFailure);
         }

@@ -67,6 +67,10 @@ pub struct Device {
     enrolled_key: BitVec,
     rng: StdRng,
     queries: u64,
+    /// Reused full-array measurement buffer: every query reconstructs
+    /// the key from a fresh frequency sweep, and this keeps that sweep
+    /// from allocating after the first query.
+    measure_scratch: Vec<f64>,
 }
 
 impl Device {
@@ -89,6 +93,7 @@ impl Device {
             enrolled_key: enrollment.key,
             rng,
             queries: 0,
+            measure_scratch: Vec::new(),
         })
     }
 
@@ -102,15 +107,26 @@ impl Device {
         self.helper = bytes.into();
     }
 
+    /// Overwrites helper NVM from a slice, reusing the NVM buffer's
+    /// capacity — the attack hot paths rewrite the helper before every
+    /// probe, and this keeps that rewrite allocation-free.
+    pub fn set_helper(&mut self, bytes: &[u8]) {
+        self.helper.clear();
+        self.helper.extend_from_slice(bytes);
+    }
+
     /// One application query: reconstruct the key from current helper NVM
     /// at the given operating point and answer with an HMAC tag over the
     /// nonce; failures are observable.
     pub fn respond(&mut self, nonce: &[u8], env: Environment) -> DeviceResponse {
         self.queries += 1;
-        match self
-            .scheme
-            .reconstruct(&self.array, &self.helper, env, &mut self.rng)
-        {
+        match self.scheme.reconstruct_with_scratch(
+            &self.array,
+            &self.helper,
+            env,
+            &mut self.rng,
+            &mut self.measure_scratch,
+        ) {
             Ok(key) => DeviceResponse::Tag(hmac_sha256(&key.to_bytes(), nonce)),
             Err(_) => DeviceResponse::Failure,
         }
@@ -147,8 +163,13 @@ impl Device {
     /// Propagates [`ReconstructError`].
     pub fn reconstruct_key(&mut self, env: Environment) -> Result<BitVec, ReconstructError> {
         self.queries += 1;
-        self.scheme
-            .reconstruct(&self.array, &self.helper, env, &mut self.rng)
+        self.scheme.reconstruct_with_scratch(
+            &self.array,
+            &self.helper,
+            env,
+            &mut self.rng,
+            &mut self.measure_scratch,
+        )
     }
 }
 

@@ -133,14 +133,16 @@ impl FuzzyExtractorScheme {
         env: Environment,
         rng: &mut dyn RngCore,
         avg: usize,
+        scratch: &mut Vec<f64>,
     ) -> BitVec {
-        let freqs = if avg > 1 {
-            array.measure_all_averaged(env, avg, rng)
+        if avg > 1 {
+            // Enrollment-grade averaging: cold path, allocate freely.
+            *scratch = array.measure_all_averaged(env, avg, rng);
         } else {
-            array.measure_all(env, rng)
-        };
+            array.measure_all_into(env, rng, scratch);
+        }
         let pairs = disjoint_chain_pairs(array.dims());
-        BitVec::from_bools(pair_bits(&pairs, &freqs))
+        BitVec::from_bools(pair_bits(&pairs, scratch))
     }
 
     fn derive_key(w: &BitVec) -> BitVec {
@@ -165,7 +167,13 @@ impl HelperDataScheme for FuzzyExtractorScheme {
     }
 
     fn enroll(&self, array: &RoArray, rng: &mut dyn RngCore) -> Result<Enrollment, EnrollError> {
-        let w = self.response(array, Environment::nominal(), rng, self.config.enroll_avg);
+        let w = self.response(
+            array,
+            Environment::nominal(),
+            rng,
+            self.config.enroll_avg,
+            &mut Vec::new(),
+        );
         if w.len() < 8 {
             return Err(EnrollError::InsufficientEntropy {
                 got: w.len(),
@@ -195,6 +203,17 @@ impl HelperDataScheme for FuzzyExtractorScheme {
         env: Environment,
         rng: &mut dyn RngCore,
     ) -> Result<BitVec, ReconstructError> {
+        self.reconstruct_with_scratch(array, helper, env, rng, &mut Vec::new())
+    }
+
+    fn reconstruct_with_scratch(
+        &self,
+        array: &RoArray,
+        helper: &[u8],
+        env: Environment,
+        rng: &mut dyn RngCore,
+        scratch: &mut Vec<f64>,
+    ) -> Result<BitVec, ReconstructError> {
         let parsed = FuzzyHelper::from_bytes(helper)?;
         if parsed.array_len as usize != array.len() {
             return Err(WireError::Semantic {
@@ -205,7 +224,7 @@ impl HelperDataScheme for FuzzyExtractorScheme {
         if self.config.robust && parsed.auth_tag.is_empty() {
             return Err(ReconstructError::ManipulationDetected);
         }
-        let w_noisy = self.response(array, env, rng, 1);
+        let w_noisy = self.response(array, env, rng, 1, scratch);
         if parsed.parity.len() == 0 && w_noisy.len() > 0 {
             return Err(ReconstructError::EccFailure);
         }

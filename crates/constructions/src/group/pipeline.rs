@@ -275,6 +275,17 @@ impl HelperDataScheme for GroupBasedScheme {
         env: Environment,
         rng: &mut dyn RngCore,
     ) -> Result<BitVec, ReconstructError> {
+        self.reconstruct_with_scratch(array, helper, env, rng, &mut Vec::new())
+    }
+
+    fn reconstruct_with_scratch(
+        &self,
+        array: &RoArray,
+        helper: &[u8],
+        env: Environment,
+        rng: &mut dyn RngCore,
+        scratch: &mut Vec<f64>,
+    ) -> Result<BitVec, ReconstructError> {
         let dims = array.dims();
         let parsed = GroupBasedHelper::from_bytes(helper)?;
         if (parsed.cols as usize, parsed.rows as usize) != (dims.cols(), dims.rows()) {
@@ -283,7 +294,8 @@ impl HelperDataScheme for GroupBasedScheme {
             }
             .into());
         }
-        let freqs = array.measure_all(env, rng);
+        array.measure_all_into(env, rng, scratch);
+        let freqs: &[f64] = scratch;
         let poly = parsed.poly();
         let residuals = Distiller::subtract(dims, &freqs, &poly);
         let grouping = parsed.grouping();

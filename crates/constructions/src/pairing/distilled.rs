@@ -251,6 +251,17 @@ impl HelperDataScheme for DistilledPairingScheme {
         env: Environment,
         rng: &mut dyn RngCore,
     ) -> Result<BitVec, ReconstructError> {
+        self.reconstruct_with_scratch(array, helper, env, rng, &mut Vec::new())
+    }
+
+    fn reconstruct_with_scratch(
+        &self,
+        array: &RoArray,
+        helper: &[u8],
+        env: Environment,
+        rng: &mut dyn RngCore,
+        scratch: &mut Vec<f64>,
+    ) -> Result<BitVec, ReconstructError> {
         let dims = array.dims();
         let parsed = DistilledHelper::from_bytes(helper)?;
         if (parsed.cols as usize, parsed.rows as usize) != (dims.cols(), dims.rows()) {
@@ -260,7 +271,8 @@ impl HelperDataScheme for DistilledPairingScheme {
             .into());
         }
         let pairs = self.resolve_pairs(array, &parsed.selections)?;
-        let freqs = array.measure_all(env, rng);
+        array.measure_all_into(env, rng, scratch);
+        let freqs: &[f64] = scratch;
         let poly = ropuf_numeric::polyfit::Poly2d::from_coefficients(
             parsed.degree as usize,
             parsed.coefficients.clone(),

@@ -158,6 +158,30 @@ pub trait HelperDataScheme: fmt::Debug {
         env: Environment,
         rng: &mut dyn RngCore,
     ) -> Result<BitVec, ReconstructError>;
+
+    /// [`HelperDataScheme::reconstruct`] with a caller-owned frequency
+    /// scratch buffer, so hot loops (oracle probes, campaign sweeps)
+    /// stop allocating one `Vec<f64>` per full-array measurement.
+    ///
+    /// The two entry points are interchangeable bit-for-bit: same RNG
+    /// consumption, same key, same errors. The default ignores the
+    /// scratch; schemes whose reconstruction measures the whole array
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`HelperDataScheme::reconstruct`].
+    fn reconstruct_with_scratch(
+        &self,
+        array: &RoArray,
+        helper: &[u8],
+        env: Environment,
+        rng: &mut dyn RngCore,
+        scratch: &mut Vec<f64>,
+    ) -> Result<BitVec, ReconstructError> {
+        let _ = scratch;
+        self.reconstruct(array, helper, env, rng)
+    }
 }
 
 impl Clone for Box<dyn HelperDataScheme> {

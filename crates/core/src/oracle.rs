@@ -108,9 +108,11 @@ impl<'a> Oracle<'a> {
         self.queries
     }
 
-    /// Writes helper bytes and performs one application query.
+    /// Writes helper bytes and performs one application query. The NVM
+    /// write reuses the device's helper buffer, so a query loop does
+    /// not allocate per query.
     pub fn query(&mut self, helper: &[u8], env: Environment) -> DeviceResponse {
-        self.device.write_helper(helper.to_vec());
+        self.device.set_helper(helper);
         self.respond_monitored(helper, env)
     }
 
@@ -130,13 +132,17 @@ impl<'a> Oracle<'a> {
     /// Queries with the *original* helper data (e.g. to capture the
     /// nominal reference tag).
     pub fn query_original(&mut self, env: Environment) -> DeviceResponse {
-        let helper = self.original_helper.clone();
-        self.query(&helper, env)
+        // Borrow dance instead of a clone: the original helper is only
+        // parked while the query runs.
+        let helper = std::mem::take(&mut self.original_helper);
+        let response = self.query(&helper, env);
+        self.original_helper = helper;
+        response
     }
 
     /// Restores the original helper data on the device (covering tracks).
     pub fn restore(&mut self) {
-        self.device.write_helper(self.original_helper.clone());
+        self.device.set_helper(&self.original_helper);
     }
 
     /// The response the device *would* give if it reconstructed exactly
@@ -213,7 +219,7 @@ impl<'a> Oracle<'a> {
         trials: usize,
         cap: Option<u64>,
     ) -> u64 {
-        self.device.write_helper(helper.to_vec());
+        self.device.set_helper(helper);
         let mut failures = 0u64;
         for _ in 0..trials {
             if &self.respond_monitored(helper, env) != expected {

@@ -1,8 +1,101 @@
-//! HMAC-SHA256 (RFC 2104).
+//! HMAC-SHA256 (RFC 2104), with a precomputed-midstate fast path.
+//!
+//! The key schedule of HMAC — hashing the ipad- and opad-masked key
+//! blocks — depends only on the key, yet the naive formulation redoes
+//! both compressions for every message. [`HmacKey`] computes the two
+//! midstates once; [`HmacKey::tag`] then clones them (a stack copy)
+//! per message, halving the compression count for short messages.
+//! This is what lets the verifier authenticate a device without
+//! re-deriving the key schedule on every request.
 
 use crate::sha256::Sha256;
 
-/// Computes `HMAC-SHA256(key, message)`.
+/// A precomputed HMAC-SHA256 key schedule: the inner (ipad) and outer
+/// (opad) SHA-256 midstates, computed once per key.
+///
+/// Tagging a message clones the midstates — a fixed-size stack copy,
+/// no allocation — so a cached `HmacKey` turns per-message cost from
+/// "4 compressions + key masking" into "2 compressions" for messages
+/// that fit one block.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_hash::{hmac_sha256, HmacKey};
+///
+/// let key = HmacKey::new(b"key");
+/// let msg = b"The quick brown fox jumps over the lazy dog";
+/// assert_eq!(key.tag(msg), hmac_sha256(b"key", msg));
+/// ```
+#[derive(Clone)]
+pub struct HmacKey {
+    /// SHA-256 state after absorbing `key_block ^ ipad`.
+    inner: Sha256,
+    /// SHA-256 state after absorbing `key_block ^ opad`.
+    outer: Sha256,
+}
+
+/// Opaque on purpose: the midstates are forgery-equivalent to the key
+/// (anyone holding both can tag arbitrary messages), so they must
+/// never leak through a `{:?}` log or panic message.
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmacKey").finish_non_exhaustive()
+    }
+}
+
+impl HmacKey {
+    /// Precomputes the key schedule. Keys longer than the 64-byte
+    /// SHA-256 block are hashed first, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; 64];
+        if key.len() > 64 {
+            let digest = crate::sha256::sha256(key);
+            key_block[..32].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; 64];
+        let mut opad = [0u8; 64];
+        for i in 0..64 {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Self { inner, outer }
+    }
+
+    /// `HMAC-SHA256(key, message)` from the cached midstates.
+    pub fn tag(&self, message: &[u8]) -> [u8; 32] {
+        let mut inner = self.inner.clone();
+        inner.update(message);
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// `true` when `tag` is the HMAC of `message` under this key.
+    /// Constant-time over the tag bytes: the comparison inspects all
+    /// 32 bytes regardless of where the first mismatch sits, so a
+    /// network attacker cannot binary-search a valid tag through
+    /// response timing.
+    pub fn verify(&self, message: &[u8], tag: &[u8; 32]) -> bool {
+        let expected = self.tag(message);
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(tag) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+/// Computes `HMAC-SHA256(key, message)` in one shot (the reference
+/// path: the full key schedule is re-derived per call — cache an
+/// [`HmacKey`] instead when the key repeats).
 ///
 /// # Examples
 ///
@@ -16,24 +109,7 @@ use crate::sha256::Sha256;
 /// );
 /// ```
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
-    let mut key_block = [0u8; 64];
-    if key.len() > 64 {
-        let digest = crate::sha256::sha256(key);
-        key_block[..32].copy_from_slice(&digest);
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-    let mut inner = Sha256::new();
-    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
-
-    let mut outer = Sha256::new();
-    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    HmacKey::new(key).tag(message)
 }
 
 #[cfg(test)]
@@ -91,5 +167,31 @@ mod tests {
     fn key_sensitivity() {
         assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
         assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+
+    #[test]
+    fn cached_midstate_is_reusable_across_messages() {
+        let key = HmacKey::new(b"reused-key");
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 200] {
+            let msg = vec![0x5Au8; len];
+            assert_eq!(key.tag(&msg), hmac_sha256(b"reused-key", &msg), "len {len}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_only_the_right_tag() {
+        let key = HmacKey::new(b"k");
+        let mut tag = key.tag(b"m");
+        assert!(key.verify(b"m", &tag));
+        tag[0] ^= 1;
+        assert!(!key.verify(b"m", &tag));
+        assert!(!key.verify(b"other", &key.tag(b"m")));
+    }
+
+    #[test]
+    fn long_key_midstate_matches_oneshot() {
+        let key_bytes = [0xAAu8; 131];
+        let key = HmacKey::new(&key_bytes);
+        assert_eq!(key.tag(b"msg"), hmac_sha256(&key_bytes, b"msg"));
     }
 }

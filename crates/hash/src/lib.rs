@@ -32,5 +32,5 @@
 pub mod hmac;
 pub mod sha256;
 
-pub use hmac::hmac_sha256;
+pub use hmac::{hmac_sha256, HmacKey};
 pub use sha256::{sha256, Sha256};

@@ -96,45 +96,86 @@ impl Sha256 {
         out
     }
 
+    /// One compression over a 64-byte block with a rolling 16-word
+    /// message schedule: `w` holds only the live window instead of the
+    /// classic 256-byte expansion, and the 64 rounds run as 8 unrolled
+    /// groups of 8 so the working variables never rotate through a
+    /// shift chain. Hot path of every HMAC verification — the whole
+    /// function is stack-only.
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
+        let mut w = [0u32; 16];
+        for (i, word) in w.iter_mut().enumerate() {
+            *word = u32::from_be_bytes([
                 block[4 * i],
                 block[4 * i + 1],
                 block[4 * i + 2],
                 block[4 * i + 3],
             ]);
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
+
+        /// One round with explicit variable roles — instantiated with the
+        /// variables rotated at the call site, so the compiler keeps all
+        /// eight in registers with no shuffling between rounds.
+        macro_rules! round {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $k:expr, $wi:expr) => {
+                let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+                let ch = ($e & $f) ^ (!$e & $g);
+                let temp1 = $h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add($k)
+                    .wrapping_add($wi);
+                let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+                let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+                $d = $d.wrapping_add(temp1);
+                $h = temp1.wrapping_add(s0.wrapping_add(maj));
+            };
         }
+
+        /// Eight rounds (one full rotation of the working variables)
+        /// against schedule words `base..base + 8`.
+        macro_rules! octet {
+            ($base:expr) => {
+                round!(a, b, c, d, e, f, g, h, K[$base], w[$base % 16]);
+                round!(h, a, b, c, d, e, f, g, K[$base + 1], w[($base + 1) % 16]);
+                round!(g, h, a, b, c, d, e, f, K[$base + 2], w[($base + 2) % 16]);
+                round!(f, g, h, a, b, c, d, e, K[$base + 3], w[($base + 3) % 16]);
+                round!(e, f, g, h, a, b, c, d, K[$base + 4], w[($base + 4) % 16]);
+                round!(d, e, f, g, h, a, b, c, K[$base + 5], w[($base + 5) % 16]);
+                round!(c, d, e, f, g, h, a, b, K[$base + 6], w[($base + 6) % 16]);
+                round!(b, c, d, e, f, g, h, a, K[$base + 7], w[($base + 7) % 16]);
+            };
+        }
+
+        /// Advances the rolling schedule window by 16 words in place.
+        macro_rules! expand {
+            () => {
+                for i in 0..16usize {
+                    let w15 = w[(i + 1) % 16];
+                    let w2 = w[(i + 14) % 16];
+                    let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+                    let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+                    w[i] = w[i]
+                        .wrapping_add(s0)
+                        .wrapping_add(w[(i + 9) % 16])
+                        .wrapping_add(s1);
+                }
+            };
+        }
+
+        octet!(0);
+        octet!(8);
+        expand!();
+        octet!(16);
+        octet!(24);
+        expand!();
+        octet!(32);
+        octet!(40);
+        expand!();
+        octet!(48);
+        octet!(56);
+
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);
         self.state[2] = self.state[2].wrapping_add(c);

@@ -1,0 +1,90 @@
+//! Property tests pinning the HMAC fast path to the reference path.
+//!
+//! The serving stack verifies every authentication tag through a
+//! cached [`HmacKey`] midstate; these properties guarantee the cache
+//! is pure optimization — for arbitrary key and message lengths
+//! (including the >64-byte hash-the-key-first branch and every block
+//! boundary), the cached path, the one-shot path, and an incremental
+//! re-derivation all agree bit-for-bit.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ropuf_hash::{hmac_sha256, sha256, HmacKey, Sha256};
+
+proptest! {
+    /// Cached midstates == one-shot HMAC for arbitrary inputs.
+    #[test]
+    fn cached_midstate_equals_oneshot(
+        key in vec(any::<u8>(), 0..200),
+        message in vec(any::<u8>(), 0..300),
+    ) {
+        let cached = HmacKey::new(&key);
+        prop_assert_eq!(cached.tag(&message), hmac_sha256(&key, &message));
+    }
+
+    /// One precomputed key serves many messages identically to
+    /// re-deriving the schedule per message.
+    #[test]
+    fn one_key_many_messages(
+        key in vec(any::<u8>(), 0..150),
+        messages in vec(vec(any::<u8>(), 0..120), 1..8),
+    ) {
+        let cached = HmacKey::new(&key);
+        for message in &messages {
+            prop_assert_eq!(cached.tag(message), hmac_sha256(&key, message));
+        }
+    }
+
+    /// HMAC against the RFC 2104 formula spelled out with the raw
+    /// hasher: H((k ^ opad) || H((k ^ ipad) || m)).
+    #[test]
+    fn matches_rfc_formula(
+        key in vec(any::<u8>(), 0..200),
+        message in vec(any::<u8>(), 0..300),
+    ) {
+        let mut block = [0u8; 64];
+        if key.len() > 64 {
+            block[..32].copy_from_slice(&sha256(&key));
+        } else {
+            block[..key.len()].copy_from_slice(&key);
+        }
+        let mut inner = Sha256::new();
+        inner.update(&block.map(|b| b ^ 0x36));
+        inner.update(&message);
+        let mut outer = Sha256::new();
+        outer.update(&block.map(|b| b ^ 0x5c));
+        outer.update(&inner.finalize());
+        prop_assert_eq!(outer.finalize(), hmac_sha256(&key, &message));
+    }
+
+    /// The rolling-schedule compressor agrees with itself across every
+    /// way of splitting the input stream (exercises buffered partial
+    /// blocks around the unrolled path).
+    #[test]
+    fn sha256_split_invariance(
+        data in vec(any::<u8>(), 0..200),
+        split_seed in any::<u64>(),
+    ) {
+        let reference = sha256(&data);
+        let split = if data.is_empty() { 0 } else { (split_seed % data.len() as u64) as usize };
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), reference);
+    }
+
+    /// Tag verification accepts exactly the matching tag.
+    #[test]
+    fn verify_matches_equality(
+        key in vec(any::<u8>(), 0..100),
+        message in vec(any::<u8>(), 0..100),
+        flip_byte in 0usize..32,
+        flip_bit in 0u8..8,
+    ) {
+        let cached = HmacKey::new(&key);
+        let mut tag = cached.tag(&message);
+        prop_assert!(cached.verify(&message, &tag));
+        tag[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(!cached.verify(&message, &tag));
+    }
+}

@@ -154,9 +154,11 @@ impl<'a> Reader<'a> {
         Ok(self.take(32)?.try_into().expect("len 32"))
     }
 
-    /// A `u32`-length-prefixed byte string, capped at
-    /// `min(cap, remaining)` **before** allocation.
-    pub fn bytes(&mut self, field: &'static str, cap: usize) -> Result<Vec<u8>, DecodeError> {
+    /// A `u32`-length-prefixed byte string **borrowed from the input**,
+    /// capped at `min(cap, remaining)` — the zero-copy primitive behind
+    /// [`Reader::bytes`]. Use it directly when the field is immediately
+    /// re-parsed, hashed, or compared rather than kept.
+    pub fn bytes_ref(&mut self, field: &'static str, cap: usize) -> Result<&'a [u8], DecodeError> {
         let declared = self.u32()? as usize;
         let limit = cap.min(self.remaining());
         if declared > limit {
@@ -166,12 +168,24 @@ impl<'a> Reader<'a> {
                 limit: limit as u64,
             });
         }
-        Ok(self.take(declared)?.to_vec())
+        self.take(declared)
     }
 
-    /// A length-prefixed UTF-8 string.
+    /// A `u32`-length-prefixed byte string, copied out (copy-on-keep
+    /// over [`Reader::bytes_ref`]), capped at `min(cap, remaining)`
+    /// **before** allocation.
+    pub fn bytes(&mut self, field: &'static str, cap: usize) -> Result<Vec<u8>, DecodeError> {
+        self.bytes_ref(field, cap).map(<[u8]>::to_vec)
+    }
+
+    /// A length-prefixed UTF-8 string **borrowed from the input**.
+    pub fn str_ref(&mut self, field: &'static str, cap: usize) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.bytes_ref(field, cap)?).map_err(|_| DecodeError::BadUtf8(field))
+    }
+
+    /// A length-prefixed UTF-8 string, copied out.
     pub fn string(&mut self, field: &'static str, cap: usize) -> Result<String, DecodeError> {
-        String::from_utf8(self.bytes(field, cap)?).map_err(|_| DecodeError::BadUtf8(field))
+        self.str_ref(field, cap).map(str::to_owned)
     }
 
     /// A `u32` element count for a repeated field, capped at

@@ -12,12 +12,32 @@
 use std::io::{self, Read, Write};
 
 use crate::codec::DecodeError;
-use crate::message::{Request, Response};
+use crate::message::{Request, RequestRef, Response};
 
 /// Largest frame a peer may declare (4 MiB): comfortably above any
 /// real message — the largest are registry snapshots — while bounding
 /// what a forged length can allocate.
 pub const MAX_FRAME: u32 = 4 * 1024 * 1024;
+
+/// Largest capacity the reused frame scratch buffers retain between
+/// frames (64 KiB, comfortably above every routine message). One
+/// oversized frame — a multi-megabyte snapshot, or a hostile peer
+/// deliberately sending `MAX_FRAME` bytes — may grow a buffer to 4
+/// MiB for that frame, but the capacity is released afterwards instead
+/// of staying pinned for the connection's lifetime. Exported so every
+/// layer reusing message buffers (client encode scratch, loopback
+/// response scratch) applies the same bound.
+pub const SCRATCH_RETAIN: usize = 64 * 1024;
+
+/// Caps a scratch buffer's retained capacity at [`SCRATCH_RETAIN`]
+/// (contents past the bound are discarded — call between messages,
+/// not while the buffer holds live data).
+pub fn bound_scratch(buf: &mut Vec<u8>) {
+    if buf.capacity() > SCRATCH_RETAIN {
+        buf.truncate(SCRATCH_RETAIN);
+        buf.shrink_to(SCRATCH_RETAIN);
+    }
+}
 
 /// Streaming failure: transport, framing, or message decoding.
 #[derive(Debug)]
@@ -67,62 +87,121 @@ impl FrameError {
 }
 
 /// Reads length-prefixed message frames from any [`Read`].
+///
+/// The reader owns a payload scratch buffer that every
+/// `read_request`/`read_response`/`read_request_ref` call reuses, so a
+/// steady-state connection reads frames with zero allocations.
 #[derive(Debug)]
 pub struct FrameReader<R: Read> {
     inner: R,
+    scratch: Vec<u8>,
 }
 
 impl<R: Read> FrameReader<R> {
     /// Wraps a byte stream.
     pub fn new(inner: R) -> Self {
-        Self { inner }
+        Self {
+            inner,
+            scratch: Vec::new(),
+        }
     }
 
-    /// Reads one raw frame payload; `Ok(None)` on clean EOF between
-    /// frames.
+    /// Reads one raw frame payload into `buf` (cleared first, capacity
+    /// reused); `Ok(false)` on clean EOF between frames.
     ///
     /// # Errors
     ///
     /// [`FrameError::Io`] on transport failure or EOF mid-frame,
-    /// [`FrameError::Oversize`] on a forged length prefix.
-    pub fn read_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+    /// [`FrameError::Oversize`] on a forged length prefix (checked
+    /// **before** the buffer grows).
+    pub fn read_frame_into(&mut self, buf: &mut Vec<u8>) -> Result<bool, FrameError> {
+        // Release capacity a previous oversized frame may have pinned;
+        // the buffer is refilled below regardless.
+        bound_scratch(buf);
         let mut len_bytes = [0u8; 4];
         match read_exact_or_eof(&mut self.inner, &mut len_bytes)? {
-            false => return Ok(None),
+            false => return Ok(false),
             true => {}
         }
         let len = u32::from_le_bytes(len_bytes);
         if len > MAX_FRAME {
             return Err(FrameError::Oversize(len));
         }
-        let mut payload = vec![0u8; len as usize];
-        self.inner.read_exact(&mut payload)?;
-        Ok(Some(payload))
+        buf.clear();
+        buf.resize(len as usize, 0);
+        self.inner.read_exact(buf)?;
+        Ok(true)
     }
 
-    /// Reads and decodes one [`Request`]; `Ok(None)` on clean EOF.
+    /// Reads one raw frame payload; `Ok(None)` on clean EOF between
+    /// frames. Allocating twin of [`FrameReader::read_frame_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameReader::read_frame_into`].
+    pub fn read_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let mut payload = Vec::new();
+        match self.read_frame_into(&mut payload)? {
+            true => Ok(Some(payload)),
+            false => Ok(None),
+        }
+    }
+
+    /// Reads and decodes one [`Request`]; `Ok(None)` on clean EOF. The
+    /// frame buffer is reused across calls; the decoded request owns
+    /// its bytes.
     ///
     /// # Errors
     ///
     /// Any [`FrameError`]; malformed payloads are
     /// [`FrameError::Decode`], never a panic.
     pub fn read_request(&mut self) -> Result<Option<Request>, FrameError> {
-        match self.read_frame()? {
-            None => Ok(None),
-            Some(payload) => Ok(Some(Request::decode(&payload)?)),
+        // Restore the scratch before propagating any error, so a bad
+        // frame doesn't silently forfeit the buffer's capacity.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let have = self.read_frame_into(&mut scratch);
+        self.scratch = scratch;
+        match have? {
+            false => Ok(None),
+            true => Ok(Some(Request::decode(&self.scratch)?)),
         }
     }
 
-    /// Reads and decodes one [`Response`]; `Ok(None)` on clean EOF.
+    /// Reads and decodes one [`RequestRef`] borrowing from the reader's
+    /// internal frame buffer; `Ok(None)` on clean EOF. The zero-copy
+    /// server path: frame read and decode both reuse buffers, so
+    /// serving a request allocates nothing on its way in.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]; malformed payloads are
+    /// [`FrameError::Decode`], never a panic.
+    pub fn read_request_ref(&mut self) -> Result<Option<RequestRef<'_>>, FrameError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let have = self.read_frame_into(&mut scratch);
+        self.scratch = scratch;
+        match have? {
+            false => Ok(None),
+            true => Ok(Some(RequestRef::decode(&self.scratch)?)),
+        }
+    }
+
+    /// Reads and decodes one [`Response`]; `Ok(None)` on clean EOF. The
+    /// frame buffer is reused across calls; the decoded response owns
+    /// its bytes.
     ///
     /// # Errors
     ///
     /// Any [`FrameError`]; malformed payloads are
     /// [`FrameError::Decode`], never a panic.
     pub fn read_response(&mut self) -> Result<Option<Response>, FrameError> {
-        match self.read_frame()? {
-            None => Ok(None),
-            Some(payload) => Ok(Some(Response::decode(&payload)?)),
+        // Same restore-before-`?` dance as `read_request`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let have = self.read_frame_into(&mut scratch);
+        self.scratch = scratch;
+        match have? {
+            false => Ok(None),
+            true => Ok(Some(Response::decode(&self.scratch)?)),
         }
     }
 }
@@ -149,15 +228,23 @@ fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<bool, io:
 }
 
 /// Writes length-prefixed message frames to any [`Write`].
+///
+/// The writer owns an encode scratch buffer that every
+/// `write_request`/`write_response` call reuses, so a steady-state
+/// connection writes frames with zero allocations.
 #[derive(Debug)]
 pub struct FrameWriter<W: Write> {
     inner: W,
+    scratch: Vec<u8>,
 }
 
 impl<W: Write> FrameWriter<W> {
     /// Wraps a byte sink.
     pub fn new(inner: W) -> Self {
-        Self { inner }
+        Self {
+            inner,
+            scratch: Vec::new(),
+        }
     }
 
     /// Writes one raw payload as a frame and flushes.
@@ -179,22 +266,34 @@ impl<W: Write> FrameWriter<W> {
         Ok(())
     }
 
-    /// Encodes and writes one [`Request`].
+    /// Encodes and writes one [`Request`], reusing the writer's encode
+    /// buffer.
     ///
     /// # Errors
     ///
     /// See [`FrameWriter::write_frame`].
     pub fn write_request(&mut self, request: &Request) -> Result<(), FrameError> {
-        self.write_frame(&request.encode())
+        let mut scratch = std::mem::take(&mut self.scratch);
+        request.encode_into(&mut scratch);
+        let result = self.write_frame(&scratch);
+        bound_scratch(&mut scratch);
+        self.scratch = scratch;
+        result
     }
 
-    /// Encodes and writes one [`Response`].
+    /// Encodes and writes one [`Response`], reusing the writer's encode
+    /// buffer.
     ///
     /// # Errors
     ///
     /// See [`FrameWriter::write_frame`].
     pub fn write_response(&mut self, response: &Response) -> Result<(), FrameError> {
-        self.write_frame(&response.encode())
+        let mut scratch = std::mem::take(&mut self.scratch);
+        response.encode_into(&mut scratch);
+        let result = self.write_frame(&scratch);
+        bound_scratch(&mut scratch);
+        self.scratch = scratch;
+        result
     }
 }
 

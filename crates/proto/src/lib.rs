@@ -67,6 +67,6 @@ pub mod message;
 pub use codec::DecodeError;
 pub use frame::{FrameError, FrameReader, FrameWriter, MAX_FRAME};
 pub use message::{
-    AuthItem, ErrorCode, Request, Response, WireAuthResponse, WireFlagReason, WireVerdict,
-    PROTOCOL_VERSION, WIRE_SCHEMA,
+    AuthItem, AuthItemRef, ErrorCode, Request, RequestRef, Response, WireAuthResponse,
+    WireFlagReason, WireVerdict, PROTOCOL_VERSION, WIRE_SCHEMA,
 };

@@ -186,12 +186,54 @@ pub struct AuthItem {
 }
 
 impl AuthItem {
+    /// A borrowed view of this item (cheap — no byte copies).
+    pub fn as_ref(&self) -> AuthItemRef<'_> {
+        AuthItemRef {
+            device_id: self.device_id,
+            now: self.now,
+            nonce: &self.nonce,
+            response: self.response,
+            presented_helper: self.presented_helper.as_deref(),
+        }
+    }
+}
+
+/// Borrowed twin of [`AuthItem`]: the byte fields point into the frame
+/// payload (or a caller's buffers), so decoding one — and serving it —
+/// copies nothing. Call [`AuthItemRef::to_owned`] to keep it past the
+/// buffer's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthItemRef<'a> {
+    /// Claimed device identity.
+    pub device_id: u64,
+    /// Logical timestamp (non-decreasing per device).
+    pub now: u64,
+    /// Challenge nonce this request answers.
+    pub nonce: &'a [u8],
+    /// The device's answer.
+    pub response: WireAuthResponse,
+    /// The device's current helper NVM contents, when readable.
+    pub presented_helper: Option<&'a [u8]>,
+}
+
+impl<'a> AuthItemRef<'a> {
+    /// Copies the borrowed fields into an owned [`AuthItem`].
+    pub fn to_owned(&self) -> AuthItem {
+        AuthItem {
+            device_id: self.device_id,
+            now: self.now,
+            nonce: self.nonce.to_vec(),
+            response: self.response,
+            presented_helper: self.presented_helper.map(<[u8]>::to_vec),
+        }
+    }
+
     fn encode(&self, out: &mut Vec<u8>) {
         out.put_u64(self.device_id);
         out.put_u64(self.now);
-        out.put_bytes(&self.nonce);
+        out.put_bytes(self.nonce);
         self.response.encode(out);
-        match &self.presented_helper {
+        match self.presented_helper {
             None => out.put_u8(0),
             Some(helper) => {
                 out.put_u8(1);
@@ -200,14 +242,14 @@ impl AuthItem {
         }
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+    fn decode(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
         let device_id = r.u64()?;
         let now = r.u64()?;
-        let nonce = r.bytes("nonce", MAX_BYTES)?;
+        let nonce = r.bytes_ref("nonce", MAX_BYTES)?;
         let response = WireAuthResponse::decode(r)?;
         let presented_helper = match r.u8()? {
             0 => None,
-            1 => Some(r.bytes("presented_helper", MAX_BYTES)?),
+            1 => Some(r.bytes_ref("presented_helper", MAX_BYTES)?),
             value => {
                 return Err(DecodeError::UnknownDiscriminant {
                     field: "presented_helper_marker",
@@ -264,16 +306,159 @@ pub enum Request {
 }
 
 impl Request {
-    /// Encodes into a frame payload (type byte + fields).
+    /// A borrowed view of this request. Cheap for every variant except
+    /// [`Request::BatchAuthenticate`], which allocates one small `Vec`
+    /// of per-item views (never the item bytes themselves).
+    pub fn as_ref(&self) -> RequestRef<'_> {
+        match self {
+            Request::Hello { protocol, client } => RequestRef::Hello {
+                protocol: *protocol,
+                client,
+            },
+            Request::Enroll {
+                device_id,
+                scheme_tag,
+                helper,
+                key_digest,
+            } => RequestRef::Enroll {
+                device_id: *device_id,
+                scheme_tag: *scheme_tag,
+                helper,
+                key_digest: *key_digest,
+            },
+            Request::Authenticate(item) => RequestRef::Authenticate(item.as_ref()),
+            Request::BatchAuthenticate { items } => RequestRef::BatchAuthenticate {
+                items: items.iter().map(AuthItem::as_ref).collect(),
+            },
+            Request::QueryVerdict { device_id } => RequestRef::QueryVerdict {
+                device_id: *device_id,
+            },
+            Request::Snapshot => RequestRef::Snapshot,
+        }
+    }
+
+    /// Encodes into a fresh frame payload (type byte + fields).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes into `out`, clearing it first — the buffer-reusing twin
+    /// of [`Request::encode`]: a steady-state connection encodes every
+    /// request into the same buffer with zero allocations. Encodes the
+    /// owned fields directly (not via [`Request::as_ref`]) so even the
+    /// batch variant stays allocation-free; the wire_props suite pins
+    /// the two encoders byte-for-byte.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        // Only the batch variant needs its own arm: `as_ref` would
+        // allocate a Vec of item views for it, while every other
+        // variant borrows for free.
+        if let Request::BatchAuthenticate { items } = self {
+            out.clear();
+            out.put_u8(ty::BATCH_AUTHENTICATE);
+            let count = u32::try_from(items.len()).expect("batch exceeds u32");
+            out.put_u32(count);
+            for item in items {
+                item.as_ref().encode(out);
+            }
+        } else {
+            self.as_ref().encode_into(out);
+        }
+    }
+
+    /// Decodes one frame payload, copying byte fields out (decode via
+    /// [`RequestRef::decode`] to borrow them instead). Strict: the
+    /// payload must be exactly one well-formed request.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`DecodeError`] for any malformed input; this function
+    /// never panics.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        RequestRef::decode(payload).map(RequestRef::into_owned)
+    }
+}
+
+/// Borrowed twin of [`Request`]: what the server hot path decodes. All
+/// byte fields point into the frame payload, so decoding a request —
+/// and authenticating from it — copies nothing; [`RequestRef::into_owned`]
+/// is the copy-on-keep escape hatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestRef<'a> {
+    /// See [`Request::Hello`].
+    Hello {
+        /// Client's [`PROTOCOL_VERSION`].
+        protocol: u16,
+        /// Free-form client identification (UTF-8).
+        client: &'a str,
+    },
+    /// See [`Request::Enroll`].
+    Enroll {
+        /// Identity to enroll under.
+        device_id: u64,
+        /// Wire tag of the helper-data scheme.
+        scheme_tag: u8,
+        /// Helper blob as enrolled (integrity reference).
+        helper: &'a [u8],
+        /// SHA-256 of the enrolled key bytes.
+        key_digest: [u8; 32],
+    },
+    /// See [`Request::Authenticate`].
+    Authenticate(AuthItemRef<'a>),
+    /// See [`Request::BatchAuthenticate`].
+    BatchAuthenticate {
+        /// The attempts, verdicts come back in this order.
+        items: Vec<AuthItemRef<'a>>,
+    },
+    /// See [`Request::QueryVerdict`].
+    QueryVerdict {
+        /// Device to look up.
+        device_id: u64,
+    },
+    /// See [`Request::Snapshot`].
+    Snapshot,
+}
+
+impl<'a> RequestRef<'a> {
+    /// Copies every borrowed field into an owned [`Request`].
+    pub fn into_owned(self) -> Request {
         match self {
-            Request::Hello { protocol, client } => {
+            RequestRef::Hello { protocol, client } => Request::Hello {
+                protocol,
+                client: client.to_owned(),
+            },
+            RequestRef::Enroll {
+                device_id,
+                scheme_tag,
+                helper,
+                key_digest,
+            } => Request::Enroll {
+                device_id,
+                scheme_tag,
+                helper: helper.to_vec(),
+                key_digest,
+            },
+            RequestRef::Authenticate(item) => Request::Authenticate(item.to_owned()),
+            RequestRef::BatchAuthenticate { items } => Request::BatchAuthenticate {
+                items: items.iter().map(AuthItemRef::to_owned).collect(),
+            },
+            RequestRef::QueryVerdict { device_id } => Request::QueryVerdict { device_id },
+            RequestRef::Snapshot => Request::Snapshot,
+        }
+    }
+
+    /// Encodes into `out`, clearing it first. Byte-identical to
+    /// encoding the owned [`Request`] this view mirrors.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            RequestRef::Hello { protocol, client } => {
                 out.put_u8(ty::HELLO);
                 out.put_u16(*protocol);
                 out.put_bytes(client.as_bytes());
             }
-            Request::Enroll {
+            RequestRef::Enroll {
                 device_id,
                 scheme_tag,
                 helper,
@@ -285,60 +470,61 @@ impl Request {
                 out.put_bytes(helper);
                 out.extend_from_slice(key_digest);
             }
-            Request::Authenticate(item) => {
+            RequestRef::Authenticate(item) => {
                 out.put_u8(ty::AUTHENTICATE);
-                item.encode(&mut out);
+                item.encode(out);
             }
-            Request::BatchAuthenticate { items } => {
+            RequestRef::BatchAuthenticate { items } => {
                 out.put_u8(ty::BATCH_AUTHENTICATE);
                 let count = u32::try_from(items.len()).expect("batch exceeds u32");
                 out.put_u32(count);
                 for item in items {
-                    item.encode(&mut out);
+                    item.encode(out);
                 }
             }
-            Request::QueryVerdict { device_id } => {
+            RequestRef::QueryVerdict { device_id } => {
                 out.put_u8(ty::QUERY_VERDICT);
                 out.put_u64(*device_id);
             }
-            Request::Snapshot => out.put_u8(ty::SNAPSHOT),
+            RequestRef::Snapshot => out.put_u8(ty::SNAPSHOT),
         }
-        out
     }
 
-    /// Decodes one frame payload. Strict: the payload must be exactly
-    /// one well-formed request.
+    /// Decodes one frame payload without copying byte fields (the
+    /// batch-item list itself is the only allocation). Strictness and
+    /// error behavior are identical to [`Request::decode`] — the owned
+    /// decoder *is* this one plus copies.
     ///
     /// # Errors
     ///
     /// A typed [`DecodeError`] for any malformed input; this function
     /// never panics.
-    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+    pub fn decode(payload: &'a [u8]) -> Result<Self, DecodeError> {
         let mut r = Reader::new(payload);
         let request = match r.u8()? {
-            ty::HELLO => Request::Hello {
+            ty::HELLO => RequestRef::Hello {
                 protocol: r.u16()?,
-                client: r.string("client", MAX_BYTES)?,
+                client: r.str_ref("client", MAX_BYTES)?,
             },
-            ty::ENROLL => Request::Enroll {
+            ty::ENROLL => RequestRef::Enroll {
                 device_id: r.u64()?,
                 scheme_tag: r.u8()?,
-                helper: r.bytes("helper", MAX_BYTES)?,
+                helper: r.bytes_ref("helper", MAX_BYTES)?,
                 key_digest: r.digest()?,
             },
-            ty::AUTHENTICATE => Request::Authenticate(AuthItem::decode(&mut r)?),
+            ty::AUTHENTICATE => RequestRef::Authenticate(AuthItemRef::decode(&mut r)?),
             ty::BATCH_AUTHENTICATE => {
                 let count = r.count("batch_items", MAX_ITEMS)?;
                 let mut items = Vec::with_capacity(count);
                 for _ in 0..count {
-                    items.push(AuthItem::decode(&mut r)?);
+                    items.push(AuthItemRef::decode(&mut r)?);
                 }
-                Request::BatchAuthenticate { items }
+                RequestRef::BatchAuthenticate { items }
             }
-            ty::QUERY_VERDICT => Request::QueryVerdict {
+            ty::QUERY_VERDICT => RequestRef::QueryVerdict {
                 device_id: r.u64()?,
             },
-            ty::SNAPSHOT => Request::Snapshot,
+            ty::SNAPSHOT => RequestRef::Snapshot,
             other => return Err(DecodeError::UnknownMessage(other)),
         };
         r.finish()?;
@@ -440,9 +626,17 @@ pub enum Response {
 }
 
 impl Response {
-    /// Encodes into a frame payload (type byte + fields).
+    /// Encodes into a fresh frame payload (type byte + fields).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes into `out`, clearing it first — the buffer-reusing twin
+    /// of [`Response::encode`] the server workers answer through.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Response::HelloOk { protocol, server } => {
                 out.put_u8(ty::HELLO_OK);
@@ -455,14 +649,14 @@ impl Response {
             }
             Response::Verdict(verdict) => {
                 out.put_u8(ty::VERDICT);
-                verdict.encode(&mut out);
+                verdict.encode(out);
             }
             Response::VerdictBatch(verdicts) => {
                 out.put_u8(ty::VERDICT_BATCH);
                 let count = u32::try_from(verdicts.len()).expect("batch exceeds u32");
                 out.put_u32(count);
                 for v in verdicts {
-                    v.encode(&mut out);
+                    v.encode(out);
                 }
             }
             Response::FlagInfo { flagged } => {
@@ -486,7 +680,6 @@ impl Response {
                 out.put_bytes(detail.as_bytes());
             }
         }
-        out
     }
 
     /// Decodes one frame payload. Strict, like [`Request::decode`].

@@ -12,8 +12,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use ropuf_proto::{
-    AuthItem, ErrorCode, FrameReader, Request, Response, WireAuthResponse, WireFlagReason,
-    WireVerdict,
+    AuthItem, ErrorCode, FrameReader, FrameWriter, Request, RequestRef, Response, WireAuthResponse,
+    WireFlagReason, WireVerdict,
 };
 
 /// Deterministically expands a compact seed tuple into an [`AuthItem`]
@@ -132,6 +132,114 @@ proptest! {
             let decoded = Response::decode(&response.encode());
             prop_assert_eq!(decoded.as_ref(), Ok(&response));
         }
+    }
+
+    /// The allocation-free codec paths are bit-for-bit the allocating
+    /// ones: `encode_into` a dirty reused buffer == fresh `encode`, and
+    /// the borrowing `RequestRef::decode` agrees with `Request::decode`
+    /// on both the message and (under truncation) the error.
+    #[test]
+    fn reused_buffer_and_borrowing_paths_match_allocating_paths(
+        seed in any::<u64>(),
+        nonce in vec(any::<u8>(), 0..64),
+        helper in vec(any::<u8>(), 0..200),
+        shapes in vec(any::<u8>(), 0..6),
+        shape in any::<u8>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let requests = [
+            Request::Authenticate(item_from(seed, nonce.clone(), helper.clone(), shape)),
+            Request::BatchAuthenticate {
+                items: shapes
+                    .iter()
+                    .map(|&s| item_from(seed ^ u64::from(s), nonce.clone(), helper.clone(), s))
+                    .collect(),
+            },
+            Request::Hello { protocol: seed as u16, client: format!("c{seed}") },
+            Request::Snapshot,
+        ];
+        // One deliberately dirty buffer reused across all encodes.
+        let mut reused = vec![0xEEu8; 37];
+        for request in &requests {
+            let fresh = request.encode();
+            request.encode_into(&mut reused);
+            prop_assert_eq!(&reused, &fresh);
+
+            // Borrowing decode agrees with the owned decode...
+            let borrowed = RequestRef::decode(&fresh);
+            let owned = Request::decode(&fresh);
+            prop_assert_eq!(
+                borrowed.clone().map(RequestRef::into_owned),
+                owned.clone()
+            );
+            prop_assert_eq!(owned.as_ref().ok(), Some(request));
+            // ...and a re-encode of the borrowed view is byte-stable.
+            let mut re = Vec::new();
+            borrowed.unwrap().encode_into(&mut re);
+            prop_assert_eq!(&re, &fresh);
+
+            // Same typed error on truncation.
+            if !fresh.is_empty() {
+                let cut = (cut_seed % fresh.len() as u64) as usize;
+                prop_assert_eq!(
+                    RequestRef::decode(&fresh[..cut]).map(RequestRef::into_owned),
+                    Request::decode(&fresh[..cut])
+                );
+            }
+        }
+    }
+
+    /// Frames written through a reused writer and read back through a
+    /// reused reader roundtrip bit-for-bit with the allocating API, in
+    /// sequence position, for mixed message sizes.
+    #[test]
+    fn frame_buffer_reuse_roundtrips_sequences(
+        seed in any::<u64>(),
+        sizes in vec(1usize..300, 1..8),
+    ) {
+        let requests: Vec<Request> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Request::Authenticate(item_from(
+                seed.wrapping_add(i as u64),
+                vec![i as u8; n],
+                vec![!(i as u8); n / 2],
+                i as u8,
+            )))
+            .collect();
+        let mut wire = Vec::new();
+        {
+            // One writer: its internal encode buffer is reused across
+            // every frame, shrinking and growing with the messages.
+            let mut w = FrameWriter::new(&mut wire);
+            for request in &requests {
+                w.write_request(request).unwrap();
+            }
+        }
+        // Reference wire bytes from the allocating encode.
+        let mut reference = Vec::new();
+        for request in &requests {
+            let payload = request.encode();
+            reference.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            reference.extend_from_slice(&payload);
+        }
+        prop_assert_eq!(&wire, &reference);
+
+        // One reader: reused payload buffer, owned decode.
+        let mut r = FrameReader::new(&wire[..]);
+        for request in &requests {
+            let got = r.read_request().unwrap();
+            prop_assert_eq!(got.as_ref(), Some(request));
+        }
+        prop_assert_eq!(r.read_request().unwrap(), None);
+
+        // Same stream through the borrowing read path.
+        let mut r = FrameReader::new(&wire[..]);
+        for request in &requests {
+            let got = r.read_request_ref().unwrap().map(RequestRef::into_owned);
+            prop_assert_eq!(got.as_ref(), Some(request));
+        }
+        prop_assert!(r.read_request_ref().unwrap().is_none(), "clean EOF");
     }
 
     /// Arbitrary byte soup never panics either decoder and never

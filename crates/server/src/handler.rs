@@ -18,16 +18,24 @@ use std::sync::Arc;
 
 use ropuf_constructions::DeviceResponse;
 use ropuf_proto::{
-    AuthItem, ErrorCode, Request, Response, WireAuthResponse, WireFlagReason, WireVerdict,
-    PROTOCOL_VERSION,
+    AuthItemRef, ErrorCode, Request, RequestRef, Response, WireAuthResponse, WireFlagReason,
+    WireVerdict, PROTOCOL_VERSION,
 };
-use ropuf_verifier::{AuthRequest, AuthVerdict, FlagReason, Verifier};
+use ropuf_verifier::{AuthQuery, AuthVerdict, BatchScratch, FlagReason, Verifier};
 
 /// A server-side request processor: one decoded request in, one
 /// response out. Must be shareable across serving threads.
 pub trait RequestHandler: Send + Sync {
-    /// Serves one request.
+    /// Serves one owned request.
     fn handle(&self, request: Request) -> Response;
+
+    /// Serves one borrowed request — the zero-copy path the TCP
+    /// workers decode into. The default copies and delegates;
+    /// production handlers override it to serve straight from the
+    /// frame buffer.
+    fn handle_ref(&self, request: RequestRef<'_>) -> Response {
+        self.handle(request.into_owned())
+    }
 }
 
 /// Converts the verifier's flag reason to its wire representation.
@@ -49,9 +57,10 @@ pub fn wire_verdict(verdict: AuthVerdict) -> WireVerdict {
     }
 }
 
-/// Translates one wire [`AuthItem`] into the verifier's request shape.
-fn auth_request(item: AuthItem) -> AuthRequest {
-    AuthRequest {
+/// Translates one borrowed wire [`AuthItemRef`] into the verifier's
+/// borrowed query shape — field moves only, no byte copies.
+fn auth_query<'a>(item: &AuthItemRef<'a>) -> AuthQuery<'a> {
+    AuthQuery {
         device_id: item.device_id,
         now: item.now,
         nonce: item.nonce,
@@ -90,8 +99,15 @@ impl VerifierHandler {
 
 impl RequestHandler for VerifierHandler {
     fn handle(&self, request: Request) -> Response {
+        self.handle_ref(request.as_ref())
+    }
+
+    /// The real implementation: everything the hot path touches
+    /// (nonces, presented helpers) stays borrowed from the frame
+    /// buffer; only enrollment — which must persist its bytes — copies.
+    fn handle_ref(&self, request: RequestRef<'_>) -> Response {
         match request {
-            Request::Hello { protocol, client } => {
+            RequestRef::Hello { protocol, client } => {
                 if protocol != PROTOCOL_VERSION {
                     return Response::Error {
                         code: ErrorCode::UnsupportedProtocol,
@@ -105,7 +121,7 @@ impl RequestHandler for VerifierHandler {
                     server: self.server_name.clone(),
                 }
             }
-            Request::Enroll {
+            RequestRef::Enroll {
                 device_id,
                 scheme_tag,
                 helper,
@@ -113,7 +129,7 @@ impl RequestHandler for VerifierHandler {
             } => {
                 let record = ropuf_verifier::EnrollmentRecord {
                     scheme_tag,
-                    helper,
+                    helper: helper.to_vec(),
                     key_digest,
                 };
                 match self.verifier.registry().enroll(device_id, record) {
@@ -124,24 +140,33 @@ impl RequestHandler for VerifierHandler {
                     },
                 }
             }
-            Request::Authenticate(item) => match self.verifier.authenticate(&auth_request(item)) {
-                AuthVerdict::Flagged(reason) => Response::Error {
-                    code: ErrorCode::DeviceFlagged,
-                    detail: format!("device quarantined: {}", reason.label()),
-                },
-                verdict => Response::Verdict(wire_verdict(verdict)),
-            },
-            Request::BatchAuthenticate { items } => {
-                let requests: Vec<AuthRequest> = items.into_iter().map(auth_request).collect();
-                Response::VerdictBatch(
-                    self.verifier
-                        .authenticate_batch(&requests)
-                        .into_iter()
-                        .map(wire_verdict)
-                        .collect(),
-                )
+            RequestRef::Authenticate(item) => {
+                match self.verifier.authenticate_query(auth_query(&item)) {
+                    AuthVerdict::Flagged(reason) => Response::Error {
+                        code: ErrorCode::DeviceFlagged,
+                        detail: format!("device quarantined: {}", reason.label()),
+                    },
+                    verdict => Response::Verdict(wire_verdict(verdict)),
+                }
             }
-            Request::QueryVerdict { device_id } => {
+            RequestRef::BatchAuthenticate { items } => {
+                // Per-worker-thread scratch: the serving threads are a
+                // fixed pool, so this amortizes the shard buckets and
+                // the verdict vector across every batch a worker ever
+                // serves instead of reallocating them per request.
+                thread_local! {
+                    static BATCH_SCRATCH: std::cell::RefCell<(BatchScratch, Vec<AuthVerdict>)> =
+                        std::cell::RefCell::new((BatchScratch::new(), Vec::new()));
+                }
+                let queries: Vec<AuthQuery<'_>> = items.iter().map(auth_query).collect();
+                BATCH_SCRATCH.with(|cell| {
+                    let (scratch, verdicts) = &mut *cell.borrow_mut();
+                    self.verifier
+                        .authenticate_batch_with(&queries, scratch, verdicts);
+                    Response::VerdictBatch(verdicts.iter().copied().map(wire_verdict).collect())
+                })
+            }
+            RequestRef::QueryVerdict { device_id } => {
                 if self.verifier.registry().record(device_id).is_none() {
                     return Response::Error {
                         code: ErrorCode::UnknownDevice,
@@ -155,7 +180,7 @@ impl RequestHandler for VerifierHandler {
                         .map(|(at, reason)| (at, wire_reason(reason))),
                 }
             }
-            Request::Snapshot => Response::SnapshotText {
+            RequestRef::Snapshot => Response::SnapshotText {
                 json: self.verifier.registry().snapshot_json(),
             },
         }
@@ -169,6 +194,7 @@ mod tests {
     use rand::SeedableRng;
     use ropuf_constructions::pairing::lisa::{LisaConfig, LisaScheme, LISA_TAG};
     use ropuf_constructions::Device;
+    use ropuf_proto::AuthItem;
     use ropuf_sim::{ArrayDims, Environment, RoArrayBuilder};
     use ropuf_verifier::{auth_key, client_tag, DetectorConfig};
 

@@ -163,6 +163,12 @@ impl TcpServer {
 /// Serves one connection to completion: request frames in, response
 /// frames out, until clean EOF, transport failure, or a malformed
 /// frame (answered, then dropped).
+///
+/// The worker loop is allocation-free at steady state: the frame
+/// reader reuses its payload buffer, the request is decoded as a
+/// borrowing [`ropuf_proto::RequestRef`] straight out of that buffer,
+/// and the frame writer encodes the response into its own reused
+/// buffer.
 fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
     stream.set_nodelay(true).ok(); // response latency over batching
     let (Ok(write_half), Ok(closer)) = (stream.try_clone(), stream.try_clone()) else {
@@ -171,10 +177,10 @@ fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
     let mut reader = FrameReader::new(stream);
     let mut writer = FrameWriter::new(write_half);
     loop {
-        match reader.read_request() {
+        match reader.read_request_ref() {
             Ok(None) => break,
             Ok(Some(request)) => {
-                match writer.write_response(&handler.handle(request)) {
+                match writer.write_response(&handler.handle_ref(request)) {
                     Ok(()) => {}
                     // The answer outgrew the frame cap (giant registry
                     // snapshot): tell the client why and keep serving —
@@ -234,11 +240,11 @@ impl TcpTransport {
 }
 
 impl crate::transport::Transport for TcpTransport {
-    fn roundtrip(
+    fn roundtrip_frame(
         &mut self,
-        request: &ropuf_proto::Request,
+        request_payload: &[u8],
     ) -> Result<ropuf_proto::Response, FrameError> {
-        self.writer.write_request(request)?;
+        self.writer.write_frame(request_payload)?;
         match self.reader.read_response()? {
             Some(response) => Ok(response),
             None => Err(FrameError::Io(io::Error::new(

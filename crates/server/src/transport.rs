@@ -12,28 +12,49 @@
 use std::sync::Arc;
 
 use ropuf_proto::{
-    AuthItem, ErrorCode, FrameError, Request, Response, WireFlagReason, WireVerdict,
-    PROTOCOL_VERSION,
+    AuthItem, AuthItemRef, ErrorCode, FrameError, Request, RequestRef, Response, WireFlagReason,
+    WireVerdict, PROTOCOL_VERSION,
 };
+
+use ropuf_proto::frame::bound_scratch;
 
 use crate::handler::RequestHandler;
 
 /// One synchronous request/response exchange with a server.
+///
+/// The required entry takes an **already-encoded** request payload, so
+/// callers ([`Client`]) encode into a reused buffer once and every
+/// transport ships those bytes without re-encoding or copying.
 pub trait Transport {
-    /// Sends `request` and awaits its response.
+    /// Sends one encoded request frame payload and awaits its
+    /// response.
     ///
     /// # Errors
     ///
     /// [`FrameError`] on transport or codec failure.
-    fn roundtrip(&mut self, request: &Request) -> Result<Response, FrameError>;
+    fn roundtrip_frame(&mut self, request_payload: &[u8]) -> Result<Response, FrameError>;
+
+    /// Convenience: encodes `request` (allocating) and exchanges it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Transport::roundtrip_frame`].
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, FrameError> {
+        self.roundtrip_frame(&request.encode())
+    }
 }
 
 /// In-process transport: the same handler the TCP workers call,
 /// reached through a full encode/decode of both the request and the
 /// response, without sockets. Deterministic and dependency-free — the
-/// campaign/test path.
+/// campaign/test path. Requests are decoded with the same borrowing
+/// decoder the socket workers use, so a loopback exchange exercises
+/// byte-identical wire behavior (minus the kernel).
 pub struct LoopbackTransport {
     handler: Arc<dyn RequestHandler>,
+    /// Reused response-encode buffer (the response's trip through the
+    /// codec, without a socket to carry it).
+    response_scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for LoopbackTransport {
@@ -45,17 +66,23 @@ impl std::fmt::Debug for LoopbackTransport {
 impl LoopbackTransport {
     /// Wraps a handler.
     pub fn new(handler: Arc<dyn RequestHandler>) -> Self {
-        Self { handler }
+        Self {
+            handler,
+            response_scratch: Vec::new(),
+        }
     }
 }
 
 impl Transport for LoopbackTransport {
-    fn roundtrip(&mut self, request: &Request) -> Result<Response, FrameError> {
-        // Encode → decode the request, exactly as the socket path would.
-        let decoded = Request::decode(&request.encode())?;
-        let response = self.handler.handle(decoded);
+    fn roundtrip_frame(&mut self, request_payload: &[u8]) -> Result<Response, FrameError> {
+        // Borrowing decode, exactly as the socket workers do.
+        let decoded = RequestRef::decode(request_payload)?;
+        let response = self.handler.handle_ref(decoded);
         // And the response takes the same trip back.
-        Ok(Response::decode(&response.encode())?)
+        response.encode_into(&mut self.response_scratch);
+        let decoded = Response::decode(&self.response_scratch)?;
+        bound_scratch(&mut self.response_scratch);
+        Ok(decoded)
     }
 }
 
@@ -111,19 +138,40 @@ impl ClientError {
 }
 
 /// Typed `ropuf-wire/v1` client over any [`Transport`].
+///
+/// Requests are encoded into a buffer the client owns and reuses, so a
+/// steady-state request loop allocates nothing on the send side.
 #[derive(Debug)]
 pub struct Client<T: Transport> {
     transport: T,
+    encode_scratch: Vec<u8>,
 }
 
 impl<T: Transport> Client<T> {
     /// Wraps a transport. Callers usually [`Client::hello`] first.
     pub fn new(transport: T) -> Self {
-        Self { transport }
+        Self {
+            transport,
+            encode_scratch: Vec::new(),
+        }
     }
 
     fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
-        match self.transport.roundtrip(request)? {
+        // Owned encode path: keeps even batch requests allocation-free
+        // (`Request::encode_into` does not build per-item views).
+        request.encode_into(&mut self.encode_scratch);
+        self.finish_exchange()
+    }
+
+    fn exchange_ref(&mut self, request: &RequestRef<'_>) -> Result<Response, ClientError> {
+        request.encode_into(&mut self.encode_scratch);
+        self.finish_exchange()
+    }
+
+    fn finish_exchange(&mut self) -> Result<Response, ClientError> {
+        let result = self.transport.roundtrip_frame(&self.encode_scratch);
+        bound_scratch(&mut self.encode_scratch);
+        match result? {
             Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
             response => Ok(response),
         }
@@ -175,7 +223,19 @@ impl<T: Transport> Client<T> {
     /// A quarantined device comes back as [`ClientError::Server`] with
     /// [`ErrorCode::DeviceFlagged`] — the wire-level rejection.
     pub fn authenticate(&mut self, item: AuthItem) -> Result<WireVerdict, ClientError> {
-        match self.exchange(&Request::Authenticate(item))? {
+        self.authenticate_ref(item.as_ref())
+    }
+
+    /// One authentication attempt from a borrowed item — the replay
+    /// hot path: the item's bytes are encoded straight from the
+    /// caller's buffers into the client's reused encode buffer, no
+    /// clone per request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::authenticate`].
+    pub fn authenticate_ref(&mut self, item: AuthItemRef<'_>) -> Result<WireVerdict, ClientError> {
+        match self.exchange_ref(&RequestRef::Authenticate(item))? {
             Response::Verdict(verdict) => Ok(verdict),
             _ => Err(ClientError::UnexpectedResponse("Verdict")),
         }

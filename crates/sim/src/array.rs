@@ -110,7 +110,26 @@ impl RoArray {
 
     /// Measures every RO once; index order.
     pub fn measure_all<R: Rng + ?Sized>(&self, env: Environment, rng: &mut R) -> Vec<f64> {
-        (0..self.len()).map(|i| self.measure(i, env, rng)).collect()
+        let mut out = Vec::with_capacity(self.len());
+        self.measure_all_into(env, rng, &mut out);
+        out
+    }
+
+    /// Measures every RO once into `out` (cleared first, capacity
+    /// reused) — the allocation-free twin of [`RoArray::measure_all`]
+    /// for hot loops that issue many full-array measurements (every
+    /// oracle query reconstructs the key from a fresh sweep). Consumes
+    /// the RNG identically to `measure_all`, so swapping one for the
+    /// other never perturbs a seeded replay.
+    pub fn measure_all_into<R: Rng + ?Sized>(
+        &self,
+        env: Environment,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend((0..self.len()).map(|i| self.measure(i, env, rng)));
     }
 
     /// Averages `n` measurements of RO `i` (enrollment-grade measurement;
@@ -390,5 +409,25 @@ mod tests {
         let all = a.measure_all(env, &mut r1);
         let single: Vec<f64> = (0..a.len()).map(|i| a.measure(i, env, &mut r2)).collect();
         assert_eq!(all, single);
+    }
+
+    #[test]
+    fn measure_all_into_reuses_buffer_and_matches_allocating_path() {
+        let a = small_array(13);
+        let env = Environment::nominal();
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        // Dirty, over-sized scratch: contents must be fully replaced.
+        let mut scratch = vec![f64::NAN; a.len() + 9];
+        let cap = {
+            scratch.clear();
+            scratch.capacity()
+        };
+        for round in 0..3 {
+            a.measure_all_into(env, &mut r1, &mut scratch);
+            let fresh = a.measure_all(env, &mut r2);
+            assert_eq!(scratch, fresh, "round {round}");
+            assert_eq!(scratch.capacity(), cap, "no reallocation, round {round}");
+        }
     }
 }

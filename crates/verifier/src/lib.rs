@@ -86,5 +86,6 @@ pub mod service;
 pub use detector::{AuthVerdict, DetectorConfig, DeviceDetector, FlagReason};
 pub use registry::{EnrollmentRecord, RegistryError, ShardedRegistry, SnapshotError, SCHEMA};
 pub use service::{
-    auth_key, client_tag, device_auth_response, AuthRequest, BatchEnrollment, Verifier,
+    auth_key, client_tag, device_auth_response, AuthQuery, AuthRequest, BatchEnrollment,
+    BatchScratch, Verifier,
 };

@@ -35,6 +35,7 @@ use std::fmt;
 use std::sync::Mutex;
 
 use ropuf_constructions::scheme_name_of_tag;
+use ropuf_hash::HmacKey;
 use ropuf_numeric::splitmix64 as mix;
 
 use crate::detector::{DetectorConfig, DeviceDetector, FlagReason};
@@ -113,11 +114,30 @@ impl std::error::Error for SnapshotError {}
 
 /// One shard entry: the durable record plus the device's detector
 /// runtime state, co-located so a single shard lock covers an entire
-/// authenticate step.
+/// authenticate step. Also caches the precomputed HMAC key schedule
+/// ([`HmacKey`]) of the stored credential, so serving an
+/// authentication never re-derives it — tag verification is two
+/// midstate clones per request instead of a full key schedule.
 #[derive(Debug, Clone)]
 pub(crate) struct DeviceEntry {
     pub(crate) record: EnrollmentRecord,
     pub(crate) detector: DeviceDetector,
+    pub(crate) hmac_key: HmacKey,
+}
+
+impl DeviceEntry {
+    /// Builds the entry, deriving the detector and the cached HMAC
+    /// midstates from the record. The only place the key schedule is
+    /// computed — everything after enrollment clones midstates.
+    pub(crate) fn new(record: EnrollmentRecord, config: DetectorConfig) -> Self {
+        let detector = DeviceDetector::new(config, record.scheme_tag, &record.helper);
+        let hmac_key = HmacKey::new(&record.key_digest);
+        Self {
+            record,
+            detector,
+            hmac_key,
+        }
+    }
 }
 
 /// Device-id → [`EnrollmentRecord`] map, hashed across N independently
@@ -166,14 +186,14 @@ impl ShardedRegistry {
     /// Panics if the shard lock is poisoned (a previous holder
     /// panicked).
     pub fn enroll(&self, device_id: u64, record: EnrollmentRecord) -> Result<(), RegistryError> {
-        let detector = DeviceDetector::new(self.detector_config, record.scheme_tag, &record.helper);
+        let entry = DeviceEntry::new(record, self.detector_config);
         let mut shard = self.shards[self.shard_of(device_id)]
             .lock()
             .expect("shard lock poisoned");
         if shard.contains_key(&device_id) {
             return Err(RegistryError::Duplicate { device_id });
         }
-        shard.insert(device_id, DeviceEntry { record, detector });
+        shard.insert(device_id, entry);
         Ok(())
     }
 
@@ -198,15 +218,13 @@ impl ShardedRegistry {
         for (i, (device_id, _)) in entries.iter().enumerate() {
             buckets[self.shard_of(*device_id)].push(i);
         }
-        // Build the detectors (digest work over each helper blob)
-        // *before* taking any shard lock, like the sequential path —
-        // concurrent serving traffic must not stall behind a bulk load.
+        // Build the entries (helper digest + HMAC key schedule) *before*
+        // taking any shard lock, like the sequential path — concurrent
+        // serving traffic must not stall behind a bulk load.
         let mut entries: Vec<Option<(u64, DeviceEntry)>> = entries
             .into_iter()
             .map(|(device_id, record)| {
-                let detector =
-                    DeviceDetector::new(self.detector_config, record.scheme_tag, &record.helper);
-                Some((device_id, DeviceEntry { record, detector }))
+                Some((device_id, DeviceEntry::new(record, self.detector_config)))
             })
             .collect();
         for (shard_index, indices) in buckets.iter().enumerate() {

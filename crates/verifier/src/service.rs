@@ -78,6 +78,52 @@ pub struct AuthRequest {
     pub presented_helper: Option<Vec<u8>>,
 }
 
+impl AuthRequest {
+    /// A borrowed view of this request (no byte copies).
+    pub fn as_query(&self) -> AuthQuery<'_> {
+        AuthQuery {
+            device_id: self.device_id,
+            now: self.now,
+            nonce: &self.nonce,
+            response: self.response,
+            presented_helper: self.presented_helper.as_deref(),
+        }
+    }
+}
+
+/// Borrowed twin of [`AuthRequest`]: the shape the wire handler serves
+/// directly from a decoded frame, so the serving hot path never copies
+/// nonce or helper bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct AuthQuery<'a> {
+    /// Claimed device identity.
+    pub device_id: u64,
+    /// Logical timestamp (non-decreasing per device).
+    pub now: u64,
+    /// The challenge nonce this request answers.
+    pub nonce: &'a [u8],
+    /// The device's response.
+    pub response: DeviceResponse,
+    /// The device's current helper NVM contents, when readable.
+    pub presented_helper: Option<&'a [u8]>,
+}
+
+/// Reusable scratch for [`Verifier::authenticate_batch_with`]: the
+/// per-shard index buckets, kept allocated across batches so
+/// steady-state batched serving stops churning the allocator.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    buckets: Vec<Vec<usize>>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buckets grow to the verifier's shard count on
+    /// first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The defender-side verifier service.
 ///
 /// Thread-safe by construction: all mutable state lives behind the
@@ -171,8 +217,15 @@ impl Verifier {
     /// registry cannot attribute detector state to an identity it never
     /// enrolled.
     pub fn authenticate(&self, request: &AuthRequest) -> AuthVerdict {
+        self.authenticate_query(request.as_query())
+    }
+
+    /// Serves one authentication request from a borrowed view — the
+    /// zero-copy entry the wire handler uses: shard lock once, cached
+    /// HMAC-midstate tag verification, detector update.
+    pub fn authenticate_query(&self, query: AuthQuery<'_>) -> AuthVerdict {
         self.registry
-            .with_entry(request.device_id, |entry| Self::judge(entry, request))
+            .with_entry(query.device_id, |entry| Self::judge(entry, &query))
             .unwrap_or(AuthVerdict::Reject)
     }
 
@@ -181,6 +234,55 @@ impl Verifier {
     /// order; requests for the same device are judged in their slice
     /// order, so batched and sequential serving agree.
     pub fn authenticate_batch(&self, requests: &[AuthRequest]) -> Vec<AuthVerdict> {
+        let queries: Vec<AuthQuery<'_>> = requests.iter().map(AuthRequest::as_query).collect();
+        let mut verdicts = Vec::new();
+        self.authenticate_batch_with(&queries, &mut BatchScratch::new(), &mut verdicts);
+        verdicts
+    }
+
+    /// [`Verifier::authenticate_batch`] over borrowed queries with
+    /// caller-owned scratch: the per-shard buckets and the verdict
+    /// vector are reused across batches, so a steady-state batch loop
+    /// allocates nothing. `verdicts` is cleared and refilled in request
+    /// order.
+    pub fn authenticate_batch_with(
+        &self,
+        queries: &[AuthQuery<'_>],
+        scratch: &mut BatchScratch,
+        verdicts: &mut Vec<AuthVerdict>,
+    ) {
+        verdicts.clear();
+        verdicts.resize(queries.len(), AuthVerdict::Reject);
+        scratch
+            .buckets
+            .resize(self.registry.shard_count(), Vec::new());
+        for bucket in &mut scratch.buckets {
+            bucket.clear();
+        }
+        for (i, query) in queries.iter().enumerate() {
+            scratch.buckets[self.registry.shard_of(query.device_id)].push(i);
+        }
+        for (shard_index, indices) in scratch.buckets.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            self.registry.with_shard(shard_index, |shard| {
+                for &i in indices {
+                    let query = &queries[i];
+                    if let Some(entry) = shard.get_mut(&query.device_id) {
+                        verdicts[i] = Self::judge(entry, query);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Reference batch path that re-derives the full HMAC key schedule
+    /// per request instead of using the cached midstates. Exists so the
+    /// `perf_hotpath` bench can measure the cache's speedup in one run
+    /// and so tests can pin the fast path to it verdict-for-verdict;
+    /// production callers want [`Verifier::authenticate_batch`].
+    pub fn authenticate_batch_reference(&self, requests: &[AuthRequest]) -> Vec<AuthVerdict> {
         let mut verdicts = vec![AuthVerdict::Reject; requests.len()];
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.registry.shard_count()];
         for (i, request) in requests.iter().enumerate() {
@@ -194,7 +296,17 @@ impl Verifier {
                 for &i in indices {
                     let request = &requests[i];
                     if let Some(entry) = shard.get_mut(&request.device_id) {
-                        verdicts[i] = Self::judge(entry, request);
+                        let auth_ok = match &request.response {
+                            DeviceResponse::Tag(tag) => {
+                                tag == &client_tag(&entry.record.key_digest, &request.nonce)
+                            }
+                            DeviceResponse::Failure => false,
+                        };
+                        verdicts[i] = entry.detector.observe(
+                            request.now,
+                            request.presented_helper.as_deref(),
+                            auth_ok,
+                        );
                     }
                 }
             });
@@ -226,17 +338,16 @@ impl Verifier {
     }
 
     /// Record lookup + tag verification + detection under one held
-    /// shard lock.
-    fn judge(entry: &mut DeviceEntry, request: &AuthRequest) -> AuthVerdict {
-        let auth_ok = match &request.response {
-            DeviceResponse::Tag(tag) => {
-                tag == &client_tag(&entry.record.key_digest, &request.nonce)
-            }
+    /// shard lock. Tag verification runs from the entry's cached HMAC
+    /// midstates — no key-schedule derivation, no allocation.
+    fn judge(entry: &mut DeviceEntry, query: &AuthQuery<'_>) -> AuthVerdict {
+        let auth_ok = match &query.response {
+            DeviceResponse::Tag(tag) => entry.hmac_key.verify(query.nonce, tag),
             DeviceResponse::Failure => false,
         };
         entry
             .detector
-            .observe(request.now, request.presented_helper.as_deref(), auth_ok)
+            .observe(query.now, query.presented_helper, auth_ok)
     }
 }
 
@@ -396,6 +507,63 @@ mod tests {
             let at_once = batched.authenticate_batch(&requests);
             assert_eq!(one_by_one, at_once, "shards={shards}");
             assert!(at_once.iter().all(AuthVerdict::is_accept));
+        }
+    }
+
+    #[test]
+    fn cached_midstate_batch_matches_reference_key_schedule_path() {
+        // The cached-HmacKey fast path and the re-deriving reference
+        // path must agree verdict-for-verdict on mixed traffic: genuine
+        // tags, forged tags, failures, unknown devices.
+        let mut d0 = provisioned(11);
+        let mut d1 = provisioned(12);
+        let mut requests = Vec::new();
+        for k in 0..8u64 {
+            let nonce = format!("mixed-{k}");
+            let (dev, id) = if k % 2 == 0 {
+                (&mut d0, 0u64)
+            } else {
+                (&mut d1, 1u64)
+            };
+            let mut req = genuine_request(dev, id, k * 10, nonce.as_bytes());
+            match k % 4 {
+                2 => req.response = DeviceResponse::Tag([0xEE; 32]), // forged
+                3 => req.response = DeviceResponse::Failure,
+                _ => {}
+            }
+            if k == 7 {
+                req.device_id = 999; // unknown
+            }
+            requests.push(req);
+        }
+        let make = |d0: &Device, d1: &Device| {
+            let v = Verifier::new(4, DetectorConfig::default());
+            v.enroll(0, LISA_TAG, d0.helper(), d0.enrolled_key())
+                .unwrap();
+            v.enroll(1, LISA_TAG, d1.helper(), d1.enrolled_key())
+                .unwrap();
+            v
+        };
+        // Fresh verifiers per path: detector state accumulates.
+        let fast = make(&d0, &d1).authenticate_batch(&requests);
+        let reference = make(&d0, &d1).authenticate_batch_reference(&requests);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn batch_scratch_is_reusable_across_batches() {
+        let mut device = provisioned(13);
+        let v = Verifier::new(4, DetectorConfig::default());
+        v.enroll(0, LISA_TAG, device.helper(), device.enrolled_key())
+            .unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut verdicts = Vec::new();
+        for round in 0..3u64 {
+            let req = genuine_request(&mut device, 0, round * 100, b"r");
+            let queries = [req.as_query()];
+            v.authenticate_batch_with(&queries, &mut scratch, &mut verdicts);
+            assert_eq!(verdicts.len(), 1, "round {round}");
+            assert!(verdicts[0].is_accept(), "round {round}");
         }
     }
 
