@@ -2,22 +2,39 @@
 //! serving surface, with throughput and tail-latency reporting.
 //!
 //! ```text
-//! loadgen [--devices N] [--rounds R] [--seed S] [--shards M]
-//!         [--threads T] [--workers W] [--smoke] [--loopback]
+//! loadgen [--server loopback|blocking|evented] [--devices N]
+//!         [--rounds R] [--seed S] [--shards M] [--threads T]
+//!         [--workers W] [--loops L] [--connections C] [--churn]
+//!         [--smoke] [--loopback] [--json PATH]
 //! ```
 //!
 //! Builds a deterministic [`TrafficPlan`] (first quarter of the fleet:
 //! real LISA attack trajectories; the rest: benign authentication
 //! across the other three constructions), enrolls the fleet through
-//! one shard-partitioned `Verifier::enroll_batch` call, spawns the TCP
-//! server on an ephemeral localhost port (or wires up the in-process
-//! loopback transport with `--loopback`), and replays the plan from
-//! `T` client threads — each request timed into a per-thread
+//! one shard-partitioned `Verifier::enroll_batch` call, spawns the
+//! chosen backend on an ephemeral localhost port, and replays the plan
+//! from `T` client threads — each request timed into a per-thread
 //! log-bucketed histogram, merged at the end.
+//!
+//! Connection shapes (TCP backends):
+//!
+//! * default — one long-lived connection per client thread;
+//! * `--connections C` — `C` connections opened up-front and **held
+//!   established for the whole replay**, requests round-robined across
+//!   them (the many-concurrent-connections shape the evented server
+//!   exists for; the blocking pool refuses `C > W` because its workers
+//!   own one connection each until EOF);
+//! * `--churn` — a fresh connection per device replay (accept/teardown
+//!   pressure).
 //!
 //! Acceptance shape (asserted, not just printed): nonzero throughput,
 //! **every** attacked device rejected at the wire with the
-//! `DeviceFlagged` error code, and **zero** benign devices flagged.
+//! `DeviceFlagged` error code, **zero** benign devices flagged, and in
+//! `--connections` mode every connection established simultaneously
+//! (the evented server's gauge is asserted directly).
+//!
+//! `--json PATH` writes a `ropuf-bench-loadgen/v1` artifact so CI can
+//! track the serving-throughput trajectory per run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -31,7 +48,27 @@ use ropuf_server::{
     Client, DeviceTraffic, LoopbackTransport, RequestHandler, Role, TcpServer, TcpTransport,
     TrafficPlan, TrafficSpec, Transport, VerifierHandler,
 };
+#[cfg(target_os = "linux")]
+use ropuf_server::{EventedConfig, EventedServer};
 use ropuf_verifier::{DetectorConfig, Verifier};
+
+/// Which serving backend replays the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Loopback,
+    Blocking,
+    Evented,
+}
+
+impl Backend {
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Loopback => "loopback",
+            Backend::Blocking => "blocking",
+            Backend::Evented => "evented",
+        }
+    }
+}
 
 /// What one device's replay produced.
 struct DeviceOutcome {
@@ -48,9 +85,12 @@ struct DeviceOutcome {
     flag_reason: Option<String>,
 }
 
-/// Replays every request of one device, in order, through `client`.
+/// Replays every request of one device, in order, round-robining the
+/// requests across the thread's connection pool (a single-client pool
+/// is the classic one-connection-per-thread shape).
 fn replay_device<T: Transport>(
-    client: &mut Client<T>,
+    pool: &mut [Client<T>],
+    rr: &mut usize,
     device: &DeviceTraffic,
     latencies: &mut Histogram,
 ) -> DeviceOutcome {
@@ -65,6 +105,8 @@ fn replay_device<T: Transport>(
         flag_reason: None,
     };
     for (i, item) in device.requests.iter().enumerate() {
+        let client = &mut pool[*rr % pool.len()];
+        *rr += 1;
         let t0 = Instant::now();
         // Borrowed replay: the recorded item is encoded straight from
         // the plan's buffers — no per-request clone.
@@ -81,35 +123,30 @@ fn replay_device<T: Transport>(
             Err(e) => panic!("device {}: transport failure: {e}", device.device_id),
         }
     }
-    outcome.flag_reason = client
+    outcome.flag_reason = pool[0]
         .query_verdict(device.device_id)
         .expect("enrolled device must be queryable")
         .map(|(_, reason)| reason.label().to_string());
     outcome
 }
 
-/// Runs the whole plan from `threads` client threads, each with its
-/// own transport from `connect`. Returns per-device outcomes (sorted
-/// by id) and the merged latency histogram.
-fn run_clients<T: Transport, F>(
-    plan: &TrafficPlan,
-    threads: usize,
-    connect: F,
-) -> (Vec<DeviceOutcome>, Histogram)
+/// The shared replay harness: one thread per worker closure, devices
+/// handed out through an atomic cursor, per-thread histograms merged
+/// at the end. A worker replays one device and returns its outcome;
+/// the connection shapes below differ only in how a worker gets its
+/// client(s). Returns per-device outcomes (sorted by id) and the
+/// merged latency histogram.
+fn run_threads<W>(plan: &TrafficPlan, workers: Vec<W>) -> (Vec<DeviceOutcome>, Histogram)
 where
-    T: Transport,
-    F: Fn() -> Client<T> + Sync,
+    W: FnMut(&DeviceTraffic, &mut Histogram) -> DeviceOutcome + Send,
 {
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(Vec<DeviceOutcome>, Histogram)>();
     std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
+        for mut work in workers {
             let tx = tx.clone();
             let cursor = &cursor;
-            let connect = &connect;
             scope.spawn(move || {
-                let mut client = connect();
-                client.hello("loadgen").expect("handshake");
                 let mut latencies = Histogram::new();
                 let mut outcomes = Vec::new();
                 loop {
@@ -117,7 +154,7 @@ where
                     let Some(device) = plan.devices.get(i) else {
                         break;
                     };
-                    outcomes.push(replay_device(&mut client, device, &mut latencies));
+                    outcomes.push(work(device, &mut latencies));
                 }
                 tx.send((outcomes, latencies)).expect("collector alive");
             });
@@ -134,10 +171,87 @@ where
     (all, merged)
 }
 
+/// Held/per-thread shapes: each thread owns a fixed pool of live
+/// connections for the whole run.
+fn run_pools<T: Transport + Send>(
+    plan: &TrafficPlan,
+    pools: Vec<Vec<Client<T>>>,
+) -> (Vec<DeviceOutcome>, Histogram) {
+    let workers = pools
+        .into_iter()
+        .map(|mut pool| {
+            let mut rr = 0usize;
+            move |device: &DeviceTraffic, latencies: &mut Histogram| {
+                replay_device(&mut pool, &mut rr, device, latencies)
+            }
+        })
+        .collect();
+    run_threads(plan, workers)
+}
+
+/// Churn shape: every device replay opens (and drops) its own
+/// connection — accept-path and teardown pressure instead of held
+/// connections.
+fn run_churn<T, F>(
+    plan: &TrafficPlan,
+    threads: usize,
+    connect: F,
+) -> (Vec<DeviceOutcome>, Histogram)
+where
+    T: Transport,
+    F: Fn() -> Client<T> + Sync,
+{
+    let connect = &connect;
+    let workers = (0..threads.max(1))
+        .map(|_| {
+            move |device: &DeviceTraffic, latencies: &mut Histogram| {
+                let mut pool = vec![connect()];
+                replay_device(&mut pool, &mut 0, device, latencies)
+            }
+        })
+        .collect();
+    run_threads(plan, workers)
+}
+
+/// Opens `count` TCP connections, completes the handshake on each, and
+/// partitions them round-robin into `threads` pools.
+fn open_held_pools(
+    addr: std::net::SocketAddr,
+    count: usize,
+    threads: usize,
+) -> Vec<Vec<Client<TcpTransport>>> {
+    let mut pools: Vec<Vec<Client<TcpTransport>>> =
+        (0..threads.max(1)).map(|_| Vec::new()).collect();
+    for i in 0..count {
+        let mut client =
+            Client::new(TcpTransport::connect(addr).unwrap_or_else(|e| {
+                panic!("connection {i}/{count} failed: {e} (raise ulimit -n?)")
+            }));
+        client.hello("loadgen-held").expect("handshake");
+        pools[i % threads.max(1)].push(client);
+    }
+    // Fewer connections than threads leaves trailing pools empty; a
+    // pool-less thread has nothing to replay with, so shed it.
+    pools.retain(|pool| !pool.is_empty());
+    pools
+}
+
 fn main() {
     let flags = parse_flags();
     flags.expect_known(&[
-        "devices", "rounds", "seed", "shards", "threads", "workers", "smoke", "loopback",
+        "devices",
+        "rounds",
+        "seed",
+        "shards",
+        "threads",
+        "workers",
+        "loops",
+        "smoke",
+        "loopback",
+        "server",
+        "connections",
+        "churn",
+        "json",
     ]);
     let smoke = flags.has("smoke");
     let devices = flags
@@ -152,7 +266,31 @@ fn main() {
         .get_usize("threads")
         .unwrap_or(if smoke { 2 } else { 4 });
     let workers = flags.get_usize("workers").unwrap_or(4);
-    let loopback = flags.has("loopback") || smoke;
+    let loops = flags.get_usize("loops").unwrap_or(1);
+    let connections = flags.get_usize("connections");
+    let churn = flags.has("churn");
+    let backend = match flags.get("server") {
+        Some("loopback") => Backend::Loopback,
+        Some("blocking") => Backend::Blocking,
+        Some("evented") => Backend::Evented,
+        Some(other) => panic!("--server expects loopback|blocking|evented, got {other:?}"),
+        None if flags.has("loopback") => Backend::Loopback,
+        None if smoke => Backend::Loopback,
+        None => Backend::Blocking,
+    };
+    if connections.is_some() && backend == Backend::Loopback {
+        panic!("--connections needs a TCP backend; pass --server evented (or blocking)");
+    }
+    if churn && connections.is_some() {
+        panic!("--churn and --connections are different connection shapes; pick one");
+    }
+    if let (Backend::Blocking, Some(c)) = (backend, connections) {
+        assert!(
+            c <= workers,
+            "the blocking pool serves one connection per worker until EOF: \
+             {c} held connections need >= {c} workers (or --server evented)"
+        );
+    }
 
     ropuf_bench::header(
         "LOADGEN — mixed benign/LISA traffic against the serving surface",
@@ -194,24 +332,127 @@ fn main() {
     );
 
     let handler: Arc<dyn RequestHandler> = Arc::new(VerifierHandler::new(Arc::clone(&verifier)));
+
+    /// Post-run server-side counters (evented backend only).
+    struct ServerStats {
+        accepted: u64,
+        requests: u64,
+        evicted_idle: u64,
+        evicted_slow: u64,
+    }
+
     let t0 = Instant::now();
-    let (outcomes, latencies) = if loopback {
-        println!("transport: in-process loopback (full wire codec, no sockets), {threads} client thread(s)");
-        run_clients(&plan, threads, || {
-            Client::new(LoopbackTransport::new(Arc::clone(&handler)))
-        })
-    } else {
-        let server =
-            TcpServer::spawn("127.0.0.1:0", Arc::clone(&handler), workers).expect("bind localhost");
-        let addr = server.local_addr();
-        println!("transport: TCP {addr}, {workers} server worker(s), {threads} client thread(s)");
-        let result = run_clients(&plan, threads, || {
-            Client::new(TcpTransport::connect(addr).expect("connect to own server"))
-        });
-        server.shutdown();
-        result
+    let mut server_stats: Option<ServerStats> = None;
+    let (outcomes, latencies) = match backend {
+        Backend::Loopback => {
+            println!(
+                "transport: in-process loopback (full wire codec, no sockets), {threads} client thread(s)"
+            );
+            let pools = (0..threads.max(1))
+                .map(|_| {
+                    let mut client = Client::new(LoopbackTransport::new(Arc::clone(&handler)));
+                    client.hello("loadgen").expect("handshake");
+                    vec![client]
+                })
+                .collect();
+            run_pools(&plan, pools)
+        }
+        Backend::Blocking => {
+            let server = TcpServer::spawn("127.0.0.1:0", Arc::clone(&handler), workers)
+                .expect("bind localhost");
+            let addr = server.local_addr();
+            let result = run_tcp(&plan, addr, threads, connections, churn, "blocking", None);
+            server.shutdown();
+            result
+        }
+        #[cfg(not(target_os = "linux"))]
+        Backend::Evented => panic!("--server evented requires Linux (epoll)"),
+        #[cfg(target_os = "linux")]
+        Backend::Evented => {
+            let config = EventedConfig {
+                loops,
+                ..EventedConfig::default()
+            };
+            let server = EventedServer::spawn("127.0.0.1:0", Arc::clone(&handler), config)
+                .expect("bind localhost");
+            let addr = server.local_addr();
+            let gauge = || server.open_connections();
+            let result = run_tcp(
+                &plan,
+                addr,
+                threads,
+                connections,
+                churn,
+                "evented",
+                Some(&gauge),
+            );
+            let (evicted_idle, evicted_slow) = server.evictions();
+            server_stats = Some(ServerStats {
+                accepted: server.accepted_total(),
+                requests: server.requests_served(),
+                evicted_idle,
+                evicted_slow,
+            });
+            server.shutdown();
+            result
+        }
     };
     let wall = t0.elapsed().as_secs_f64();
+
+    /// Dispatches the chosen connection shape against a bound TCP
+    /// address; asserts the held-connection gauge when the evented
+    /// server handle is available.
+    fn run_tcp(
+        plan: &TrafficPlan,
+        addr: std::net::SocketAddr,
+        threads: usize,
+        connections: Option<usize>,
+        churn: bool,
+        backend_name: &str,
+        held_gauge: Option<&dyn Fn() -> usize>,
+    ) -> (Vec<DeviceOutcome>, Histogram) {
+        if churn {
+            println!(
+                "transport: TCP {addr} ({backend_name}), connection churn — one connection per device replay, {threads} client thread(s)"
+            );
+            return run_churn(plan, threads, || {
+                Client::new(TcpTransport::connect(addr).expect("churn connect"))
+            });
+        }
+        match connections {
+            None => {
+                println!(
+                    "transport: TCP {addr} ({backend_name}), one connection per client thread, {threads} thread(s)"
+                );
+                let pools = (0..threads.max(1))
+                    .map(|_| {
+                        let mut client = Client::new(
+                            TcpTransport::connect(addr).expect("connect to own server"),
+                        );
+                        client.hello("loadgen").expect("handshake");
+                        vec![client]
+                    })
+                    .collect();
+                run_pools(plan, pools)
+            }
+            Some(count) => {
+                let t0 = Instant::now();
+                let pools = open_held_pools(addr, count, threads);
+                println!(
+                    "transport: TCP {addr} ({backend_name}), {count} connections held concurrently (opened + handshaken in {:.0} ms), {threads} client thread(s)",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+                if let Some(gauge) = held_gauge {
+                    assert_eq!(
+                        gauge(),
+                        count,
+                        "every held connection must be established simultaneously"
+                    );
+                }
+                run_pools(plan, pools)
+            }
+        }
+    }
 
     // ── Report ──────────────────────────────────────────────────────
     let total: usize = outcomes.iter().map(|o| o.requests).sum();
@@ -229,6 +470,12 @@ fn main() {
         s.p999 as f64 / 1e3,
         s.max as f64 / 1e3,
     );
+    if let Some(stats) = &server_stats {
+        println!(
+            "server: accepted {} connection(s), served {} request frame(s), evicted {} idle / {} slow",
+            stats.accepted, stats.requests, stats.evicted_idle, stats.evicted_slow,
+        );
+    }
 
     println!(
         "\n{:>7} {:>18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>17}",
@@ -278,6 +525,16 @@ fn main() {
             o.flag_reason
         );
     }
+    if let Some(stats) = &server_stats {
+        // Every auth request plus the per-device flag query landed on
+        // the server (plus handshakes, which depend on the shape).
+        assert!(
+            stats.requests as usize >= total + plan.devices.len(),
+            "server frame count {} below the replayed workload {}",
+            stats.requests,
+            total + plan.devices.len(),
+        );
+    }
     let mean_flag_at = attackers
         .iter()
         .filter_map(|o| o.wire_flagged_at)
@@ -290,4 +547,33 @@ fn main() {
         benign.iter().filter(|o| o.flag_reason.is_some()).count(),
         benign.len(),
     );
+
+    if let Some(path) = flags.get_required_value("json") {
+        let stats_json = match &server_stats {
+            Some(stats) => format!(
+                "{{\"accepted\": {}, \"served_frames\": {}, \"evicted_idle\": {}, \"evicted_slow\": {}}}",
+                stats.accepted, stats.requests, stats.evicted_idle, stats.evicted_slow
+            ),
+            None => "null".to_string(),
+        };
+        let artifact = format!(
+            "{{\n  \"schema\": \"ropuf-bench-loadgen/v1\",\n  \"mode\": \"{}\",\n  \"server\": \"{}\",\n  \"connection_shape\": \"{}\",\n  \"config\": {{\"devices\": {devices}, \"rounds\": {rounds}, \"seed\": {master_seed}, \"shards\": {shards}, \"threads\": {threads}, \"workers\": {workers}, \"loops\": {loops}, \"connections\": {}}},\n  \"requests\": {total},\n  \"ops_per_s\": {ops:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \"max\": {:.1}}},\n  \"server_stats\": {stats_json}\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            backend.name(),
+            if churn {
+                "churn"
+            } else if connections.is_some() {
+                "held"
+            } else {
+                "per-thread"
+            },
+            connections.map_or("null".to_string(), |c| c.to_string()),
+            s.p50 as f64 / 1e3,
+            s.p90 as f64 / 1e3,
+            s.p99 as f64 / 1e3,
+            s.p999 as f64 / 1e3,
+            s.max as f64 / 1e3,
+        );
+        ropuf_bench::write_artifact(path, &artifact);
+    }
 }

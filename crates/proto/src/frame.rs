@@ -8,6 +8,19 @@
 //! make the reader balloon; a clean EOF *between* frames is a normal
 //! end-of-stream ([`FrameReader::read_request`] returns `Ok(None)`),
 //! while EOF *inside* a frame is an error.
+//!
+//! # Incremental decoding
+//!
+//! [`FrameAccum`] is the non-blocking entry point: it accumulates one
+//! frame across however many `read` calls the transport needs,
+//! returning [`FramePoll::Pending`] on `WouldBlock` instead of
+//! blocking. An event-driven server parks the connection until the
+//! next readiness notification and resumes exactly where the byte
+//! stream stopped — mid-header, mid-payload, anywhere. The blocking
+//! [`FrameReader`] reads are built on the same accumulator, so both
+//! serving styles share one set of framing rules (length cap before
+//! allocation, clean-EOF detection, scratch bounded by
+//! [`SCRATCH_RETAIN`] across frames *and* error paths).
 
 use std::io::{self, Read, Write};
 
@@ -86,15 +99,221 @@ impl FrameError {
     }
 }
 
+/// Progress of an incremental frame read (see [`FrameAccum::poll`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramePoll {
+    /// The source has no bytes right now (`WouldBlock`); poll again on
+    /// the next readiness notification. Never returned by a blocking
+    /// source.
+    Pending,
+    /// A complete frame payload is buffered: read it with
+    /// [`FrameAccum::payload`], then release it with
+    /// [`FrameAccum::finish_frame`] before polling for the next one.
+    Frame,
+    /// Clean EOF at a frame boundary — a normal end of stream.
+    Eof,
+}
+
+/// Incremental single-frame accumulator: the non-blocking decode entry
+/// point of the wire layer.
+///
+/// One `FrameAccum` holds the read-side state machine of one
+/// connection: partially received header, partially received payload,
+/// or one complete frame awaiting consumption. [`FrameAccum::poll`]
+/// advances the machine with however many bytes the source has and
+/// never blocks beyond what the source itself does — a non-blocking
+/// socket yields [`FramePoll::Pending`] instead of spinning (exactly
+/// one `read` returning `WouldBlock` per poll, never a busy loop).
+///
+/// The payload scratch is reused across frames and re-bounded to
+/// [`SCRATCH_RETAIN`] both on [`FrameAccum::finish_frame`] and on
+/// every framing error, so neither a multi-megabyte frame nor a
+/// hostile error path can pin capacity for a connection's lifetime.
+#[derive(Debug, Default)]
+pub struct FrameAccum {
+    /// Length-prefix bytes received so far (complete at 4).
+    header: [u8; 4],
+    header_filled: usize,
+    /// Payload scratch; sized to the declared length once the header
+    /// completes.
+    payload: Vec<u8>,
+    payload_filled: usize,
+    /// A complete frame is buffered and awaits `finish_frame`.
+    ready: bool,
+}
+
+impl FrameAccum {
+    /// A fresh accumulator (no partial frame, empty scratch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` while a frame has started arriving but is not complete —
+    /// the predicate slow-client (slow-loris) eviction timers key on.
+    pub fn mid_frame(&self) -> bool {
+        !self.ready && (self.header_filled > 0 || self.payload_filled > 0)
+    }
+
+    /// `true` when a complete frame is buffered (i.e. [`FrameAccum::poll`]
+    /// returned [`FramePoll::Frame`] and [`FrameAccum::finish_frame`]
+    /// has not run yet).
+    pub fn has_frame(&self) -> bool {
+        self.ready
+    }
+
+    /// The completed frame's payload. Empty unless [`FrameAccum::has_frame`].
+    pub fn payload(&self) -> &[u8] {
+        if self.ready {
+            &self.payload
+        } else {
+            &[]
+        }
+    }
+
+    /// Retained capacity of the payload scratch — observable so tests
+    /// (and metrics) can assert the [`SCRATCH_RETAIN`] bound holds.
+    pub fn scratch_capacity(&self) -> usize {
+        self.payload.capacity()
+    }
+
+    /// Consumes the buffered frame (no-op when none) and re-bounds the
+    /// scratch, readying the machine for the next frame.
+    pub fn finish_frame(&mut self) {
+        self.ready = false;
+        self.header_filled = 0;
+        self.payload.clear();
+        self.payload_filled = 0;
+        bound_scratch(&mut self.payload);
+    }
+
+    /// Resets all partial state after a framing error so a bad frame
+    /// cannot pin scratch capacity or leave the machine desynchronized.
+    fn abort(&mut self) {
+        self.finish_frame();
+    }
+
+    /// Advances the frame state machine with whatever bytes `src` can
+    /// deliver right now.
+    ///
+    /// Returns [`FramePoll::Frame`] once a complete frame is buffered
+    /// (and again on every later call until [`FrameAccum::finish_frame`]
+    /// runs), [`FramePoll::Pending`] when the source reports
+    /// `WouldBlock`, and [`FramePoll::Eof`] on clean EOF *between*
+    /// frames.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversize`] on a forged length prefix (checked
+    /// **before** the payload buffer grows), [`FrameError::Io`] on
+    /// transport failure or EOF mid-frame. Every error path resets the
+    /// partial state and re-bounds the scratch.
+    pub fn poll(&mut self, src: &mut impl Read) -> Result<FramePoll, FrameError> {
+        if self.ready {
+            return Ok(FramePoll::Frame);
+        }
+        loop {
+            if self.header_filled < 4 {
+                match src.read(&mut self.header[self.header_filled..]) {
+                    Ok(0) if self.header_filled == 0 => return Ok(FramePoll::Eof),
+                    Ok(0) => {
+                        let filled = self.header_filled;
+                        self.abort();
+                        return Err(FrameError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("stream ended {filled} bytes into a frame header"),
+                        )));
+                    }
+                    Ok(n) => {
+                        self.header_filled += n;
+                        if self.header_filled < 4 {
+                            continue;
+                        }
+                        let len = u32::from_le_bytes(self.header);
+                        if len > MAX_FRAME {
+                            self.abort();
+                            return Err(FrameError::Oversize(len));
+                        }
+                        self.payload.clear();
+                        self.payload.resize(len as usize, 0);
+                        self.payload_filled = 0;
+                        if len == 0 {
+                            self.ready = true;
+                            return Ok(FramePoll::Frame);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        return Ok(FramePoll::Pending)
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        self.abort();
+                        return Err(FrameError::Io(e));
+                    }
+                }
+            } else {
+                match src.read(&mut self.payload[self.payload_filled..]) {
+                    Ok(0) => {
+                        let (got, want) = (self.payload_filled, self.payload.len());
+                        self.abort();
+                        return Err(FrameError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("stream ended {got} bytes into a {want}-byte frame payload"),
+                        )));
+                    }
+                    Ok(n) => {
+                        self.payload_filled += n;
+                        if self.payload_filled == self.payload.len() {
+                            self.ready = true;
+                            return Ok(FramePoll::Frame);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        return Ok(FramePoll::Pending)
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        self.abort();
+                        return Err(FrameError::Io(e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Appends one `[length][payload]` frame to an in-memory buffer
+/// without flushing anywhere — the building block for buffered
+/// non-blocking writers (the evented server queues responses this way
+/// and drains the buffer on write readiness).
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] when the payload exceeds [`MAX_FRAME`]
+/// (nothing is appended).
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or(FrameError::Oversize(
+            payload.len().min(u32::MAX as usize) as u32
+        ))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
 /// Reads length-prefixed message frames from any [`Read`].
 ///
-/// The reader owns a payload scratch buffer that every
+/// The reader owns a [`FrameAccum`] whose payload scratch every
 /// `read_request`/`read_response`/`read_request_ref` call reuses, so a
-/// steady-state connection reads frames with zero allocations.
+/// steady-state connection reads frames with zero allocations. The
+/// blocking reads below drive the same incremental state machine the
+/// evented server polls; [`FrameReader::poll_frame`] exposes it
+/// directly for callers that own a non-blocking stream.
 #[derive(Debug)]
 pub struct FrameReader<R: Read> {
     inner: R,
-    scratch: Vec<u8>,
+    accum: FrameAccum,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -102,7 +321,61 @@ impl<R: Read> FrameReader<R> {
     pub fn new(inner: R) -> Self {
         Self {
             inner,
-            scratch: Vec::new(),
+            accum: FrameAccum::new(),
+        }
+    }
+
+    /// Non-blocking step: advances the internal [`FrameAccum`] with
+    /// whatever bytes the stream has. On [`FramePoll::Frame`], read
+    /// the payload with [`FrameReader::frame_payload`] and release it
+    /// with [`FrameReader::finish_frame`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameAccum::poll`].
+    pub fn poll_frame(&mut self) -> Result<FramePoll, FrameError> {
+        self.accum.poll(&mut self.inner)
+    }
+
+    /// The completed frame's payload (empty unless a poll returned
+    /// [`FramePoll::Frame`] that has not been finished yet).
+    pub fn frame_payload(&self) -> &[u8] {
+        self.accum.payload()
+    }
+
+    /// Releases the completed frame and re-bounds the scratch.
+    pub fn finish_frame(&mut self) {
+        self.accum.finish_frame();
+    }
+
+    /// `true` while a frame has started arriving but is not complete
+    /// (slow-client timers key on this).
+    pub fn mid_frame(&self) -> bool {
+        self.accum.mid_frame()
+    }
+
+    /// Retained payload-scratch capacity (tests assert the
+    /// [`SCRATCH_RETAIN`] bound).
+    pub fn scratch_capacity(&self) -> usize {
+        self.accum.scratch_capacity()
+    }
+
+    /// Blocking drive of the accumulator: consumes any frame a prior
+    /// read left buffered (lazy finish keeps `read_request_ref`'s
+    /// borrow valid until the caller comes back), then reads until a
+    /// frame completes or clean EOF. `Ok(true)` = frame buffered.
+    fn next_frame_blocking(&mut self) -> Result<bool, FrameError> {
+        self.accum.finish_frame();
+        match self.accum.poll(&mut self.inner)? {
+            FramePoll::Frame => Ok(true),
+            FramePoll::Eof => Ok(false),
+            // A blocking stream only reports WouldBlock when a read
+            // timeout is configured; surface it as the Io error the
+            // pre-incremental reader produced.
+            FramePoll::Pending => Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "read timed out mid-frame (non-blocking sources should use poll_frame)",
+            ))),
         }
     }
 
@@ -118,18 +391,12 @@ impl<R: Read> FrameReader<R> {
         // Release capacity a previous oversized frame may have pinned;
         // the buffer is refilled below regardless.
         bound_scratch(buf);
-        let mut len_bytes = [0u8; 4];
-        match read_exact_or_eof(&mut self.inner, &mut len_bytes)? {
-            false => return Ok(false),
-            true => {}
-        }
-        let len = u32::from_le_bytes(len_bytes);
-        if len > MAX_FRAME {
-            return Err(FrameError::Oversize(len));
+        if !self.next_frame_blocking()? {
+            return Ok(false);
         }
         buf.clear();
-        buf.resize(len as usize, 0);
-        self.inner.read_exact(buf)?;
+        buf.extend_from_slice(self.accum.payload());
+        self.accum.finish_frame();
         Ok(true)
     }
 
@@ -156,15 +423,10 @@ impl<R: Read> FrameReader<R> {
     /// Any [`FrameError`]; malformed payloads are
     /// [`FrameError::Decode`], never a panic.
     pub fn read_request(&mut self) -> Result<Option<Request>, FrameError> {
-        // Restore the scratch before propagating any error, so a bad
-        // frame doesn't silently forfeit the buffer's capacity.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let have = self.read_frame_into(&mut scratch);
-        self.scratch = scratch;
-        match have? {
-            false => Ok(None),
-            true => Ok(Some(Request::decode(&self.scratch)?)),
+        if !self.next_frame_blocking()? {
+            return Ok(None);
         }
+        Ok(Some(Request::decode(self.accum.payload())?))
     }
 
     /// Reads and decodes one [`RequestRef`] borrowing from the reader's
@@ -177,13 +439,10 @@ impl<R: Read> FrameReader<R> {
     /// Any [`FrameError`]; malformed payloads are
     /// [`FrameError::Decode`], never a panic.
     pub fn read_request_ref(&mut self) -> Result<Option<RequestRef<'_>>, FrameError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let have = self.read_frame_into(&mut scratch);
-        self.scratch = scratch;
-        match have? {
-            false => Ok(None),
-            true => Ok(Some(RequestRef::decode(&self.scratch)?)),
+        if !self.next_frame_blocking()? {
+            return Ok(None);
         }
+        Ok(Some(RequestRef::decode(self.accum.payload())?))
     }
 
     /// Reads and decodes one [`Response`]; `Ok(None)` on clean EOF. The
@@ -195,36 +454,11 @@ impl<R: Read> FrameReader<R> {
     /// Any [`FrameError`]; malformed payloads are
     /// [`FrameError::Decode`], never a panic.
     pub fn read_response(&mut self) -> Result<Option<Response>, FrameError> {
-        // Same restore-before-`?` dance as `read_request`.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let have = self.read_frame_into(&mut scratch);
-        self.scratch = scratch;
-        match have? {
-            false => Ok(None),
-            true => Ok(Some(Response::decode(&self.scratch)?)),
+        if !self.next_frame_blocking()? {
+            return Ok(None);
         }
+        Ok(Some(Response::decode(self.accum.payload())?))
     }
-}
-
-/// Fills `buf` completely, distinguishing clean EOF before the first
-/// byte (`Ok(false)`) from EOF mid-read (an error).
-fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<bool, io::Error> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match reader.read(&mut buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(false),
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    format!("stream ended {filled} bytes into a frame header"),
-                ))
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
 }
 
 /// Writes length-prefixed message frames to any [`Write`].

@@ -65,7 +65,10 @@ pub mod frame;
 pub mod message;
 
 pub use codec::DecodeError;
-pub use frame::{FrameError, FrameReader, FrameWriter, MAX_FRAME};
+pub use frame::{
+    append_frame, FrameAccum, FrameError, FramePoll, FrameReader, FrameWriter, MAX_FRAME,
+    SCRATCH_RETAIN,
+};
 pub use message::{
     AuthItem, AuthItemRef, ErrorCode, Request, RequestRef, Response, WireAuthResponse,
     WireFlagReason, WireVerdict, PROTOCOL_VERSION, WIRE_SCHEMA,

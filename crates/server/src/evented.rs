@@ -1,0 +1,775 @@
+//! The event-driven TCP serving surface: epoll readiness loops driving
+//! per-connection state machines.
+//!
+//! ```text
+//!   event loop 0 .. N-1 (std::thread each, own epoll instance)
+//!   ┌────────────────────────────────────────────────────────────┐
+//!   │ epoll_wait ──▶ listener readable?  accept until WouldBlock │
+//!   │           ──▶ waker readable?      drain, re-check flags   │
+//!   │           ──▶ connection event ──▶ per-connection machine: │
+//!   │                                                            │
+//!   │   ┌──────────────┐ header ┌───────────────┐ frame          │
+//!   │   │ reading frame│───────▶│reading payload│──────┐         │
+//!   │   │    header    │        │  (FrameAccum) │      ▼         │
+//!   │   └──────▲───────┘        └───────────────┘  decode →      │
+//!   │          │ pipelining: next frame             handle →     │
+//!   │          └──────────────────────────────── append response │
+//!   │                                                 │          │
+//!   │   ┌─────────────────────────┐  write readiness  ▼          │
+//!   │   │ draining write buffer   │◀──────── bounded out-buffer  │
+//!   │   └─────────────────────────┘   (backpressure: stop        │
+//!   │                                  reading while over-full)  │
+//!   └────────────────────────────────────────────────────────────┘
+//!        │ all loops share one Arc<dyn RequestHandler>
+//!        ▼
+//!   shared Verifier (per-shard locks, exactly as the blocking pool)
+//! ```
+//!
+//! Where the blocking [`TcpServer`](crate::tcp::TcpServer) dedicates a
+//! worker thread to one connection at a time (concurrency capped by
+//! the pool size, one slow client stalls a worker), this server
+//! multiplexes **thousands of connections per loop thread**: each
+//! connection is a small state machine that only runs when the kernel
+//! says its socket is ready. Connections support pipelining (many
+//! requests in flight back-to-back on one socket; responses come back
+//! in order), per-connection buffers are bounded (the 64 KiB
+//! [`SCRATCH_RETAIN`](ropuf_proto::SCRATCH_RETAIN) retention rule plus
+//! a configurable write-buffer high-water mark that pauses reading —
+//! backpressure instead of unbounded queueing), and two timers evict
+//! hostile or dead peers: an idle timeout between requests and a
+//! stricter mid-frame timeout that defeats slow-loris trickles.
+//!
+//! Protocol semantics are **identical** to the blocking server: both
+//! funnel decoded [`RequestRef`]s through the same shared
+//! [`RequestHandler`], malformed frames are answered with a typed
+//! [`ErrorCode::MalformedRequest`] before the connection closes, and
+//! oversized responses degrade to [`ErrorCode::ResponseTooLarge`]. The
+//! equivalence suite replays identical traffic through both backends
+//! and asserts bit-for-bit identical response bytes.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ropuf_proto::{
+    append_frame, ErrorCode, FrameAccum, FrameError, FramePoll, RequestRef, Response,
+};
+
+use crate::handler::RequestHandler;
+use crate::sys::epoll::{event, Epoll, Event};
+
+/// Tuning knobs of the evented server. [`EventedConfig::default`] is
+/// the production shape; tests shrink the timeouts to milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventedConfig {
+    /// Event-loop threads. Each owns an epoll instance; accepted
+    /// connections stay on the loop that accepted them. `0` is
+    /// promoted to 1.
+    pub loops: usize,
+    /// A connection with no complete frame for this long — and no
+    /// frame in progress — is evicted.
+    pub idle_timeout: Duration,
+    /// Once a frame's first byte arrives, the whole frame must arrive
+    /// within this window or the connection is evicted (slow-loris
+    /// defense: trickling one byte per second does not reset it).
+    pub frame_timeout: Duration,
+    /// Write-buffer high-water mark: while a connection has more than
+    /// this many unsent response bytes, the loop stops reading from it
+    /// (backpressure) until the peer drains.
+    pub max_write_buffer: usize,
+    /// How long a graceful [`EventedServer::shutdown`] waits for open
+    /// connections to take their answers before force-closing them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for EventedConfig {
+    fn default() -> Self {
+        Self {
+            loops: 1,
+            idle_timeout: Duration::from_secs(60),
+            frame_timeout: Duration::from_secs(10),
+            max_write_buffer: 1024 * 1024,
+            drain_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Aggregate serving counters, shared by all loops (used by tests and
+/// the load generator's reporting).
+#[derive(Debug, Default)]
+struct Stats {
+    open: AtomicUsize,
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    evicted_idle: AtomicU64,
+    evicted_slow: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// Graceful stop: stop accepting, answer what's buffered, drain.
+    stop: AtomicBool,
+    /// Force stop: close everything now.
+    force: AtomicBool,
+    stats: Stats,
+    /// Write halves of each loop's waker pipe.
+    wakers: Mutex<Vec<UnixStream>>,
+}
+
+/// A running event-driven TCP server.
+///
+/// Like the blocking server, dropping the handle without calling
+/// [`EventedServer::shutdown`] / [`EventedServer::force_shutdown`]
+/// leaks the loop threads until process exit.
+#[derive(Debug)]
+pub struct EventedServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl EventedServer {
+    /// Binds `addr` (port 0 = ephemeral) and starts `config.loops`
+    /// event-loop threads sharing the listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / epoll-creation / waker-creation failures.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+        config: EventedConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            force: AtomicBool::new(false),
+            stats: Stats::default(),
+            wakers: Mutex::new(Vec::new()),
+        });
+
+        // A failure partway through (fd exhaustion on a clone, a pair
+        // or spawn error) must not leak the loops already running, so
+        // fallible setup is collected and unwound explicitly.
+        let mut threads = Vec::new();
+        for loop_id in 0..config.loops.max(1) {
+            let setup = (|| -> io::Result<(TcpListener, UnixStream, UnixStream)> {
+                let listener = listener.try_clone()?;
+                let (wake_tx, wake_rx) = UnixStream::pair()?;
+                wake_rx.set_nonblocking(true)?;
+                wake_tx.set_nonblocking(true)?;
+                Ok((listener, wake_tx, wake_rx))
+            })();
+            let (listener, wake_tx, wake_rx) = match setup {
+                Ok(parts) => parts,
+                Err(e) => {
+                    Self::stop_loops(&shared, &mut threads, true);
+                    return Err(e);
+                }
+            };
+            shared
+                .wakers
+                .lock()
+                .expect("waker list poisoned")
+                .push(wake_tx);
+            let loop_shared = Arc::clone(&shared);
+            let handler = Arc::clone(&handler);
+            let spawned = std::thread::Builder::new()
+                .name(format!("evented-loop-{loop_id}"))
+                .spawn(move || {
+                    let mut event_loop = match EventLoop::new(listener, wake_rx, config) {
+                        Ok(event_loop) => event_loop,
+                        Err(e) => panic!("event loop {loop_id} failed to initialize: {e}"),
+                    };
+                    event_loop.run(handler.as_ref(), &loop_shared);
+                });
+            match spawned {
+                Ok(thread) => threads.push(thread),
+                Err(e) => {
+                    Self::stop_loops(&shared, &mut threads, true);
+                    return Err(e);
+                }
+            }
+        }
+
+        Ok(Self {
+            local_addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently established across all loops.
+    pub fn open_connections(&self) -> usize {
+        self.shared.stats.open.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted since the server started.
+    pub fn accepted_total(&self) -> u64 {
+        self.shared.stats.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Requests served (one per decoded frame) since the server started.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.stats.requests.load(Ordering::SeqCst)
+    }
+
+    /// Connections evicted by the idle / mid-frame (slow-loris) timers.
+    pub fn evictions(&self) -> (u64, u64) {
+        (
+            self.shared.stats.evicted_idle.load(Ordering::SeqCst),
+            self.shared.stats.evicted_slow.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Flags the loops to stop (skipping the drain window when
+    /// `force`), wakes them, and joins `threads`. Shared by both
+    /// shutdown flavors and the spawn-failure unwind.
+    fn stop_loops(shared: &Shared, threads: &mut Vec<JoinHandle<()>>, force: bool) {
+        if force {
+            shared.force.store(true, Ordering::SeqCst);
+        }
+        shared.stop.store(true, Ordering::SeqCst);
+        for waker in shared
+            .wakers
+            .lock()
+            .expect("waker list poisoned")
+            .iter_mut()
+        {
+            let _ = waker.write(&[1]);
+        }
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Graceful shutdown: stops accepting, flushes every buffered
+    /// response, closes each connection once its write buffer drains,
+    /// force-closes whatever remains after
+    /// [`EventedConfig::drain_timeout`], and joins the loop threads.
+    pub fn shutdown(mut self) {
+        Self::stop_loops(&self.shared, &mut self.threads, false);
+    }
+
+    /// Immediate shutdown: every open connection is closed now,
+    /// mid-exchange peers see EOF/reset.
+    pub fn force_shutdown(mut self) {
+        Self::stop_loops(&self.shared, &mut self.threads, true);
+    }
+}
+
+/// Why a connection is being torn down (drives eviction counters).
+enum Teardown {
+    /// Normal close (EOF, error, drained-after-closing).
+    Normal,
+    /// Idle timer fired.
+    Idle,
+    /// Mid-frame (slow-loris) timer fired.
+    SlowFrame,
+}
+
+/// One connection's full state: socket, incremental frame reader,
+/// bounded response buffer, and the timer bookkeeping.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    accum: FrameAccum,
+    /// Encoded-but-unsent response bytes (frames laid end to end).
+    out: Vec<u8>,
+    /// Prefix of `out` already written to the socket.
+    sent: usize,
+    /// Interest bits currently registered with epoll.
+    interest: u32,
+    /// Last observable progress: connection accepted, a complete
+    /// frame served, or response bytes accepted by the socket — the
+    /// idle timer's anchor.
+    last_activity: Instant,
+    /// Deadline for the frame currently in flight, set when its first
+    /// byte arrives. Deliberately **not** reset by later bytes: a
+    /// trickle must still finish the frame inside the window.
+    frame_deadline: Option<Instant>,
+    /// No more requests will be read; close once `out` drains.
+    closing: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.sent
+    }
+}
+
+/// Slab token space: listener and waker own fixed tokens, connections
+/// map to `slab index + CONN_BASE`.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const CONN_BASE: u64 = 2;
+
+struct EventLoop {
+    epoll: Epoll,
+    listener: TcpListener,
+    waker: UnixStream,
+    config: EventedConfig,
+    conns: Vec<Option<Conn>>,
+    free: VecDeque<usize>,
+    /// Response-encode scratch shared by every connection on this loop
+    /// (handling is synchronous, so one buffer suffices).
+    encode_scratch: Vec<u8>,
+    /// Set once the stop flag has been observed and the listener
+    /// deregistered.
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, waker: UnixStream, config: EventedConfig) -> io::Result<Self> {
+        let epoll = Epoll::new()?;
+        epoll.add(&listener, event::IN, TOKEN_LISTENER)?;
+        epoll.add(&waker, event::IN, TOKEN_WAKER)?;
+        Ok(Self {
+            epoll,
+            listener,
+            waker,
+            config,
+            conns: Vec::new(),
+            free: VecDeque::new(),
+            encode_scratch: Vec::new(),
+            draining: false,
+            drain_deadline: None,
+        })
+    }
+
+    /// Wait-timeout granularity: fine enough to honor the configured
+    /// timers (tests use tens of milliseconds), coarse enough not to
+    /// spin.
+    fn tick_ms(&self) -> i32 {
+        let finest = self
+            .config
+            .idle_timeout
+            .min(self.config.frame_timeout)
+            .min(self.config.drain_timeout);
+        ((finest.as_millis() / 4).clamp(1, 50)) as i32
+    }
+
+    fn run(&mut self, handler: &dyn RequestHandler, shared: &Shared) {
+        let mut events = vec![Event::default(); 1024];
+        let tick = self.tick_ms();
+        loop {
+            let n = match self.epoll.wait(&mut events, tick) {
+                Ok(n) => n,
+                Err(_) => break, // epoll itself failed: abandon ship
+            };
+            for ev in &events[..n] {
+                match ev.token() {
+                    TOKEN_LISTENER => self.accept_ready(shared),
+                    TOKEN_WAKER => {
+                        let mut buf = [0u8; 64];
+                        while matches!(self.waker.read(&mut buf), Ok(n) if n > 0) {}
+                    }
+                    token => {
+                        let index = (token - CONN_BASE) as usize;
+                        self.service(index, ev.writable(), handler, shared);
+                    }
+                }
+            }
+            self.sweep_timers(shared);
+            if shared.force.load(Ordering::SeqCst) {
+                self.close_all(shared);
+                break;
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                if !self.draining {
+                    self.draining = true;
+                    let _ = self.epoll.delete(&self.listener);
+                    self.drain_deadline = Some(Instant::now() + self.config.drain_timeout);
+                    // Everything already answered should flush; no new
+                    // requests are read once `closing` is set.
+                    for index in 0..self.conns.len() {
+                        if let Some(conn) = self.conns[index].as_mut() {
+                            conn.closing = true;
+                        }
+                        self.service(index, true, handler, shared);
+                    }
+                }
+                let open = self.conns.iter().flatten().count();
+                let expired = self
+                    .drain_deadline
+                    .is_some_and(|deadline| Instant::now() >= deadline);
+                if open == 0 || expired {
+                    self.close_all(shared);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, shared: &Shared) {
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok(); // latency over batching
+                    let index = self.free.pop_front().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    let token = index as u64 + CONN_BASE;
+                    let conn = Conn {
+                        stream,
+                        accum: FrameAccum::new(),
+                        out: Vec::new(),
+                        sent: 0,
+                        interest: event::IN | event::RDHUP,
+                        last_activity: Instant::now(),
+                        frame_deadline: None,
+                        closing: false,
+                    };
+                    if self.epoll.add(&conn.stream, conn.interest, token).is_err() {
+                        self.free.push_back(index);
+                        continue; // conn drops, socket closes
+                    }
+                    self.conns[index] = Some(conn);
+                    shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
+                    shared.stats.open.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept failure; retry on next event
+            }
+        }
+    }
+
+    /// Runs one connection's state machine as far as readiness allows:
+    /// flush pending output, read/handle frames (pipelined) until the
+    /// socket runs dry or backpressure pauses it, flush again, then
+    /// re-register interest.
+    fn service(
+        &mut self,
+        index: usize,
+        writable: bool,
+        handler: &dyn RequestHandler,
+        shared: &Shared,
+    ) {
+        let Some(conn) = self.conns.get_mut(index).and_then(Option::as_mut) else {
+            return; // already closed this iteration
+        };
+
+        if writable && !flush_out(conn) {
+            self.close(index, Teardown::Normal, shared);
+            return;
+        }
+
+        let teardown = loop {
+            if conn.closing {
+                break None; // no more reads; wait for the drain
+            }
+            if conn.pending_out() > self.config.max_write_buffer {
+                break None; // backpressure: resume when the peer drains
+            }
+            match conn.accum.poll(&mut conn.stream) {
+                Ok(FramePoll::Frame) => {
+                    conn.last_activity = Instant::now();
+                    conn.frame_deadline = None;
+                    shared.stats.requests.fetch_add(1, Ordering::SeqCst);
+                    let keep_going = match RequestRef::decode(conn.accum.payload()) {
+                        Ok(request) => {
+                            let response = handler.handle_ref(request);
+                            queue_response(conn, &response, &mut self.encode_scratch)
+                        }
+                        Err(e) => {
+                            // Same contract as the blocking server: a
+                            // typed answer, then the connection ends.
+                            let answered = queue_response(
+                                conn,
+                                &Response::Error {
+                                    code: ErrorCode::MalformedRequest,
+                                    detail: FrameError::Decode(e).to_string(),
+                                },
+                                &mut self.encode_scratch,
+                            );
+                            conn.closing = true;
+                            conn.frame_deadline = None;
+                            answered
+                        }
+                    };
+                    conn.accum.finish_frame();
+                    if !keep_going {
+                        break Some(Teardown::Normal);
+                    }
+                    // Pipelining: immediately try the next frame.
+                }
+                Ok(FramePoll::Pending) => {
+                    if conn.accum.mid_frame() && conn.frame_deadline.is_none() {
+                        conn.frame_deadline = Some(Instant::now() + self.config.frame_timeout);
+                    }
+                    break None;
+                }
+                Ok(FramePoll::Eof) => {
+                    // Clean EOF: answer nothing further, drain and close.
+                    conn.closing = true;
+                    conn.frame_deadline = None;
+                    break None;
+                }
+                Err(e) if e.is_peer_fault() => {
+                    // Oversized frame header: typed answer, then close.
+                    queue_response(
+                        conn,
+                        &Response::Error {
+                            code: ErrorCode::MalformedRequest,
+                            detail: e.to_string(),
+                        },
+                        &mut self.encode_scratch,
+                    );
+                    conn.closing = true;
+                    // No more frames will be read; the only remaining
+                    // timer that should apply is the idle one.
+                    conn.frame_deadline = None;
+                    break None;
+                }
+                Err(_) => break Some(Teardown::Normal), // dead transport
+            }
+        };
+        if let Some(reason) = teardown {
+            self.close(index, reason, shared);
+            return;
+        }
+
+        if !flush_out(conn) {
+            self.close(index, Teardown::Normal, shared);
+            return;
+        }
+        if conn.closing && conn.pending_out() == 0 {
+            self.close(index, Teardown::Normal, shared);
+            return;
+        }
+
+        // Re-register interest: read (and watch for peer half-close)
+        // unless paused, write only while output is pending. RDHUP is
+        // dropped together with IN: it is level-triggered, so keeping
+        // it on a draining connection whose peer already half-closed
+        // would wake every epoll_wait instantly — a busy spin. A dead
+        // peer still surfaces through ERR/HUP on the write side.
+        let paused = conn.closing || conn.pending_out() > self.config.max_write_buffer;
+        let mut interest = 0;
+        if !paused {
+            interest |= event::IN | event::RDHUP;
+        }
+        if conn.pending_out() > 0 {
+            interest |= event::OUT;
+        }
+        if interest != conn.interest {
+            conn.interest = interest;
+            let token = index as u64 + CONN_BASE;
+            if self.epoll.modify(&conn.stream, interest, token).is_err() {
+                self.close(index, Teardown::Normal, shared);
+            }
+        }
+    }
+
+    fn sweep_timers(&mut self, shared: &Shared) {
+        let now = Instant::now();
+        for index in 0..self.conns.len() {
+            let Some(conn) = self.conns[index].as_ref() else {
+                continue;
+            };
+            // The mid-frame timer only judges a peer the server is
+            // actually reading from: a backpressure-paused connection
+            // is stalled by the server's own high-water mark, and a
+            // closing one is past reading entirely.
+            let paused = conn.closing || conn.pending_out() > self.config.max_write_buffer;
+            if let Some(deadline) = conn.frame_deadline {
+                if !paused && now >= deadline {
+                    self.close(index, Teardown::SlowFrame, shared);
+                    continue;
+                }
+            }
+            // Idle is the unconditional backstop: no complete frame
+            // and no accepted write bytes for the whole window closes
+            // the connection whatever state it is in — a peer that
+            // never reads its answers, a closing connection whose peer
+            // refuses to drain the final answer, a paused-mid-frame
+            // stall. The (stricter) mid-frame timer above fires first
+            // on active connections; sane configs keep
+            // `idle_timeout > frame_timeout`.
+            if now.duration_since(conn.last_activity) >= self.config.idle_timeout {
+                self.close(index, Teardown::Idle, shared);
+            }
+        }
+    }
+
+    fn close(&mut self, index: usize, reason: Teardown, shared: &Shared) {
+        if let Some(conn) = self.conns[index].take() {
+            // Counters first: a peer that observes the EOF below must
+            // already see its eviction accounted for.
+            shared.stats.open.fetch_sub(1, Ordering::SeqCst);
+            match reason {
+                Teardown::Normal => {}
+                Teardown::Idle => {
+                    shared.stats.evicted_idle.fetch_add(1, Ordering::SeqCst);
+                }
+                Teardown::SlowFrame => {
+                    shared.stats.evicted_slow.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            let _ = self.epoll.delete(&conn.stream);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.free.push_back(index);
+        }
+    }
+
+    fn close_all(&mut self, shared: &Shared) {
+        for index in 0..self.conns.len() {
+            self.close(index, Teardown::Normal, shared);
+        }
+    }
+}
+
+/// Encodes `response` and appends it to the connection's out-buffer.
+/// An oversize response degrades to the same typed
+/// [`ErrorCode::ResponseTooLarge`] answer the blocking server gives.
+/// Returns `false` only when even the fallback cannot be queued.
+fn queue_response(conn: &mut Conn, response: &Response, scratch: &mut Vec<u8>) -> bool {
+    response.encode_into(scratch);
+    let queued = match append_frame(&mut conn.out, scratch) {
+        Ok(()) => true,
+        Err(FrameError::Oversize(n)) => {
+            let fallback = Response::Error {
+                code: ErrorCode::ResponseTooLarge,
+                detail: format!(
+                    "response needs {n} bytes, frame cap is {}",
+                    ropuf_proto::MAX_FRAME
+                ),
+            };
+            fallback.encode_into(scratch);
+            append_frame(&mut conn.out, scratch).is_ok()
+        }
+        Err(_) => false,
+    };
+    // One giant snapshot must not pin MAX_FRAME of encode capacity on
+    // the loop thread forever — same retention rule as every other
+    // reused buffer.
+    ropuf_proto::frame::bound_scratch(scratch);
+    queued
+}
+
+/// Writes as much pending output as the socket accepts. Returns
+/// `false` when the transport died. Re-bounds the out-buffer once it
+/// fully drains (the 64 KiB retention rule).
+fn flush_out(conn: &mut Conn) -> bool {
+    while conn.sent < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.sent..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.sent += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.sent == conn.out.len() && !conn.out.is_empty() {
+        conn.out.clear();
+        conn.sent = 0;
+        ropuf_proto::frame::bound_scratch(&mut conn.out);
+    } else if conn.sent > ropuf_proto::SCRATCH_RETAIN {
+        // Partial drain: compact the already-written prefix so a
+        // connection that pipelines forever against a slightly-slow
+        // reader cannot grow `out` without bound — the high-water mark
+        // must measure *pending* bytes against a buffer that holds
+        // only pending bytes.
+        conn.out.drain(..conn.sent);
+        conn.sent = 0;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::VerifierHandler;
+    use crate::tcp::TcpTransport;
+    use crate::transport::Client;
+    use ropuf_verifier::{DetectorConfig, Verifier};
+
+    fn spawn_default() -> EventedServer {
+        let verifier = Arc::new(Verifier::new(2, DetectorConfig::default()));
+        let handler: Arc<dyn RequestHandler> = Arc::new(VerifierHandler::new(verifier));
+        EventedServer::spawn("127.0.0.1:0", handler, EventedConfig::default()).expect("bind")
+    }
+
+    #[test]
+    fn hello_roundtrips_over_the_evented_server() {
+        let server = spawn_default();
+        let mut client = Client::new(TcpTransport::connect(server.local_addr()).unwrap());
+        let name = client.hello("evented-unit").unwrap();
+        assert!(name.starts_with("ropuf-server/"), "{name}");
+        assert_eq!(server.accepted_total(), 1);
+        assert_eq!(server.requests_served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_answers_buffered_requests() {
+        let server = spawn_default();
+        let addr = server.local_addr();
+        let mut client = Client::new(TcpTransport::connect(addr).unwrap());
+        client.hello("draining").unwrap();
+        server.shutdown();
+        // The connection is closed afterwards; a new exchange fails.
+        assert!(client.hello("after-shutdown").is_err());
+    }
+
+    #[test]
+    fn force_shutdown_closes_connections() {
+        let server = spawn_default();
+        let addr = server.local_addr();
+        let mut client = Client::new(TcpTransport::connect(addr).unwrap());
+        client.hello("doomed").unwrap();
+        assert_eq!(server.open_connections(), 1);
+        server.force_shutdown();
+        assert!(client.hello("again").is_err());
+    }
+
+    #[test]
+    fn multiple_loops_share_the_listener() {
+        let verifier = Arc::new(Verifier::new(2, DetectorConfig::default()));
+        let handler: Arc<dyn RequestHandler> = Arc::new(VerifierHandler::new(verifier));
+        let server = EventedServer::spawn(
+            "127.0.0.1:0",
+            handler,
+            EventedConfig {
+                loops: 3,
+                ..EventedConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                scope.spawn(move || {
+                    let mut client = Client::new(TcpTransport::connect(addr).unwrap());
+                    client.hello(&format!("loop-share-{t}")).unwrap();
+                });
+            }
+        });
+        assert_eq!(server.accepted_total(), 6);
+        server.shutdown();
+    }
+}

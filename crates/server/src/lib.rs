@@ -18,6 +18,14 @@
 //! * [`tcp`] — [`TcpServer`]: `std::net::TcpListener` accept loop
 //!   dispatching connections to a fixed worker-thread pool, plus the
 //!   client-side [`TcpTransport`].
+//! * [`evented`] (Linux) — [`EventedServer`]: non-blocking epoll
+//!   readiness loops driving per-connection state machines — the
+//!   many-thousands-of-connections backend, with pipelining, bounded
+//!   buffers, slow-client eviction, and graceful shutdown. Same
+//!   handler, same wire semantics, proven equivalent by the
+//!   `equivalence` test suite.
+//! * [`sys`] (Linux) — the in-tree `epoll` syscall wrapper (no `libc`
+//!   crate; the workspace stays dependency-free).
 //! * [`transport`] — the [`Transport`] abstraction, the
 //!   [`LoopbackTransport`] (same handler, full codec, no sockets) and
 //!   the typed [`Client`].
@@ -42,14 +50,22 @@
 //! For the socket path, see [`TcpServer`] and the `loadgen` binary in
 //! `crates/bench`.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the epoll syscall wrapper in `sys::epoll` is
+// the one sanctioned `#[allow(unsafe_code)]` island (FFI boundary
+// only); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(target_os = "linux")]
+pub mod evented;
 pub mod handler;
+pub mod sys;
 pub mod tcp;
 pub mod traffic;
 pub mod transport;
 
+#[cfg(target_os = "linux")]
+pub use evented::{EventedConfig, EventedServer};
 pub use handler::{wire_reason, wire_verdict, RequestHandler, VerifierHandler};
 pub use tcp::{TcpServer, TcpTransport};
 pub use traffic::{DeviceTraffic, Role, TrafficPlan, TrafficSpec};

@@ -1,0 +1,226 @@
+//! Safe minimal wrapper over the Linux `epoll` readiness API.
+//!
+//! No `libc` crate: the four syscall wrappers are declared directly —
+//! they resolve against the C library `std` already links on Linux.
+//! The surface is deliberately tiny: create an instance, register a
+//! file descriptor with a `u64` token and an interest set, wait for
+//! readiness events. Level-triggered only (the evented server drains
+//! until `WouldBlock` anyway, and level-triggering cannot lose a
+//! wakeup to a missed edge).
+
+#![allow(unsafe_code)]
+
+use std::ffi::c_int;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Readiness interest / event bits (subset of `EPOLL*`).
+pub mod event {
+    /// Readable (accept, read, or peer-closed-with-pending-data).
+    pub const IN: u32 = 0x001;
+    /// Writable.
+    pub const OUT: u32 = 0x004;
+    /// Error condition (always reported, no need to register).
+    pub const ERR: u32 = 0x008;
+    /// Hangup (always reported, no need to register).
+    pub const HUP: u32 = 0x010;
+    /// Peer shut down its write half.
+    pub const RDHUP: u32 = 0x2000;
+}
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+/// `EPOLL_CLOEXEC` == `O_CLOEXEC`.
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// One readiness notification: which events fired, and the `u64` token
+/// the fd was registered under.
+///
+/// Mirrors the kernel's `struct epoll_event`; on x86 the kernel ABI
+/// packs it, so field reads below copy the values out rather than
+/// taking references.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Event {
+    events: u32,
+    data: u64,
+}
+
+impl Event {
+    /// The registered token.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+
+    /// `true` when the fd is readable (or in an error/hangup state,
+    /// which a subsequent `read` reports precisely).
+    pub fn readable(&self) -> bool {
+        self.events & (event::IN | event::ERR | event::HUP | event::RDHUP) != 0
+    }
+
+    /// `true` when the fd is writable.
+    pub fn writable(&self) -> bool {
+        self.events & (event::OUT | event::ERR | event::HUP) != 0
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut Event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut Event, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance. Closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_create1` failure.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; the return value is checked.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Self { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = Event {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: `ev` is a live, properly sized epoll_event; the
+        // kernel reads it (ADD/MOD) or ignores it (DEL).
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest bits and token.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_ctl` failure (e.g. the fd is already registered).
+    pub fn add(&self, fd: &impl AsRawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), interest, token)
+    }
+
+    /// Changes a registered fd's interest bits (token may change too).
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_ctl` failure.
+    pub fn modify(&self, fd: &impl AsRawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd.as_raw_fd(), interest, token)
+    }
+
+    /// Deregisters a fd. Harmless to call for a fd about to close
+    /// (closing deregisters implicitly, but only once *all* duplicates
+    /// are closed, so explicit removal is the robust path).
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_ctl` failure.
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever, `0` = poll) for
+    /// readiness, filling `events` from the start; returns how many
+    /// fired. `EINTR` is swallowed and reported as zero events.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_wait` failure.
+    pub fn wait(&self, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0); // the kernel rejects maxevents == 0 anyway
+        }
+        let max = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
+        // SAFETY: the pointer and `max` describe the same live,
+        // non-empty slice; the kernel writes at most `max` events.
+        let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), max, timeout_ms) };
+        match cvt(n) {
+            Ok(n) => Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `fd` came from epoll_create1 and is closed once.
+        let _ = unsafe { close(self.fd) };
+    }
+}
+
+impl AsRawFd for Epoll {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readiness_roundtrip_over_a_socketpair() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(&b, event::IN, 42).unwrap();
+
+        // Nothing readable yet: zero-timeout wait reports nothing.
+        let mut events = [Event::default(); 8];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        // One byte in: readable with the registered token.
+        a.write_all(&[1]).unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert!(events[0].readable());
+        assert!(!events[0].writable());
+
+        // Interest can be switched to writability.
+        epoll.modify(&b, event::OUT, 43).unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 43);
+        assert!(events[0].writable());
+
+        // And deregistered.
+        epoll.delete(&b).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn peer_close_reports_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(&b, event::IN | event::RDHUP, 7).unwrap();
+        drop(a);
+        let mut events = [Event::default(); 4];
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable(), "hangup must surface as readable");
+    }
+}

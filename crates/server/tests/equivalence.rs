@@ -1,0 +1,258 @@
+//! Backend equivalence: the blocking worker-pool server, the evented
+//! epoll server, and the in-process loopback transport must be
+//! **bit-for-bit indistinguishable** at the wire.
+//!
+//! The existing `TrafficPlan` (benign rounds across three
+//! constructions plus recorded real LISA attack trajectories) is
+//! replayed through a fresh serving stack per backend; every encoded
+//! response byte — including the `DeviceFlagged` wire errors the
+//! attacked devices must draw — is collected in order and compared
+//! across backends. A second pass replays the same traffic *pipelined*
+//! (each device's whole request burst written before reading anything)
+//! through the evented server and must still produce the identical
+//! byte sequence: pipelining may change scheduling, never answers.
+
+#![cfg(target_os = "linux")]
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use ropuf_proto::{
+    ErrorCode, FrameReader, FrameWriter, Request, RequestRef, Response, WireFlagReason,
+};
+use ropuf_server::{
+    EventedConfig, EventedServer, LoopbackTransport, RequestHandler, Role, TcpServer, TrafficPlan,
+    TrafficSpec, Transport, VerifierHandler,
+};
+use ropuf_verifier::{DetectorConfig, Verifier};
+
+use ropuf_constructions::pairing::lisa::LisaConfig;
+
+fn spec() -> TrafficSpec {
+    TrafficSpec {
+        devices: 8,
+        master_seed: 2024,
+        rounds: 3,
+        lisa: LisaConfig::default(),
+        detector: DetectorConfig::default(),
+    }
+}
+
+/// A fresh verifier stack with the plan's fleet enrolled.
+fn enrolled_handler(plan: &TrafficPlan, shards: usize) -> Arc<dyn RequestHandler> {
+    let verifier = Arc::new(Verifier::new(shards, DetectorConfig::default()));
+    let results = verifier.enroll_batch(plan.enrollments());
+    assert!(results.iter().all(Result::is_ok), "fresh ids enroll");
+    Arc::new(VerifierHandler::new(verifier))
+}
+
+/// Per-device request list: the auth trajectory plus a final
+/// `QueryVerdict`, so flag-state answers are part of the equivalence
+/// surface too.
+fn device_requests(plan: &TrafficPlan) -> Vec<(u64, Vec<Request>)> {
+    plan.devices
+        .iter()
+        .map(|device| {
+            let mut requests: Vec<Request> = device
+                .requests
+                .iter()
+                .cloned()
+                .map(Request::Authenticate)
+                .collect();
+            requests.push(Request::QueryVerdict {
+                device_id: device.device_id,
+            });
+            (device.device_id, requests)
+        })
+        .collect()
+}
+
+/// Replays the plan over real sockets, one connection per device,
+/// strictly request/response, returning every raw response payload in
+/// order.
+fn replay_sequential(plan: &TrafficPlan, addr: SocketAddr) -> Vec<Vec<u8>> {
+    let mut responses = Vec::new();
+    for (_, requests) in device_requests(plan) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay"); // two small writes per frame
+        let write_half = stream.try_clone().expect("clone");
+        let mut writer = FrameWriter::new(write_half);
+        let mut reader = FrameReader::new(stream);
+        for request in &requests {
+            writer.write_request(request).expect("send");
+            let payload = reader
+                .read_frame()
+                .expect("read")
+                .expect("server answers every request");
+            responses.push(payload);
+        }
+    }
+    responses
+}
+
+/// Replays the plan over real sockets with each device's whole request
+/// burst pipelined before any response is read.
+fn replay_pipelined(plan: &TrafficPlan, addr: SocketAddr) -> Vec<Vec<u8>> {
+    let mut responses = Vec::new();
+    for (_, requests) in device_requests(plan) {
+        let mut burst = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut burst);
+            for request in &requests {
+                writer.write_request(request).expect("encode");
+            }
+        }
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.write_all(&burst).expect("send burst");
+        let mut reader = FrameReader::new(stream);
+        for _ in &requests {
+            responses.push(
+                reader
+                    .read_frame()
+                    .expect("read")
+                    .expect("server answers every pipelined request"),
+            );
+        }
+    }
+    responses
+}
+
+/// Replays the plan through the loopback transport (full codec, no
+/// sockets), re-encoding each decoded response — the codec is
+/// canonical, so these bytes are directly comparable to socket bytes.
+fn replay_loopback(plan: &TrafficPlan, handler: Arc<dyn RequestHandler>) -> Vec<Vec<u8>> {
+    let mut transport = LoopbackTransport::new(handler);
+    let mut responses = Vec::new();
+    let mut scratch = Vec::new();
+    for (_, requests) in device_requests(plan) {
+        for request in &requests {
+            RequestRef::encode_into(&request.as_ref(), &mut scratch);
+            let response = transport
+                .roundtrip_frame(&scratch)
+                .expect("loopback cannot fail");
+            responses.push(response.encode());
+        }
+    }
+    responses
+}
+
+#[test]
+fn all_backends_serve_bit_for_bit_identical_responses() {
+    let plan = TrafficPlan::build(&spec());
+    assert!(
+        plan.attackers().count() >= 2,
+        "equivalence must cover attacked devices"
+    );
+
+    let blocking_server =
+        TcpServer::spawn("127.0.0.1:0", enrolled_handler(&plan, 4), 3).expect("bind blocking");
+    let blocking = replay_sequential(&plan, blocking_server.local_addr());
+    blocking_server.shutdown();
+
+    let evented_server = EventedServer::spawn(
+        "127.0.0.1:0",
+        enrolled_handler(&plan, 4),
+        EventedConfig::default(),
+    )
+    .expect("bind evented");
+    let evented = replay_sequential(&plan, evented_server.local_addr());
+    evented_server.shutdown();
+
+    let loopback = replay_loopback(&plan, enrolled_handler(&plan, 4));
+
+    assert_eq!(
+        blocking.len(),
+        plan.total_requests() + plan.devices.len(),
+        "one answer per request plus one flag query per device"
+    );
+    assert_eq!(blocking, evented, "blocking vs evented response bytes");
+    assert_eq!(blocking, loopback, "socket vs loopback response bytes");
+
+    // The shared byte stream carries the attack outcome: every
+    // attacked device drew a DeviceFlagged wire error, no benign
+    // device did, and the final flag queries agree.
+    let mut cursor = 0;
+    for device in &plan.devices {
+        let span = &blocking[cursor..cursor + device.requests.len() + 1];
+        cursor += device.requests.len() + 1;
+        let flagged = span[..span.len() - 1].iter().any(|payload| {
+            matches!(
+                Response::decode(payload),
+                Ok(Response::Error {
+                    code: ErrorCode::DeviceFlagged,
+                    ..
+                })
+            )
+        });
+        let flag_info = match Response::decode(span.last().unwrap()) {
+            Ok(Response::FlagInfo { flagged }) => flagged,
+            other => panic!("final answer must be FlagInfo, got {other:?}"),
+        };
+        match device.role {
+            Role::LisaAttacker => {
+                assert!(
+                    flagged,
+                    "attacker {} never rejected at the wire",
+                    device.device_id
+                );
+                assert!(
+                    matches!(flag_info, Some((_, WireFlagReason::HelperMismatch))),
+                    "attacker {} flag info: {flag_info:?}",
+                    device.device_id
+                );
+            }
+            Role::Benign => {
+                assert!(!flagged, "benign {} rejected at the wire", device.device_id);
+                assert_eq!(flag_info, None, "benign {} flagged", device.device_id);
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_replay_is_byte_identical_to_sequential() {
+    let plan = TrafficPlan::build(&spec());
+
+    let sequential_server = EventedServer::spawn(
+        "127.0.0.1:0",
+        enrolled_handler(&plan, 4),
+        EventedConfig::default(),
+    )
+    .expect("bind");
+    let sequential = replay_sequential(&plan, sequential_server.local_addr());
+    sequential_server.shutdown();
+
+    let pipelined_server = EventedServer::spawn(
+        "127.0.0.1:0",
+        enrolled_handler(&plan, 4),
+        EventedConfig::default(),
+    )
+    .expect("bind");
+    let pipelined = replay_pipelined(&plan, pipelined_server.local_addr());
+    pipelined_server.shutdown();
+
+    assert_eq!(
+        sequential, pipelined,
+        "pipelining may change scheduling, never answers"
+    );
+}
+
+#[test]
+fn shard_count_does_not_change_the_byte_stream() {
+    let plan = TrafficPlan::build(&spec());
+    let mut streams = Vec::new();
+    for shards in [1, 4, 16] {
+        let server = EventedServer::spawn(
+            "127.0.0.1:0",
+            enrolled_handler(&plan, shards),
+            EventedConfig::default(),
+        )
+        .expect("bind");
+        streams.push(replay_sequential(&plan, server.local_addr()));
+        server.shutdown();
+    }
+    assert_eq!(streams[0], streams[1], "1 vs 4 shards");
+    assert_eq!(streams[0], streams[2], "1 vs 16 shards");
+}
