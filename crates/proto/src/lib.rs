@@ -36,8 +36,9 @@
 //! | → | [`Request::Authenticate`] | one nonce/tag attempt |
 //! | → | [`Request::BatchAuthenticate`] | many attempts, amortized locking |
 //! | → | [`Request::QueryVerdict`] | a device's flag state |
-//! | → | [`Request::Snapshot`] | `ropuf-verifier/v1` registry dump |
-//! | ← | [`Response::HelloOk`], [`Response::EnrollOk`], [`Response::Verdict`], [`Response::VerdictBatch`], [`Response::FlagInfo`], [`Response::SnapshotText`] | success answers |
+//! | → | [`Request::Snapshot`] | `ropuf-verifier/v1` registry dump (legacy JSON) |
+//! | → | [`Request::SnapshotV2`] | `ropuf-verifier/v2` binary registry snapshot |
+//! | ← | [`Response::HelloOk`], [`Response::EnrollOk`], [`Response::Verdict`], [`Response::VerdictBatch`], [`Response::FlagInfo`], [`Response::SnapshotText`], [`Response::SnapshotBin`] | success answers |
 //! | ← | [`Response::Error`] | typed failure ([`ErrorCode`]) — notably [`ErrorCode::DeviceFlagged`]: quarantined devices are rejected at the wire |
 //!
 //! # Example

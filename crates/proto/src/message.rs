@@ -28,12 +28,14 @@ mod ty {
     pub const BATCH_AUTHENTICATE: u8 = 0x04;
     pub const QUERY_VERDICT: u8 = 0x05;
     pub const SNAPSHOT: u8 = 0x06;
+    pub const SNAPSHOT_V2: u8 = 0x07;
     pub const HELLO_OK: u8 = 0x81;
     pub const ENROLL_OK: u8 = 0x82;
     pub const VERDICT: u8 = 0x83;
     pub const VERDICT_BATCH: u8 = 0x84;
     pub const FLAG_INFO: u8 = 0x85;
     pub const SNAPSHOT_TEXT: u8 = 0x86;
+    pub const SNAPSHOT_BIN: u8 = 0x87;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -303,6 +305,9 @@ pub enum Request {
     },
     /// Ask for a `ropuf-verifier/v1` registry snapshot.
     Snapshot,
+    /// Ask for a `ropuf-verifier/v2` binary registry snapshot (the
+    /// compact, CRC-protected, flag-preserving format).
+    SnapshotV2,
 }
 
 impl Request {
@@ -334,6 +339,7 @@ impl Request {
                 device_id: *device_id,
             },
             Request::Snapshot => RequestRef::Snapshot,
+            Request::SnapshotV2 => RequestRef::SnapshotV2,
         }
     }
 
@@ -418,6 +424,8 @@ pub enum RequestRef<'a> {
     },
     /// See [`Request::Snapshot`].
     Snapshot,
+    /// See [`Request::SnapshotV2`].
+    SnapshotV2,
 }
 
 impl<'a> RequestRef<'a> {
@@ -445,6 +453,7 @@ impl<'a> RequestRef<'a> {
             },
             RequestRef::QueryVerdict { device_id } => Request::QueryVerdict { device_id },
             RequestRef::Snapshot => Request::Snapshot,
+            RequestRef::SnapshotV2 => Request::SnapshotV2,
         }
     }
 
@@ -487,6 +496,7 @@ impl<'a> RequestRef<'a> {
                 out.put_u64(*device_id);
             }
             RequestRef::Snapshot => out.put_u8(ty::SNAPSHOT),
+            RequestRef::SnapshotV2 => out.put_u8(ty::SNAPSHOT_V2),
         }
     }
 
@@ -525,6 +535,7 @@ impl<'a> RequestRef<'a> {
                 device_id: r.u64()?,
             },
             ty::SNAPSHOT => RequestRef::Snapshot,
+            ty::SNAPSHOT_V2 => RequestRef::SnapshotV2,
             other => return Err(DecodeError::UnknownMessage(other)),
         };
         r.finish()?;
@@ -553,6 +564,10 @@ pub enum ErrorCode {
     /// (e.g. a registry snapshot past `MAX_FRAME`); the request was
     /// served but the answer cannot travel this protocol revision.
     ResponseTooLarge,
+    /// The server could not serve a well-formed request for an
+    /// internal reason — e.g. its durable write-ahead log rejected an
+    /// enrollment. The request was **not** applied; retrying is safe.
+    Internal,
 }
 
 impl ErrorCode {
@@ -565,6 +580,7 @@ impl ErrorCode {
             ErrorCode::DeviceFlagged => 4,
             ErrorCode::MalformedRequest => 5,
             ErrorCode::ResponseTooLarge => 6,
+            ErrorCode::Internal => 7,
         }
     }
 
@@ -577,6 +593,7 @@ impl ErrorCode {
             4 => Ok(ErrorCode::DeviceFlagged),
             5 => Ok(ErrorCode::MalformedRequest),
             6 => Ok(ErrorCode::ResponseTooLarge),
+            7 => Ok(ErrorCode::Internal),
             _ => Err(DecodeError::UnknownDiscriminant {
                 field: "error_code",
                 value,
@@ -614,6 +631,13 @@ pub enum Response {
     SnapshotText {
         /// The snapshot JSON document.
         json: String,
+    },
+    /// A `ropuf-verifier/v2` binary registry snapshot. The payload is
+    /// opaque to the wire layer — it is the self-validating (magic +
+    /// version + CRC) blob the verifier's store module defines.
+    SnapshotBin {
+        /// The snapshot bytes.
+        bytes: Vec<u8>,
     },
     /// Typed failure.
     Error {
@@ -674,6 +698,10 @@ impl Response {
                 out.put_u8(ty::SNAPSHOT_TEXT);
                 out.put_bytes(json.as_bytes());
             }
+            Response::SnapshotBin { bytes } => {
+                out.put_u8(ty::SNAPSHOT_BIN);
+                out.put_bytes(bytes);
+            }
             Response::Error { code, detail } => {
                 out.put_u8(ty::ERROR);
                 out.put_u8(code.code());
@@ -723,6 +751,9 @@ impl Response {
                 // Snapshots may legitimately exceed MAX_BYTES; the
                 // frame-size cap is the allocation bound here.
                 json: r.string("snapshot", crate::frame::MAX_FRAME as usize)?,
+            },
+            ty::SNAPSHOT_BIN => Response::SnapshotBin {
+                bytes: r.bytes("snapshot_v2", crate::frame::MAX_FRAME as usize)?,
             },
             ty::ERROR => Response::Error {
                 code: ErrorCode::from_code(r.u8()?)?,
@@ -775,6 +806,7 @@ mod tests {
             },
             Request::QueryVerdict { device_id: 1 },
             Request::Snapshot,
+            Request::SnapshotV2,
         ];
         for request in requests {
             let bytes = request.encode();
@@ -803,6 +835,9 @@ mod tests {
             },
             Response::SnapshotText {
                 json: "{\"schema\": \"ropuf-verifier/v1\"}".into(),
+            },
+            Response::SnapshotBin {
+                bytes: b"RPUFSNP2\x02\x00rest-is-opaque-here".to_vec(),
             },
             Response::Error {
                 code: ErrorCode::DeviceFlagged,
@@ -857,11 +892,12 @@ mod tests {
             ErrorCode::DeviceFlagged,
             ErrorCode::MalformedRequest,
             ErrorCode::ResponseTooLarge,
+            ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_code(code.code()), Ok(code));
         }
         assert!(ErrorCode::from_code(0).is_err());
-        assert!(ErrorCode::from_code(7).is_err());
+        assert!(ErrorCode::from_code(8).is_err());
         assert!(ErrorCode::from_code(99).is_err());
     }
 }

@@ -67,6 +67,7 @@ proptest! {
             },
             Request::QueryVerdict { device_id },
             Request::Snapshot,
+            Request::SnapshotV2,
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode());
@@ -111,8 +112,9 @@ proptest! {
         at in any::<u64>(),
         shapes in vec(any::<u8>(), 0..12),
         reason_code in any::<u8>(),
-        error_code in 1u8..=6,
+        error_code in 1u8..=7,
         text in vec(97u8..123, 0..40),
+        blob in vec(any::<u8>(), 0..200),
     ) {
         let text = String::from_utf8(text).expect("ascii letters");
         let responses = [
@@ -123,8 +125,9 @@ proptest! {
             Response::FlagInfo { flagged: None },
             Response::FlagInfo { flagged: Some((at, reason_from(reason_code))) },
             Response::SnapshotText { json: text.clone() },
+            Response::SnapshotBin { bytes: blob },
             Response::Error {
-                code: ErrorCode::from_code(error_code).expect("1..=6 are valid"),
+                code: ErrorCode::from_code(error_code).expect("1..=7 are valid"),
                 detail: text,
             },
         ];
@@ -157,6 +160,7 @@ proptest! {
             },
             Request::Hello { protocol: seed as u16, client: format!("c{seed}") },
             Request::Snapshot,
+            Request::SnapshotV2,
         ];
         // One deliberately dirty buffer reused across all encodes.
         let mut reused = vec![0xEEu8; 37];

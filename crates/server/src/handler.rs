@@ -134,8 +134,14 @@ impl RequestHandler for VerifierHandler {
                 };
                 match self.verifier.registry().enroll(device_id, record) {
                     Ok(()) => Response::EnrollOk { device_id },
-                    Err(e) => Response::Error {
+                    Err(e @ ropuf_verifier::RegistryError::Duplicate { .. }) => Response::Error {
                         code: ErrorCode::DuplicateDevice,
+                        detail: e.to_string(),
+                    },
+                    // A write-ahead-log failure means the enrollment was
+                    // NOT applied; retrying is safe.
+                    Err(e @ ropuf_verifier::RegistryError::Storage(_)) => Response::Error {
+                        code: ErrorCode::Internal,
                         detail: e.to_string(),
                     },
                 }
@@ -182,6 +188,9 @@ impl RequestHandler for VerifierHandler {
             }
             RequestRef::Snapshot => Response::SnapshotText {
                 json: self.verifier.registry().snapshot_json(),
+            },
+            RequestRef::SnapshotV2 => Response::SnapshotBin {
+                bytes: self.verifier.snapshot_v2(),
             },
         }
     }
@@ -390,6 +399,21 @@ mod tests {
             Response::SnapshotText { json } => {
                 assert!(json.contains("ropuf-verifier/v1"));
                 assert!(json.contains("\"device_id\": 9"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_snapshot_is_served_and_loads() {
+        let h = handler();
+        let device = provisioned(6);
+        enroll(&h, &device, 11);
+        match h.handle(Request::SnapshotV2) {
+            Response::SnapshotBin { bytes } => {
+                let restored = Verifier::from_snapshot_v2(&bytes, DetectorConfig::default())
+                    .expect("served v2 snapshot loads");
+                assert!(restored.registry().record(11).is_some());
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -283,6 +283,20 @@ impl<T: Transport> Client<T> {
             _ => Err(ClientError::UnexpectedResponse("SnapshotText")),
         }
     }
+
+    /// A `ropuf-verifier/v2` binary registry snapshot — the compact,
+    /// CRC-protected, flag-preserving format; the bytes load directly
+    /// via `Verifier::from_snapshot_v2`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/shape failures.
+    pub fn snapshot_v2(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.exchange(&Request::SnapshotV2)? {
+            Response::SnapshotBin { bytes } => Ok(bytes),
+            _ => Err(ClientError::UnexpectedResponse("SnapshotBin")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -318,5 +332,13 @@ mod tests {
         let mut client = loopback_client();
         let json = client.snapshot().unwrap();
         assert!(json.contains("ropuf-verifier/v1"));
+    }
+
+    #[test]
+    fn snapshot_v2_over_loopback() {
+        let mut client = loopback_client();
+        let bytes = client.snapshot_v2().unwrap();
+        let restored = Verifier::from_snapshot_v2(&bytes, DetectorConfig::default()).unwrap();
+        assert!(restored.registry().is_empty());
     }
 }

@@ -25,7 +25,7 @@ use ropuf_server::{
     EventedConfig, EventedServer, LoopbackTransport, RequestHandler, Role, TcpServer, TrafficPlan,
     TrafficSpec, Transport, VerifierHandler,
 };
-use ropuf_verifier::{DetectorConfig, Verifier};
+use ropuf_verifier::{DetectorConfig, StoreOptions, Verifier};
 
 use ropuf_constructions::pairing::lisa::LisaConfig;
 
@@ -237,6 +237,79 @@ fn pipelined_replay_is_byte_identical_to_sequential() {
         sequential, pipelined,
         "pipelining may change scheduling, never answers"
     );
+}
+
+/// Crash-recovery equivalence: a verifier recovered from its WAL after
+/// a crash serves the same traffic **bit-for-bit identically** to one
+/// that never crashed.
+///
+/// Phase 1 replays the full plan (latching every attacker's flag, all
+/// WAL-logged) through a durable stack and an in-memory control,
+/// asserting durable logging never changes an answer. The durable
+/// stack then "crashes" (dropped without compaction or explicit sync)
+/// and is recovered from disk. Recovery must restore every flag with
+/// its exact `(at, reason)`, and a second full replay over the
+/// recovered stack must match the never-crashed control byte for byte
+/// — including the `DeviceFlagged` wire errors the quarantined
+/// attackers now draw on every request.
+#[test]
+fn recovered_registry_replays_bit_for_bit_identically() {
+    let plan = TrafficPlan::build(&spec());
+    let dir = std::env::temp_dir().join(format!("ropuf-equiv-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Never-crashed control.
+    let control = Arc::new(Verifier::new(4, DetectorConfig::default()));
+    let results = control.enroll_batch(plan.enrollments());
+    assert!(results.iter().all(Result::is_ok), "fresh ids enroll");
+
+    // Durable stack: same fleet, every mutation write-ahead logged.
+    let (durable, _) =
+        Verifier::open_durable(&dir, 4, DetectorConfig::default(), StoreOptions::default())
+            .expect("open durable store");
+    let durable = Arc::new(durable);
+    let results = durable.enroll_batch(plan.enrollments());
+    assert!(results.iter().all(Result::is_ok), "fresh ids enroll");
+
+    let control_phase1 = replay_loopback(&plan, Arc::new(VerifierHandler::new(control.clone())));
+    let durable_phase1 = replay_loopback(&plan, Arc::new(VerifierHandler::new(durable.clone())));
+    assert_eq!(
+        control_phase1, durable_phase1,
+        "durable logging must not change answers"
+    );
+    drop(durable); // crash: no compaction, no explicit sync — WAL only
+
+    let (recovered, report) =
+        Verifier::open_durable(&dir, 4, DetectorConfig::default(), StoreOptions::default())
+            .expect("recovery");
+    assert_eq!(report.enrolls_applied as usize, plan.devices.len());
+    assert!(report.torn_tail.is_none(), "clean shutdown, clean log");
+    assert_eq!(
+        report.flags_applied,
+        plan.attackers().count() as u64,
+        "one flag transition per attacker was logged and replayed"
+    );
+
+    // Flag persistence across the crash, exact to (at, reason) — the
+    // silent detector-state reset of the v1 snapshot path must not
+    // exist on the durable path.
+    for device in &plan.devices {
+        assert_eq!(
+            recovered.flag_info(device.device_id),
+            control.flag_info(device.device_id),
+            "flag of device {} diverged across recovery",
+            device.device_id
+        );
+    }
+
+    let recovered_phase2 =
+        replay_loopback(&plan, Arc::new(VerifierHandler::new(Arc::new(recovered))));
+    let control_phase2 = replay_loopback(&plan, Arc::new(VerifierHandler::new(control)));
+    assert_eq!(
+        recovered_phase2, control_phase2,
+        "replay over the recovered registry diverged from never-crashed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -54,6 +54,30 @@ impl FlagReason {
             FlagReason::FailureStreak => "failure-streak",
         }
     }
+
+    /// Stable one-byte discriminant used by the durable storage layer
+    /// (`ropuf-verifier/v2` snapshots and WAL flag records). Matches
+    /// the `ropuf-wire/v1` `WireFlagReason` numbering.
+    pub fn code(self) -> u8 {
+        match self {
+            FlagReason::HelperMismatch => 0,
+            FlagReason::MalformedHelper => 1,
+            FlagReason::RateBudget => 2,
+            FlagReason::FailureStreak => 3,
+        }
+    }
+
+    /// Parses a stored discriminant; `None` for bytes no release ever
+    /// wrote (storage decoders turn that into a typed error).
+    pub fn from_code(value: u8) -> Option<Self> {
+        match value {
+            0 => Some(FlagReason::HelperMismatch),
+            1 => Some(FlagReason::MalformedHelper),
+            2 => Some(FlagReason::RateBudget),
+            3 => Some(FlagReason::FailureStreak),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FlagReason {
@@ -149,6 +173,16 @@ impl DeviceDetector {
     /// `(timestamp, reason)` of the first flag, once flagged.
     pub fn flagged(&self) -> Option<(u64, FlagReason)> {
         self.flagged
+    }
+
+    /// Re-latches a flag recorded by the durable storage layer, so a
+    /// recovered registry quarantines exactly the devices the crashed
+    /// process had quarantined. First flag wins, like the live latch:
+    /// restoring onto an already-flagged detector is a no-op.
+    pub fn restore_flag(&mut self, at: u64, reason: FlagReason) {
+        if self.flagged.is_none() {
+            self.flagged = Some((at, reason));
+        }
     }
 
     /// Judges one query. `presented_helper` is the device's current

@@ -16,8 +16,15 @@
 //! * [`registry`] — [`ShardedRegistry`]: device-id → [`EnrollmentRecord`]
 //!   `{scheme tag, helper bytes, key digest}`, hashed across N shards
 //!   with per-shard locks so concurrent enrollment and authentication
-//!   scale across threads; JSON snapshot save/load under the
-//!   `ropuf-verifier/v1` schema.
+//!   scale across threads. Entries live in per-shard slabs indexed by
+//!   compact `u32` handles. Snapshots save as `ropuf-verifier/v2`
+//!   binary ([`ShardedRegistry::snapshot_v2`]); the legacy
+//!   `ropuf-verifier/v1` JSON format still loads.
+//! * [`store`] — the durable storage layer: the v2 binary snapshot
+//!   codec, the CRC-framed write-ahead log of enrollments and flag
+//!   transitions, fsync'd segment rotation, compaction, and
+//!   crash-recovery replay ([`store::recover`]). Opened through
+//!   [`Verifier::open_durable`].
 //! * [`detector`] — [`DeviceDetector`]: the per-device online attack
 //!   detector combining three weak signals into one [`AuthVerdict`] —
 //!   a helper-data integrity check against the enrolled blob
@@ -82,10 +89,15 @@ pub mod detector;
 pub mod json;
 pub mod registry;
 pub mod service;
+pub mod store;
 
 pub use detector::{AuthVerdict, DetectorConfig, DeviceDetector, FlagReason};
-pub use registry::{EnrollmentRecord, RegistryError, ShardedRegistry, SnapshotError, SCHEMA};
+pub use registry::{
+    DeviceHandle, EnrollmentRecord, RegistryError, ShardedRegistry, SnapshotError, SCHEMA,
+};
 pub use service::{
     auth_key, client_tag, device_auth_response, AuthQuery, AuthRequest, BatchEnrollment,
     BatchScratch, Verifier,
 };
+pub use store::snapshot::SnapshotV2Error;
+pub use store::{DeviceStore, RecoveryReport, StoreError, StoreOptions, SyncPolicy, TornTail};

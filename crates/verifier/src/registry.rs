@@ -8,30 +8,40 @@
 //! also carries its device's [`DeviceDetector`] runtime state, so one
 //! shard lock covers a whole authenticate step (lookup + detect).
 //!
-//! # Snapshot schema (`ropuf-verifier/v1`)
+//! # Entry layout: slab + compact handles
 //!
-//! [`ShardedRegistry::snapshot_json`] emits (and
-//! [`ShardedRegistry::from_snapshot`] loads) the registry in the same
-//! hand-rolled, byte-stable JSON style as the `ropuf-campaign/v1`
-//! reports — fixed key order, devices sorted by id:
+//! A shard is **not** a `HashMap<u64, DeviceEntry>`. Entries live in a
+//! contiguous per-shard slab (`Vec<DeviceEntry>`) indexed by a compact
+//! `u32` [`DeviceHandle`], and a side map resolves device id → handle.
+//! The hot auth path resolves the handle once and then works on the
+//! slab slot; at fleet scale (the ROADMAP's 10M-device target) this
+//! keeps the id map small and dense — 12 bytes of key material per
+//! device instead of a map entry dragging the whole ~300-byte record +
+//! detector around — and gives batched authentication cache-friendly
+//! sequential slab walks instead of pointer-chasing a big map.
 //!
-//! ```jsonc
-//! {
-//!   "schema": "ropuf-verifier/v1",
-//!   "shards": 8,
-//!   "devices": [
-//!     {"device_id": 0, "scheme": "lisa", "scheme_tag": 76,
-//!      "helper": "<hex>", "key_digest": "<hex>"}
-//!   ]
-//! }
-//! ```
+//! # Persistence
 //!
-//! Detector state is deliberately **not** persisted: flags and rate
-//! windows are runtime state of one serving epoch, and a reloaded
-//! registry starts its devices unflagged.
+//! Two snapshot formats and a write-ahead log:
+//!
+//! * `ropuf-verifier/v1` — the legacy hand-rolled JSON snapshot
+//!   ([`ShardedRegistry::snapshot_json`] /
+//!   [`ShardedRegistry::from_snapshot`]). Still loads; **new saves
+//!   should emit v2** (see [`crate::store`]), and
+//!   [`ShardedRegistry::load_snapshot_auto`] sniffs either format, so
+//!   migration is "load whatever you have, save v2".
+//! * `ropuf-verifier/v2` — the length-prefixed, CRC-protected binary
+//!   format in [`crate::store::snapshot`], which also persists flag
+//!   state (v1 silently reset detectors on load).
+//! * The WAL ([`crate::store::wal`]) — when a registry is opened
+//!   durably ([`crate::Verifier::open_durable`]), every enrollment and
+//!   every flag transition is appended to an fsync-rotated segment log
+//!   before it is acknowledged, and crash recovery replays
+//!   latest-valid-snapshot + WAL tail.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::sync::Mutex;
 
 use ropuf_constructions::scheme_name_of_tag;
@@ -40,14 +50,21 @@ use ropuf_numeric::splitmix64 as mix;
 
 use crate::detector::{DetectorConfig, DeviceDetector, FlagReason};
 use crate::json::{self, JsonValue};
+use crate::store::snapshot::{self, SnapshotV2Error};
+use crate::store::DeviceStore;
 
-/// Version tag embedded in every registry snapshot.
+/// Version tag embedded in every v1 (JSON) registry snapshot.
 pub const SCHEMA: &str = "ropuf-verifier/v1";
 
 /// Largest shard count a snapshot may request — a hard cap against
 /// resource exhaustion via a forged `shards` field (snapshots are
 /// operator-supplied input, same rationale as `wire::MAX_COUNT`).
 pub const MAX_SHARDS: u64 = 1 << 16;
+
+/// Compact per-shard slab index of an enrolled device. Stable for the
+/// life of the registry (devices are never evicted), so hot paths can
+/// resolve a device id once and keep the handle.
+pub type DeviceHandle = u32;
 
 /// What the defender stores per enrolled device.
 ///
@@ -72,6 +89,10 @@ pub enum RegistryError {
         /// The offending id.
         device_id: u64,
     },
+    /// The durable write-ahead log rejected the operation — the
+    /// enrollment was **not** applied (write-ahead means no record, no
+    /// state).
+    Storage(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -80,13 +101,15 @@ impl fmt::Display for RegistryError {
             RegistryError::Duplicate { device_id } => {
                 write!(f, "device {device_id} is already enrolled")
             }
+            RegistryError::Storage(e) => write!(f, "write-ahead log rejected the operation: {e}"),
         }
     }
 }
 
 impl std::error::Error for RegistryError {}
 
-/// Snapshot load errors.
+/// Snapshot load errors (v1 JSON; v2 loads report
+/// [`SnapshotV2Error`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SnapshotError {
     /// The document is not valid JSON.
@@ -112,7 +135,7 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// One shard entry: the durable record plus the device's detector
+/// One slab entry: the durable record plus the device's detector
 /// runtime state, co-located so a single shard lock covers an entire
 /// authenticate step. Also caches the precomputed HMAC key schedule
 /// ([`HmacKey`]) of the stored credential, so serving an
@@ -120,6 +143,7 @@ impl std::error::Error for SnapshotError {}
 /// midstate clones per request instead of a full key schedule.
 #[derive(Debug, Clone)]
 pub(crate) struct DeviceEntry {
+    pub(crate) device_id: u64,
     pub(crate) record: EnrollmentRecord,
     pub(crate) detector: DeviceDetector,
     pub(crate) hmac_key: HmacKey,
@@ -129,10 +153,21 @@ impl DeviceEntry {
     /// Builds the entry, deriving the detector and the cached HMAC
     /// midstates from the record. The only place the key schedule is
     /// computed — everything after enrollment clones midstates.
-    pub(crate) fn new(record: EnrollmentRecord, config: DetectorConfig) -> Self {
-        let detector = DeviceDetector::new(config, record.scheme_tag, &record.helper);
+    /// `restored_flag` re-latches a flag recovered from durable
+    /// storage.
+    pub(crate) fn new(
+        device_id: u64,
+        record: EnrollmentRecord,
+        config: DetectorConfig,
+        restored_flag: Option<(u64, FlagReason)>,
+    ) -> Self {
+        let mut detector = DeviceDetector::new(config, record.scheme_tag, &record.helper);
+        if let Some((at, reason)) = restored_flag {
+            detector.restore_flag(at, reason);
+        }
         let hmac_key = HmacKey::new(&record.key_digest);
         Self {
+            device_id,
             record,
             detector,
             hmac_key,
@@ -140,12 +175,64 @@ impl DeviceEntry {
     }
 }
 
+/// One shard: the entry slab plus the id → handle index. Entries sit
+/// contiguously in enrollment order; the index map carries only
+/// `(u64, u32)` pairs.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    slots: Vec<DeviceEntry>,
+    index: HashMap<u64, DeviceHandle>,
+}
+
+impl Shard {
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Resolves a device id to its slab handle.
+    pub(crate) fn handle_of(&self, device_id: u64) -> Option<DeviceHandle> {
+        self.index.get(&device_id).copied()
+    }
+
+    /// Direct slab access by handle (the post-resolution hot path).
+    pub(crate) fn entry_at(&mut self, handle: DeviceHandle) -> &mut DeviceEntry {
+        &mut self.slots[handle as usize]
+    }
+
+    /// Resolve + index in one step.
+    pub(crate) fn get_mut(&mut self, device_id: u64) -> Option<&mut DeviceEntry> {
+        let handle = self.handle_of(device_id)?;
+        Some(self.entry_at(handle))
+    }
+
+    pub(crate) fn contains(&self, device_id: u64) -> bool {
+        self.index.contains_key(&device_id)
+    }
+
+    /// Appends an entry to the slab and indexes it. The caller has
+    /// already rejected duplicates.
+    fn insert(&mut self, entry: DeviceEntry) -> DeviceHandle {
+        let handle =
+            DeviceHandle::try_from(self.slots.len()).expect("shard slab exceeds u32 handles");
+        self.index.insert(entry.device_id, handle);
+        self.slots.push(entry);
+        handle
+    }
+
+    /// Iterates the slab in enrollment order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &DeviceEntry> {
+        self.slots.iter()
+    }
+}
+
 /// Device-id → [`EnrollmentRecord`] map, hashed across N independently
-/// locked shards.
+/// locked shards, each a slab of entries indexed by compact `u32`
+/// handles.
 #[derive(Debug)]
 pub struct ShardedRegistry {
-    shards: Vec<Mutex<HashMap<u64, DeviceEntry>>>,
+    shards: Vec<Mutex<Shard>>,
     detector_config: DetectorConfig,
+    store: Option<Arc<DeviceStore>>,
 }
 
 impl ShardedRegistry {
@@ -155,9 +242,21 @@ impl ShardedRegistry {
     pub fn new(shards: usize, detector_config: DetectorConfig) -> Self {
         let n = shards.max(1);
         Self {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
             detector_config,
+            store: None,
         }
+    }
+
+    /// Attaches the durable store: from here on every enrollment and
+    /// flag transition is written ahead to the WAL.
+    pub(crate) fn attach_store(&mut self, store: Arc<DeviceStore>) {
+        self.store = Some(store);
+    }
+
+    /// The attached durable store, if the registry was opened durably.
+    pub fn store(&self) -> Option<&Arc<DeviceStore>> {
+        self.store.as_ref()
     }
 
     /// Number of shards.
@@ -175,25 +274,55 @@ impl ShardedRegistry {
         (mix(device_id) % self.shards.len() as u64) as usize
     }
 
-    /// Enrolls a device.
+    /// Enrolls a device. When a durable store is attached, the
+    /// enrollment record hits the WAL **before** the in-memory state
+    /// (write-ahead): a crash either shows the device in the log or
+    /// never acknowledged it.
     ///
     /// # Errors
     ///
-    /// [`RegistryError::Duplicate`] when the id is already enrolled.
+    /// [`RegistryError::Duplicate`] when the id is already enrolled,
+    /// [`RegistryError::Storage`] when the WAL append fails (the
+    /// enrollment is not applied).
     ///
     /// # Panics
     ///
     /// Panics if the shard lock is poisoned (a previous holder
     /// panicked).
     pub fn enroll(&self, device_id: u64, record: EnrollmentRecord) -> Result<(), RegistryError> {
-        let entry = DeviceEntry::new(record, self.detector_config);
+        let entry = DeviceEntry::new(device_id, record, self.detector_config, None);
         let mut shard = self.shards[self.shard_of(device_id)]
             .lock()
             .expect("shard lock poisoned");
-        if shard.contains_key(&device_id) {
+        if shard.contains(device_id) {
             return Err(RegistryError::Duplicate { device_id });
         }
-        shard.insert(device_id, entry);
+        if let Some(store) = &self.store {
+            store
+                .log_enrolls(std::iter::once((device_id, &entry.record)))
+                .map_err(|e| RegistryError::Storage(e.to_string()))?;
+        }
+        shard.insert(entry);
+        Ok(())
+    }
+
+    /// Inserts a device recovered from durable storage: no WAL append
+    /// (the record is already in the log or snapshot), optionally
+    /// re-latching a recovered flag.
+    pub(crate) fn enroll_recovered(
+        &self,
+        device_id: u64,
+        record: EnrollmentRecord,
+        flag: Option<(u64, FlagReason)>,
+    ) -> Result<(), RegistryError> {
+        let entry = DeviceEntry::new(device_id, record, self.detector_config, flag);
+        let mut shard = self.shards[self.shard_of(device_id)]
+            .lock()
+            .expect("shard lock poisoned");
+        if shard.contains(device_id) {
+            return Err(RegistryError::Duplicate { device_id });
+        }
+        shard.insert(entry);
         Ok(())
     }
 
@@ -203,7 +332,9 @@ impl ShardedRegistry {
     /// input order; a device id appearing twice in one batch enrolls
     /// the first occurrence and reports
     /// [`RegistryError::Duplicate`] for the rest, exactly as
-    /// sequential [`ShardedRegistry::enroll`] calls would.
+    /// sequential [`ShardedRegistry::enroll`] calls would. With a
+    /// durable store attached, each shard's accepted records are
+    /// written ahead in one WAL append batch.
     ///
     /// # Panics
     ///
@@ -221,12 +352,18 @@ impl ShardedRegistry {
         // Build the entries (helper digest + HMAC key schedule) *before*
         // taking any shard lock, like the sequential path — concurrent
         // serving traffic must not stall behind a bulk load.
-        let mut entries: Vec<Option<(u64, DeviceEntry)>> = entries
+        let mut entries: Vec<Option<DeviceEntry>> = entries
             .into_iter()
             .map(|(device_id, record)| {
-                Some((device_id, DeviceEntry::new(record, self.detector_config)))
+                Some(DeviceEntry::new(
+                    device_id,
+                    record,
+                    self.detector_config,
+                    None,
+                ))
             })
             .collect();
+        let mut accepted: Vec<usize> = Vec::new();
         for (shard_index, indices) in buckets.iter().enumerate() {
             if indices.is_empty() {
                 continue;
@@ -234,13 +371,36 @@ impl ShardedRegistry {
             let mut shard = self.shards[shard_index]
                 .lock()
                 .expect("shard lock poisoned");
+            accepted.clear();
             for &i in indices {
-                let (device_id, entry) = entries[i].take().expect("each entry consumed once");
-                if shard.contains_key(&device_id) {
+                let device_id = entries[i].as_ref().expect("entry pending").device_id;
+                if shard.contains(device_id)
+                    || accepted.iter().any(|&j| {
+                        entries[j].as_ref().expect("entry pending").device_id == device_id
+                    })
+                {
                     results[i] = Err(RegistryError::Duplicate { device_id });
                     continue;
                 }
-                shard.insert(device_id, entry);
+                accepted.push(i);
+            }
+            // Write-ahead: the whole shard batch is logged in one WAL
+            // append before any of it becomes visible.
+            if let Some(store) = &self.store {
+                let log = store.log_enrolls(accepted.iter().map(|&i| {
+                    let e = entries[i].as_ref().expect("entry pending");
+                    (e.device_id, &e.record)
+                }));
+                if let Err(e) = log {
+                    let msg = e.to_string();
+                    for &i in &accepted {
+                        results[i] = Err(RegistryError::Storage(msg.clone()));
+                    }
+                    continue;
+                }
+            }
+            for &i in &accepted {
+                shard.insert(entries[i].take().expect("each entry consumed once"));
             }
         }
         results
@@ -268,25 +428,42 @@ impl ShardedRegistry {
         let mut shard = self.shards[self.shard_of(device_id)]
             .lock()
             .expect("shard lock poisoned");
-        shard.get_mut(&device_id).map(f)
+        shard.get_mut(device_id).map(f)
     }
 
     /// Grants `f` direct access to one locked shard (the batched
     /// authentication path locks each shard once per batch).
-    pub(crate) fn with_shard<R>(
-        &self,
-        shard_index: usize,
-        f: impl FnOnce(&mut HashMap<u64, DeviceEntry>) -> R,
-    ) -> R {
+    pub(crate) fn with_shard<R>(&self, shard_index: usize, f: impl FnOnce(&mut Shard) -> R) -> R {
         let mut shard = self.shards[shard_index]
             .lock()
             .expect("shard lock poisoned");
         f(&mut shard)
     }
 
+    /// Appends a flag transition to the WAL, best-effort: serving must
+    /// not fail because the disk hiccuped, so an append error is
+    /// counted on the store ([`DeviceStore::io_errors`]) instead of
+    /// propagated. No-op without a durable store.
+    pub(crate) fn log_flag(&self, device_id: u64, at: u64, reason: FlagReason) {
+        if let Some(store) = &self.store {
+            store.log_flag_best_effort(device_id, at, reason);
+        }
+    }
+
     /// Copy of a device's enrollment record.
     pub fn record(&self, device_id: u64) -> Option<EnrollmentRecord> {
         self.with_entry(device_id, |e| e.record.clone())
+    }
+
+    /// The compact slab handle a device id resolves to inside its
+    /// shard, if enrolled. `(shard, handle)` is stable for the life of
+    /// the registry.
+    pub fn handle(&self, device_id: u64) -> Option<(usize, DeviceHandle)> {
+        let shard_index = self.shard_of(device_id);
+        let shard = self.shards[shard_index]
+            .lock()
+            .expect("shard lock poisoned");
+        shard.handle_of(device_id).map(|h| (shard_index, h))
     }
 
     /// `(timestamp, reason)` of the device's first flag, if flagged.
@@ -303,32 +480,44 @@ impl ShardedRegistry {
             out.extend(
                 shard
                     .iter()
-                    .filter(|(_, e)| e.detector.flagged().is_some())
-                    .map(|(&id, _)| id),
+                    .filter(|e| e.detector.flagged().is_some())
+                    .map(|e| e.device_id),
             );
         }
         out.sort_unstable();
         out
     }
 
-    /// Serializes the registry under the `ropuf-verifier/v1` schema
-    /// (fixed key order, devices sorted by id — byte-identical for the
-    /// same enrolled set regardless of enrollment order or shard
-    /// count, apart from the recorded `shards` field itself).
-    pub fn snapshot_json(&self) -> String {
-        let mut devices: Vec<(u64, EnrollmentRecord)> = Vec::new();
+    /// Dumps every device sorted by id: `(id, record, flag)` — the
+    /// shared source for both snapshot encoders.
+    pub(crate) fn dump(&self) -> Vec<(u64, EnrollmentRecord, Option<(u64, FlagReason)>)> {
+        let mut devices: Vec<(u64, EnrollmentRecord, Option<(u64, FlagReason)>)> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("shard lock poisoned");
-            devices.extend(shard.iter().map(|(&id, e)| (id, e.record.clone())));
+            devices.extend(
+                shard
+                    .iter()
+                    .map(|e| (e.device_id, e.record.clone(), e.detector.flagged())),
+            );
         }
-        devices.sort_unstable_by_key(|(id, _)| *id);
+        devices.sort_unstable_by_key(|(id, _, _)| *id);
+        devices
+    }
 
+    /// Serializes the registry under the legacy `ropuf-verifier/v1`
+    /// JSON schema (fixed key order, devices sorted by id —
+    /// byte-identical for the same enrolled set regardless of
+    /// enrollment order or shard count, apart from the recorded
+    /// `shards` field itself). Flag state is **not** representable in
+    /// v1; new saves should use [`ShardedRegistry::snapshot_v2`].
+    pub fn snapshot_json(&self) -> String {
+        let devices = self.dump();
         let mut out = String::with_capacity(128 + 160 * devices.len());
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
         out.push_str(&format!("  \"shards\": {},\n", self.shards.len()));
         out.push_str("  \"devices\": [\n");
-        for (i, (id, record)) in devices.iter().enumerate() {
+        for (i, (id, record, _)) in devices.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"device_id\": {id}, \"scheme\": \"{}\", \"scheme_tag\": {}, \"helper\": \"{}\", \"key_digest\": \"{}\"}}",
                 scheme_name_of_tag(record.scheme_tag).unwrap_or("unknown"),
@@ -345,9 +534,61 @@ impl ShardedRegistry {
         out
     }
 
-    /// Loads a `ropuf-verifier/v1` snapshot. The shard count comes from
-    /// the snapshot; detectors start fresh (unflagged) under
-    /// `detector_config`.
+    /// Serializes the registry as a `ropuf-verifier/v2` binary
+    /// snapshot — the save format: compact, CRC-protected, and
+    /// flag-preserving. See [`crate::store::snapshot`] for the layout.
+    pub fn snapshot_v2(&self) -> Vec<u8> {
+        snapshot::encode(self.shard_count(), &self.dump())
+    }
+
+    /// Loads a `ropuf-verifier/v2` binary snapshot, restoring flag
+    /// state (detector rate windows and streaks start fresh — they are
+    /// runtime state of one serving epoch; the quarantine latch is
+    /// not).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SnapshotV2Error`] for any malformed input; decoding
+    /// never panics.
+    pub fn from_snapshot_v2(
+        bytes: &[u8],
+        detector_config: DetectorConfig,
+    ) -> Result<Self, SnapshotV2Error> {
+        let decoded = snapshot::decode(bytes)?;
+        let registry = Self::new(decoded.shards, detector_config);
+        for device in decoded.devices {
+            registry
+                .enroll_recovered(device.device_id, device.record, device.flag)
+                .map_err(|_| SnapshotV2Error::DuplicateDevice(device.device_id))?;
+        }
+        Ok(registry)
+    }
+
+    /// Loads a snapshot in either format, sniffing the magic bytes:
+    /// the explicit migration path from v1 deployments ("load whatever
+    /// is on disk, save v2").
+    ///
+    /// # Errors
+    ///
+    /// The v2 decoder's error when the magic matches v2, otherwise the
+    /// v1 JSON loader's error boxed into [`SnapshotError`].
+    pub fn load_snapshot_auto(
+        bytes: &[u8],
+        detector_config: DetectorConfig,
+    ) -> Result<Self, SnapshotError> {
+        if snapshot::looks_like_v2(bytes) {
+            return Self::from_snapshot_v2(bytes, detector_config)
+                .map_err(|e| SnapshotError::Json(format!("v2 snapshot: {e}")));
+        }
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| SnapshotError::Json("snapshot is neither v2 binary nor UTF-8".into()))?;
+        Self::from_snapshot(text, detector_config)
+    }
+
+    /// Loads a legacy `ropuf-verifier/v1` JSON snapshot. The shard
+    /// count comes from the snapshot; detectors start fresh (v1 cannot
+    /// carry flag state — migrate to v2 to keep quarantines across
+    /// restarts).
     ///
     /// # Errors
     ///
@@ -400,13 +641,14 @@ impl ShardedRegistry {
                 .try_into()
                 .map_err(|_| SnapshotError::Schema("key_digest is not 32 bytes"))?;
             registry
-                .enroll(
+                .enroll_recovered(
                     device_id,
                     EnrollmentRecord {
                         scheme_tag,
                         helper,
                         key_digest,
                     },
+                    None,
                 )
                 .map_err(|_| SnapshotError::Duplicate(device_id))?;
         }
@@ -418,7 +660,6 @@ impl ShardedRegistry {
 mod tests {
     use super::*;
     use ropuf_constructions::pairing::lisa::LISA_TAG;
-    use std::sync::Arc;
 
     fn record(fill: u8) -> EnrollmentRecord {
         EnrollmentRecord {
@@ -457,6 +698,23 @@ mod tests {
             "sequential ids should hit most of 8 shards, got {}",
             seen.len()
         );
+    }
+
+    #[test]
+    fn handles_are_compact_and_stable() {
+        let r = ShardedRegistry::new(2, DetectorConfig::default());
+        for id in 0..32u64 {
+            r.enroll(id, record(id as u8)).unwrap();
+        }
+        assert_eq!(r.handle(999), None);
+        // Handles are dense per shard: every handle is below the
+        // shard's population, and re-resolution is stable.
+        for id in 0..32u64 {
+            let (shard, handle) = r.handle(id).expect("enrolled");
+            assert_eq!(shard, r.shard_of(id));
+            assert!((handle as usize) < r.len());
+            assert_eq!(r.handle(id), Some((shard, handle)), "stable");
+        }
     }
 
     #[test]
@@ -537,6 +795,28 @@ mod tests {
         }
         // Emit → load → emit is byte-identical.
         assert_eq!(loaded.snapshot_json(), snap);
+    }
+
+    #[test]
+    fn v2_snapshot_roundtrips_and_sniffs() {
+        let r = ShardedRegistry::new(4, DetectorConfig::default());
+        r.enroll(3, record(3)).unwrap();
+        r.enroll(11, record(11)).unwrap();
+        let v2 = r.snapshot_v2();
+        let loaded = ShardedRegistry::from_snapshot_v2(&v2, DetectorConfig::default()).unwrap();
+        assert_eq!(loaded.shard_count(), 4);
+        assert_eq!(loaded.record(3), r.record(3));
+        assert_eq!(loaded.record(11), r.record(11));
+        assert_eq!(loaded.snapshot_v2(), v2, "emit → load → emit is stable");
+        // The auto loader takes both formats.
+        let via_auto = ShardedRegistry::load_snapshot_auto(&v2, DetectorConfig::default()).unwrap();
+        assert_eq!(via_auto.record(3), r.record(3));
+        let via_auto_v1 = ShardedRegistry::load_snapshot_auto(
+            r.snapshot_json().as_bytes(),
+            DetectorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(via_auto_v1.record(11), r.record(11));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! is what the `perf_verifier` harness measures scaling with shard
 //! count.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use ropuf_constructions::{Device, DeviceResponse};
 use ropuf_hash::{hmac_sha256, sha256};
 use ropuf_numeric::BitVec;
@@ -19,6 +22,8 @@ use crate::detector::{AuthVerdict, DetectorConfig, FlagReason};
 use crate::registry::{
     DeviceEntry, EnrollmentRecord, RegistryError, ShardedRegistry, SnapshotError,
 };
+use crate::store::snapshot::SnapshotV2Error;
+use crate::store::{self, DeviceStore, RecoveryReport, StoreError, StoreOptions};
 
 /// Derives the verification credential stored in the registry: the
 /// SHA-256 digest of the enrolled key bytes. See the crate-level
@@ -114,6 +119,7 @@ pub struct AuthQuery<'a> {
 #[derive(Debug, Default)]
 pub struct BatchScratch {
     buckets: Vec<Vec<usize>>,
+    latched: Vec<(u64, u64, FlagReason)>,
 }
 
 impl BatchScratch {
@@ -143,8 +149,8 @@ impl Verifier {
         }
     }
 
-    /// Restores a verifier from a `ropuf-verifier/v1` registry
-    /// snapshot (detectors start fresh).
+    /// Restores a verifier from a legacy `ropuf-verifier/v1` registry
+    /// snapshot (detectors start fresh — v1 cannot carry flag state).
     ///
     /// # Errors
     ///
@@ -156,6 +162,95 @@ impl Verifier {
         Ok(Self {
             registry: ShardedRegistry::from_snapshot(snapshot, detector_config)?,
         })
+    }
+
+    /// Restores a verifier from a `ropuf-verifier/v2` binary snapshot,
+    /// including persisted quarantine flags.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed [`SnapshotV2Error`] from the decoder.
+    pub fn from_snapshot_v2(
+        bytes: &[u8],
+        detector_config: DetectorConfig,
+    ) -> Result<Self, SnapshotV2Error> {
+        Ok(Self {
+            registry: ShardedRegistry::from_snapshot_v2(bytes, detector_config)?,
+        })
+    }
+
+    /// Restores a verifier from a snapshot in either format (sniffed by
+    /// magic bytes) — the migration entry point: load whatever is on
+    /// disk, save v2 via [`Verifier::snapshot_v2`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the loader's error for whichever format was sniffed.
+    pub fn load_snapshot_auto(
+        bytes: &[u8],
+        detector_config: DetectorConfig,
+    ) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            registry: ShardedRegistry::load_snapshot_auto(bytes, detector_config)?,
+        })
+    }
+
+    /// Opens a durable verifier backed by a store directory: recovers
+    /// the registry from the newest valid snapshot + WAL tail (see
+    /// [`store::recover`]), then attaches a fresh write-ahead segment
+    /// so every subsequent enrollment and flag transition is logged
+    /// before it is acknowledged. Returns the verifier together with
+    /// the [`RecoveryReport`] describing what recovery found.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory or a WAL segment cannot be
+    /// read, or the new active segment cannot be created. Malformed
+    /// *content* is never an error — it bounds the recovered prefix.
+    pub fn open_durable(
+        dir: &Path,
+        shards: usize,
+        detector_config: DetectorConfig,
+        options: StoreOptions,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let (mut registry, report) = store::recover(dir, shards, detector_config)?;
+        registry.attach_store(Arc::new(DeviceStore::open(dir, options)?));
+        Ok((Self { registry }, report))
+    }
+
+    /// The registry as a `ropuf-verifier/v2` binary snapshot — the
+    /// save format (compact, CRC-protected, flag-preserving).
+    pub fn snapshot_v2(&self) -> Vec<u8> {
+        self.registry.snapshot_v2()
+    }
+
+    /// Compacts the durable store: closes the active WAL segment,
+    /// writes the full registry as that segment's snapshot, and prunes
+    /// every file the snapshot supersedes. Serving continues
+    /// throughout — only the rotation itself holds the append lock.
+    /// Returns the new snapshot's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotDurable`] on an in-memory verifier;
+    /// [`StoreError::Io`] if rotation or the snapshot write fails.
+    pub fn compact(&self) -> Result<u64, StoreError> {
+        let store = self.registry.store().ok_or(StoreError::NotDurable)?;
+        let closed = store.rotate()?;
+        let bytes = self.registry.snapshot_v2();
+        store.install_snapshot(closed, &bytes)?;
+        Ok(closed)
+    }
+
+    /// fsyncs the durable store's active segment — everything
+    /// acknowledged so far survives a crash after this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotDurable`] on an in-memory verifier;
+    /// [`StoreError::Io`] if the fsync fails.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.registry.store().ok_or(StoreError::NotDurable)?.sync()
     }
 
     /// The underlying registry (snapshots, flag inspection, stats).
@@ -224,9 +319,21 @@ impl Verifier {
     /// zero-copy entry the wire handler uses: shard lock once, cached
     /// HMAC-midstate tag verification, detector update.
     pub fn authenticate_query(&self, query: AuthQuery<'_>) -> AuthVerdict {
-        self.registry
-            .with_entry(query.device_id, |entry| Self::judge(entry, &query))
-            .unwrap_or(AuthVerdict::Reject)
+        let mut latched: Option<(u64, FlagReason)> = None;
+        let verdict = self
+            .registry
+            .with_entry(query.device_id, |entry| {
+                let (verdict, newly) = Self::judge_tracked(entry, &query);
+                latched = newly;
+                verdict
+            })
+            .unwrap_or(AuthVerdict::Reject);
+        // WAL append outside the shard lock: a flag latch is rare, and
+        // serving other devices in the shard must not stall on disk.
+        if let Some((at, reason)) = latched {
+            self.registry.log_flag(query.device_id, at, reason);
+        }
+        verdict
     }
 
     /// Serves a batch of requests, locking each shard **once** per
@@ -262,18 +369,28 @@ impl Verifier {
         for (i, query) in queries.iter().enumerate() {
             scratch.buckets[self.registry.shard_of(query.device_id)].push(i);
         }
+        scratch.latched.clear();
         for (shard_index, indices) in scratch.buckets.iter().enumerate() {
             if indices.is_empty() {
                 continue;
             }
+            let latched = &mut scratch.latched;
             self.registry.with_shard(shard_index, |shard| {
                 for &i in indices {
                     let query = &queries[i];
-                    if let Some(entry) = shard.get_mut(&query.device_id) {
-                        verdicts[i] = Self::judge(entry, query);
+                    if let Some(entry) = shard.get_mut(query.device_id) {
+                        let (verdict, newly) = Self::judge_tracked(entry, query);
+                        verdicts[i] = verdict;
+                        if let Some((at, reason)) = newly {
+                            latched.push((query.device_id, at, reason));
+                        }
                     }
                 }
             });
+        }
+        // Flag latches hit the WAL after every shard lock is released.
+        for &(device_id, at, reason) in &scratch.latched {
+            self.registry.log_flag(device_id, at, reason);
         }
     }
 
@@ -288,28 +405,39 @@ impl Verifier {
         for (i, request) in requests.iter().enumerate() {
             buckets[self.registry.shard_of(request.device_id)].push(i);
         }
+        let mut latched: Vec<(u64, u64, FlagReason)> = Vec::new();
         for (shard_index, indices) in buckets.iter().enumerate() {
             if indices.is_empty() {
                 continue;
             }
+            let latched = &mut latched;
             self.registry.with_shard(shard_index, |shard| {
                 for &i in indices {
                     let request = &requests[i];
-                    if let Some(entry) = shard.get_mut(&request.device_id) {
+                    if let Some(entry) = shard.get_mut(request.device_id) {
                         let auth_ok = match &request.response {
                             DeviceResponse::Tag(tag) => {
                                 tag == &client_tag(&entry.record.key_digest, &request.nonce)
                             }
                             DeviceResponse::Failure => false,
                         };
+                        let before = entry.detector.flagged().is_some();
                         verdicts[i] = entry.detector.observe(
                             request.now,
                             request.presented_helper.as_deref(),
                             auth_ok,
                         );
+                        if !before {
+                            if let Some((at, reason)) = entry.detector.flagged() {
+                                latched.push((request.device_id, at, reason));
+                            }
+                        }
                     }
                 }
             });
+        }
+        for (device_id, at, reason) in latched {
+            self.registry.log_flag(device_id, at, reason);
         }
         verdicts
     }
@@ -325,11 +453,22 @@ impl Verifier {
         presented_helper: Option<&[u8]>,
         auth_ok: bool,
     ) -> AuthVerdict {
-        self.registry
+        let mut latched: Option<(u64, FlagReason)> = None;
+        let verdict = self
+            .registry
             .with_entry(device_id, |entry| {
-                entry.detector.observe(now, presented_helper, auth_ok)
+                let before = entry.detector.flagged().is_some();
+                let verdict = entry.detector.observe(now, presented_helper, auth_ok);
+                if !before {
+                    latched = entry.detector.flagged();
+                }
+                verdict
             })
-            .unwrap_or(AuthVerdict::Reject)
+            .unwrap_or(AuthVerdict::Reject);
+        if let Some((at, reason)) = latched {
+            self.registry.log_flag(device_id, at, reason);
+        }
+        verdict
     }
 
     /// `(timestamp, reason)` of a device's first flag, if flagged.
@@ -348,6 +487,25 @@ impl Verifier {
         entry
             .detector
             .observe(query.now, query.presented_helper, auth_ok)
+    }
+
+    /// [`Verifier::judge`] plus flag-transition tracking: the second
+    /// element is `Some((at, reason))` exactly when this query latched
+    /// the device's flag, which is what the durable layer records in
+    /// the WAL. (The verdict alone cannot tell — an already-quarantined
+    /// device answers `Flagged` on every query.)
+    fn judge_tracked(
+        entry: &mut DeviceEntry,
+        query: &AuthQuery<'_>,
+    ) -> (AuthVerdict, Option<(u64, FlagReason)>) {
+        let before = entry.detector.flagged().is_some();
+        let verdict = Self::judge(entry, query);
+        let newly = if before {
+            None
+        } else {
+            entry.detector.flagged()
+        };
+        (verdict, newly)
     }
 }
 
