@@ -180,7 +180,10 @@ fn main() {
         early_exit: false,
         detector: Some(config),
     };
-    let report = campaign.run();
+    // The campaign feeds its fleet-level flag-latency histogram into
+    // the verifier's own telemetry registry, so one scrape shows both
+    // sides of the closed loop.
+    let report = campaign.run_with_telemetry(verifier.telemetry());
     println!(
         "\n{:>8} {:>8} {:>8} {:>9} {:>12} {:>18}",
         "device", "success", "queries", "flagged@", "before key?", "reason"
@@ -216,6 +219,28 @@ fn main() {
     println!(
         "benign false positives: {benign_flagged} of {} auths",
         rounds * fleet.len()
+    );
+
+    // ── Fleet telemetry ────────────────────────────────────────────
+    // One registry carries the whole loop: per-shard entry gauges,
+    // verdict counters from the benign epoch, and the campaign's
+    // flag-latency distribution — rendered from the same snapshot the
+    // wire would serve.
+    let telemetry = verifier.telemetry_snapshot();
+    println!(
+        "\nfleet telemetry ({} bytes as ropuf-metrics/v1):",
+        telemetry.encode().len()
+    );
+    print!("{}", telemetry.render_text());
+    let flagged_devices = report
+        .runs
+        .iter()
+        .filter(|r| r.flagged_at_query.is_some())
+        .count() as u64;
+    assert_eq!(
+        telemetry.histogram_samples("campaign.flag_latency_queries"),
+        flagged_devices,
+        "one flag-latency sample per flagged device"
     );
 
     // ── Registry snapshot roundtrip ────────────────────────────────

@@ -5,7 +5,8 @@
 //! loadgen [--server loopback|blocking|evented] [--devices N]
 //!         [--rounds R] [--seed S] [--shards M] [--threads T]
 //!         [--workers W] [--loops L] [--connections C] [--churn]
-//!         [--smoke] [--loopback] [--json PATH]
+//!         [--smoke] [--loopback] [--json PATH] [--telemetry]
+//!         [--telemetry-json PATH]
 //! ```
 //!
 //! Builds a deterministic [`TrafficPlan`] (first quarter of the fleet:
@@ -35,8 +36,19 @@
 //!
 //! `--json PATH` writes a `ropuf-bench-loadgen/v1` artifact so CI can
 //! track the serving-throughput trajectory per run.
+//!
+//! `--telemetry` (TCP backends only) holds one extra scraper
+//! connection that pulls `MetricsSnapshot` off the live server
+//! mid-run, then takes a final scrape plus a `TraceDump` after the
+//! replay and asserts the server-side `server.requests` counter equals
+//! the client-side op count **exactly** — handshakes, auths, verdict
+//! queries and the scrapes themselves all accounted for.
+//! `--telemetry-json PATH` additionally writes a
+//! `ropuf-bench-telemetry/v1` artifact correlating client-observed
+//! tail latency with the server's per-phase histograms and slow-request
+//! trace ring.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -236,6 +248,106 @@ fn open_held_pools(
     pools
 }
 
+/// The live mid-run scraper (`--telemetry`): one held connection that
+/// pulls `MetricsSnapshot` frames off the server *while the replay
+/// hammers it*, proving the scrape path is serveable under load. The
+/// connection is opened (and handshaken) synchronously in `start` so
+/// held-connection gauge accounting stays deterministic.
+struct Scraper {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<u64>,
+}
+
+/// What `--telemetry` observed: the final authoritative snapshot, the
+/// slow-request trace ring, and how many wire ops the scrape machinery
+/// itself issued (they count toward the exact-equality gate).
+struct ScrapeReport {
+    /// Ops issued by the mid-run scraper connection (hello + scrapes).
+    scraper_ops: u64,
+    /// Mid-run scrapes that decoded successfully.
+    mid_run_scrapes: u64,
+    /// Ops issued by the final-scrape connection that land in the
+    /// final snapshot (its hello + the final `MetricsSnapshot`; the
+    /// `TraceDump` arrives after the snapshot was cut, so it does not).
+    final_ops: u64,
+    snapshot: ropuf_telemetry::Snapshot,
+    trace: ropuf_telemetry::TraceSnapshot,
+}
+
+impl Scraper {
+    fn start(addr: std::net::SocketAddr) -> Self {
+        let mut client = Client::new(TcpTransport::connect(addr).expect("scraper connect"));
+        client.hello("loadgen-scraper").expect("scraper handshake");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut ops = 1u64; // the hello above
+            while !flag.load(Ordering::Relaxed) {
+                let snap = client.metrics().expect("mid-run scrape must decode");
+                ops += 1;
+                // The scraper's own handshake is already served and
+                // timed by the moment this response exists, so phase
+                // histograms can never be legitimately empty.
+                assert!(
+                    snap.histogram_samples("server.request.phase_ns") > 0,
+                    "mid-run scrape returned empty phase histograms"
+                );
+                assert!(
+                    snap.counter_total("server.requests") >= ops,
+                    "server request counter below the scraper's own ops"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            ops
+        });
+        Self { stop, thread }
+    }
+
+    /// Stops the mid-run loop, then takes the authoritative post-replay
+    /// scrape (fresh connection: hello, metrics, trace dump).
+    fn finish(self, addr: std::net::SocketAddr) -> ScrapeReport {
+        self.stop.store(true, Ordering::Relaxed);
+        let scraper_ops = self.thread.join().expect("scraper thread panicked");
+        let mut client = Client::new(TcpTransport::connect(addr).expect("final scrape connect"));
+        client.hello("loadgen-scraper").expect("final handshake");
+        let snapshot = client.metrics().expect("final scrape must decode");
+        let trace = client.trace_dump().expect("trace dump must decode");
+        ScrapeReport {
+            scraper_ops,
+            mid_run_scrapes: scraper_ops - 1,
+            final_ops: 2,
+            snapshot,
+            trace,
+        }
+    }
+}
+
+/// JSON summary of one `server.request.phase_ns` histogram cell
+/// (authentication traffic), or `null` when the cell is absent.
+fn phase_summary_json(snapshot: &ropuf_telemetry::Snapshot, backend: &str, phase: &str) -> String {
+    match snapshot.find(
+        "server.request.phase_ns",
+        &[("backend", backend), ("msg", "auth"), ("phase", phase)],
+    ) {
+        Some(ropuf_telemetry::MetricValue::Histogram(h)) => {
+            let hist = h
+                .to_histogram()
+                .expect("server snapshot is self-consistent");
+            let s = hist.summary();
+            format!(
+                "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+                hist.count(),
+                s.p50,
+                s.p90,
+                s.p99,
+                s.p999,
+                s.max
+            )
+        }
+        _ => "null".to_string(),
+    }
+}
+
 fn main() {
     let flags = parse_flags();
     flags.expect_known(&[
@@ -252,6 +364,8 @@ fn main() {
         "connections",
         "churn",
         "json",
+        "telemetry",
+        "telemetry-json",
     ]);
     let smoke = flags.has("smoke");
     let devices = flags
@@ -278,8 +392,25 @@ fn main() {
         None if smoke => Backend::Loopback,
         None => Backend::Blocking,
     };
+    let telemetry_json = flags.get_required_value("telemetry-json");
+    let telemetry_enabled = flags.has("telemetry") || telemetry_json.is_some();
     if connections.is_some() && backend == Backend::Loopback {
         panic!("--connections needs a TCP backend; pass --server evented (or blocking)");
+    }
+    if telemetry_enabled {
+        assert!(
+            backend != Backend::Loopback,
+            "--telemetry scrapes over the wire; pass --server evented (or blocking)"
+        );
+        if backend == Backend::Blocking && !churn {
+            let held = connections.unwrap_or(threads.max(1));
+            assert!(
+                held < workers,
+                "--telemetry holds one scraper connection for the whole run: \
+                 {held} replay connections + 1 scraper need >= {} blocking workers",
+                held + 1
+            );
+        }
     }
     if churn && connections.is_some() {
         panic!("--churn and --connections are different connection shapes; pick one");
@@ -343,6 +474,7 @@ fn main() {
 
     let t0 = Instant::now();
     let mut server_stats: Option<ServerStats> = None;
+    let mut scrape_report: Option<ScrapeReport> = None;
     let (outcomes, latencies) = match backend {
         Backend::Loopback => {
             println!(
@@ -361,7 +493,15 @@ fn main() {
             let server = TcpServer::spawn("127.0.0.1:0", Arc::clone(&handler), workers)
                 .expect("bind localhost");
             let addr = server.local_addr();
+            let scraper = telemetry_enabled.then(|| Scraper::start(addr));
             let result = run_tcp(&plan, addr, threads, connections, churn, "blocking", None);
+            scrape_report = scraper.map(|s| s.finish(addr));
+            server_stats = Some(ServerStats {
+                accepted: server.accepted_total(),
+                requests: server.requests_served(),
+                evicted_idle: 0,
+                evicted_slow: 0,
+            });
             server.shutdown();
             result
         }
@@ -376,7 +516,11 @@ fn main() {
             let server = EventedServer::spawn("127.0.0.1:0", Arc::clone(&handler), config)
                 .expect("bind localhost");
             let addr = server.local_addr();
-            let gauge = || server.open_connections();
+            let scraper = telemetry_enabled.then(|| Scraper::start(addr));
+            // The scraper (connected synchronously above) holds one
+            // extra connection; the held-shape gauge assertion is
+            // about the replay pools.
+            let gauge = || server.open_connections() - usize::from(telemetry_enabled);
             let result = run_tcp(
                 &plan,
                 addr,
@@ -386,6 +530,7 @@ fn main() {
                 "evented",
                 Some(&gauge),
             );
+            scrape_report = scraper.map(|s| s.finish(addr));
             let (evicted_idle, evicted_slow) = server.evictions();
             server_stats = Some(ServerStats {
                 accepted: server.accepted_total(),
@@ -547,6 +692,85 @@ fn main() {
         benign.iter().filter(|o| o.flag_reason.is_some()).count(),
         benign.len(),
     );
+
+    // ── Telemetry gates (--telemetry) ───────────────────────────────
+    if let Some(scrape) = &scrape_report {
+        // Every op the client side issued, by construction of the run:
+        // shape handshakes, the replayed auths, one verdict query per
+        // device, the scraper's own traffic, and the final scrape
+        // (which counts itself — the counter increments before the
+        // snapshot is cut).
+        let hellos = if churn {
+            0
+        } else {
+            connections.unwrap_or(threads.max(1))
+        } as u64;
+        let client_ops = hellos
+            + total as u64
+            + plan.devices.len() as u64
+            + scrape.scraper_ops
+            + scrape.final_ops;
+        let served = scrape.snapshot.counter_total("server.requests");
+        assert_eq!(
+            served,
+            client_ops,
+            "server-side request counter must equal the client-side op count exactly \
+             ({hellos} handshakes + {total} auths + {} verdict queries + {} scraper ops + {} final ops)",
+            plan.devices.len(),
+            scrape.scraper_ops,
+            scrape.final_ops,
+        );
+        for phase in ["decode", "handle", "flush"] {
+            match scrape.snapshot.find(
+                "server.request.phase_ns",
+                &[
+                    ("backend", backend.name()),
+                    ("msg", "auth"),
+                    ("phase", phase),
+                ],
+            ) {
+                Some(ropuf_telemetry::MetricValue::Histogram(h)) => {
+                    assert!(h.count > 0, "auth {phase} phase histogram is empty");
+                }
+                other => panic!("auth {phase} phase histogram missing: {other:?}"),
+            }
+        }
+        let slowest = scrape
+            .trace
+            .records
+            .iter()
+            .map(|r| r.total_ns)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "\ntelemetry: server counted {served} request frames == {client_ops} client-side ops (exact), \
+             {} mid-run scrapes under load; trace ring: {} slow requests recorded, {} dropped, slowest {:.1} us",
+            scrape.mid_run_scrapes,
+            scrape.trace.recorded,
+            scrape.trace.dropped,
+            slowest as f64 / 1e3,
+        );
+
+        if let Some(path) = telemetry_json {
+            let artifact = format!(
+                "{{\n  \"schema\": \"ropuf-bench-telemetry/v1\",\n  \"mode\": \"{}\",\n  \"server\": \"{}\",\n  \"requests\": {total},\n  \"client_ops\": {client_ops},\n  \"server_requests\": {served},\n  \"mid_run_scrapes\": {},\n  \"client_latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \"max\": {:.1}}},\n  \"server_phase_ns\": {{\"auth_decode\": {}, \"auth_handle\": {}, \"auth_flush\": {}}},\n  \"trace\": {{\"recorded\": {}, \"dropped\": {}, \"returned\": {}, \"slowest_total_ns\": {slowest}}}\n}}\n",
+                if smoke { "smoke" } else { "full" },
+                backend.name(),
+                scrape.mid_run_scrapes,
+                s.p50 as f64 / 1e3,
+                s.p99 as f64 / 1e3,
+                s.p999 as f64 / 1e3,
+                s.max as f64 / 1e3,
+                phase_summary_json(&scrape.snapshot, backend.name(), "decode"),
+                phase_summary_json(&scrape.snapshot, backend.name(), "handle"),
+                phase_summary_json(&scrape.snapshot, backend.name(), "flush"),
+                scrape.trace.recorded,
+                scrape.trace.dropped,
+                scrape.trace.records.len(),
+            );
+            ropuf_bench::write_artifact(path, &artifact);
+        }
+    }
 
     if let Some(path) = flags.get_required_value("json") {
         let stats_json = match &server_stats {

@@ -15,6 +15,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ropuf_attacks::Oracle;
+use ropuf_telemetry::{Registry as TelemetryRegistry, TimerHistogram};
 use ropuf_verifier::DetectorConfig;
 
 use crate::attack::AttackKind;
@@ -92,6 +93,24 @@ impl Campaign {
     /// fields — independent of the thread count (see the crate-level
     /// determinism contract).
     pub fn run(&self) -> CampaignReport {
+        self.run_inner(None)
+    }
+
+    /// [`Campaign::run`], additionally feeding fleet-level telemetry
+    /// into `telemetry`: a `campaign.flag_latency_queries{attack=…}`
+    /// histogram holding the queries-before-flag distribution across
+    /// every monitored device (empty when [`Campaign::detector`] is
+    /// `None` or nothing flags). Telemetry is passive — the report is
+    /// identical to [`Campaign::run`]'s.
+    pub fn run_with_telemetry(&self, telemetry: &TelemetryRegistry) -> CampaignReport {
+        let flag_latency = telemetry.histogram(
+            "campaign.flag_latency_queries",
+            &[("attack", self.attack.name())],
+        );
+        self.run_inner(Some(&flag_latency))
+    }
+
+    fn run_inner(&self, flag_latency: Option<&TimerHistogram>) -> CampaignReport {
         let started = Instant::now();
         let n = self.fleet.devices;
         let workers = self.effective_threads();
@@ -107,7 +126,7 @@ impl Campaign {
                     if id >= n {
                         break;
                     }
-                    if tx.send(self.run_device(id)).is_err() {
+                    if tx.send(self.run_device_inner(id, flag_latency)).is_err() {
                         break;
                     }
                 });
@@ -133,6 +152,14 @@ impl Campaign {
 
     /// Provision-and-attack for a single device (what each worker runs).
     pub fn run_device(&self, device_id: usize) -> DeviceRun {
+        self.run_device_inner(device_id, None)
+    }
+
+    fn run_device_inner(
+        &self,
+        device_id: usize,
+        flag_latency: Option<&TimerHistogram>,
+    ) -> DeviceRun {
         let t0 = Instant::now();
         let seeds = self.fleet.seeds(device_id);
         let scheme = self.attack.scheme();
@@ -161,12 +188,15 @@ impl Campaign {
                 let mut oracle = Oracle::new(&mut device);
                 if let Some(config) = self.detector {
                     let expected = oracle.expected_response(&truth);
-                    let monitor = DetectorMonitor::new(
+                    let mut monitor = DetectorMonitor::new(
                         config,
                         self.attack.wire_tag(),
                         oracle.original_helper(),
                         expected,
                     );
+                    if let Some(hist) = flag_latency {
+                        monitor = monitor.with_flag_latency(hist.clone());
+                    }
                     oracle.attach_monitor(Box::new(monitor));
                 }
                 match self.attack.execute(&mut oracle, &mut rng, self.early_exit) {
@@ -273,6 +303,33 @@ mod tests {
             );
             assert!(b.flag_reason.is_some());
         }
+    }
+
+    #[test]
+    fn telemetry_collects_flag_latency_without_changing_the_report() {
+        let mut monitored = small_campaign(2);
+        monitored.detector = Some(ropuf_verifier::DetectorConfig::default());
+        let registry = ropuf_telemetry::Registry::new();
+        let with = monitored.run_with_telemetry(&registry);
+        let without = monitored.run();
+        for (a, b) in with.runs.iter().zip(&without.runs) {
+            // Telemetry is passive: same trajectory, same flags.
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.flagged_at_query, b.flagged_at_query);
+        }
+        // One flag-latency sample per flagged device, and the recorded
+        // values are the per-device queries-before-flag indices.
+        let snapshot = registry.snapshot();
+        let flagged = with
+            .runs
+            .iter()
+            .filter(|r| r.flagged_at_query.is_some())
+            .count() as u64;
+        assert!(flagged > 0, "default LISA campaign must flag");
+        assert_eq!(
+            snapshot.histogram_samples("campaign.flag_latency_queries"),
+            flagged
+        );
     }
 
     #[test]

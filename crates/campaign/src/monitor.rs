@@ -13,6 +13,7 @@
 
 use ropuf_attacks::TrafficMonitor;
 use ropuf_constructions::DeviceResponse;
+use ropuf_telemetry::TimerHistogram;
 use ropuf_verifier::{DetectorConfig, DeviceDetector};
 
 /// Per-device detector adapter driving its own logical clock: attack
@@ -23,6 +24,11 @@ pub struct DetectorMonitor {
     detector: DeviceDetector,
     expected: DeviceResponse,
     now: u64,
+    /// Fleet-level flag-latency histogram (queries-before-flag): fed
+    /// once, at the moment the detector first flags, so a campaign's
+    /// telemetry registry accumulates the distribution across every
+    /// monitored device.
+    flag_latency: Option<TimerHistogram>,
 }
 
 impl DetectorMonitor {
@@ -40,7 +46,18 @@ impl DetectorMonitor {
             detector: DeviceDetector::new(config, scheme_tag, enrolled_helper),
             expected,
             now: 0,
+            flag_latency: None,
         }
+    }
+
+    /// Attaches a fleet-level flag-latency histogram: the query index
+    /// at which this device's detector first flags is recorded into it
+    /// (a [`TimerHistogram`] handle shares its stripes across clones,
+    /// so every device of a campaign feeds one distribution).
+    #[must_use]
+    pub fn with_flag_latency(mut self, histogram: TimerHistogram) -> Self {
+        self.flag_latency = Some(histogram);
+        self
     }
 
     /// The wrapped detector (flag inspection).
@@ -51,11 +68,19 @@ impl DetectorMonitor {
 
 impl TrafficMonitor for DetectorMonitor {
     fn observe(&mut self, helper: &[u8], response: &DeviceResponse) -> bool {
+        let already_flagged = self.detector.flagged().is_some();
         self.now += 1;
         let auth_ok = response == &self.expected;
-        self.detector
+        let flagged = self
+            .detector
             .observe(self.now, Some(helper), auth_ok)
-            .is_flagged()
+            .is_flagged();
+        if flagged && !already_flagged {
+            if let Some(hist) = &self.flag_latency {
+                hist.record(self.now);
+            }
+        }
+        flagged
     }
 
     fn flag_reason(&self) -> Option<String> {

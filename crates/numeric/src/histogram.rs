@@ -26,8 +26,10 @@ const SUB_BITS: u32 = 5;
 /// Sub-buckets per major (power-of-two) bucket.
 const SUB_COUNT: usize = 1 << SUB_BITS;
 /// Total bucket count: values below `SUB_COUNT` are exact, plus one
-/// sub-bucketed band per remaining bit of `u64` range.
-const BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
+/// sub-bucketed band per remaining bit of `u64` range. Public so codecs
+/// that carry histograms on the wire (`ropuf-metrics/v1`) can cap a
+/// declared bucket index before allocating.
+pub const BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
 
 /// Index of the bucket `value` falls into.
 fn bucket_index(value: u64) -> usize {
@@ -177,6 +179,105 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of the recorded samples (tracked outside the buckets).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs, indices strictly
+    /// ascending — the compact form a snapshot codec serializes. Most
+    /// latency distributions occupy a few dozen of the [`BUCKETS`]
+    /// slots, so the sparse form is far smaller than the dense array.
+    pub fn sparse_counts(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from the parts [`Histogram::sparse_counts`]
+    /// and the scalar accessors export, validating every invariant so a
+    /// decoded wire snapshot can never construct a histogram whose
+    /// percentile math goes wrong: bucket indices must be strictly
+    /// ascending and in range, the bucket counts must sum to `count`
+    /// without overflow, and the `[min, max]` envelope must be
+    /// consistent with the occupied buckets.
+    pub fn from_sparse(
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+        buckets: &[(u32, u64)],
+    ) -> Result<Self, SparseHistogramError> {
+        if count == 0 {
+            if sum != 0 || min != 0 || max != 0 || !buckets.is_empty() {
+                return Err(SparseHistogramError::EmptyButPopulated);
+            }
+            return Ok(Self::new());
+        }
+        if min > max {
+            return Err(SparseHistogramError::MinAboveMax { min, max });
+        }
+        let mut h = Self {
+            counts: vec![0; BUCKETS],
+            count,
+            sum,
+            min,
+            max,
+        };
+        let mut total = 0u64;
+        let mut prev: Option<u32> = None;
+        for &(index, c) in buckets {
+            if index as usize >= BUCKETS {
+                return Err(SparseHistogramError::IndexOutOfRange(index));
+            }
+            if prev.is_some_and(|p| index <= p) {
+                return Err(SparseHistogramError::IndexNotAscending(index));
+            }
+            if c == 0 {
+                return Err(SparseHistogramError::ZeroBucket(index));
+            }
+            prev = Some(index);
+            total = total
+                .checked_add(c)
+                .ok_or(SparseHistogramError::CountOverflow)?;
+            h.counts[index as usize] = c;
+        }
+        if total != count {
+            return Err(SparseHistogramError::CountMismatch {
+                declared: count,
+                summed: total,
+            });
+        }
+        // The declared sum must be achievable by samples lying inside
+        // the occupied buckets (`count <= u64::MAX` keeps both bounds
+        // inside u128, no overflow possible).
+        let (mut lo, mut hi) = (0u128, 0u128);
+        for &(index, c) in buckets {
+            let low = bucket_low(index as usize);
+            let high = if (index as usize) + 1 < BUCKETS {
+                bucket_low(index as usize + 1) - 1
+            } else {
+                u64::MAX
+            };
+            lo += low as u128 * c as u128;
+            hi += high as u128 * c as u128;
+        }
+        if sum < lo || sum > hi {
+            return Err(SparseHistogramError::SumOutOfRange { declared: sum });
+        }
+        // The envelope must agree with the occupied buckets: min lives
+        // in the first occupied bucket, max in the last.
+        let first = buckets.first().expect("count > 0 implies buckets").0 as usize;
+        let last = prev.expect("count > 0 implies buckets") as usize;
+        if bucket_index(min) != first || bucket_index(max) != last {
+            return Err(SparseHistogramError::EnvelopeMismatch { min, max });
+        }
+        Ok(h)
+    }
+
     /// The standard serving-latency summary of this histogram.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -191,6 +292,90 @@ impl Histogram {
         }
     }
 }
+
+/// Why [`Histogram::from_sparse`] rejected a set of exported parts.
+/// Every inconsistency a hostile or corrupted snapshot could carry maps
+/// to one of these — reconstruction never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseHistogramError {
+    /// `count == 0` but a sum, envelope, or bucket list was supplied.
+    EmptyButPopulated,
+    /// `min > max` with samples present.
+    MinAboveMax {
+        /// Declared minimum.
+        min: u64,
+        /// Declared maximum.
+        max: u64,
+    },
+    /// A bucket index at or beyond [`BUCKETS`].
+    IndexOutOfRange(u32),
+    /// Bucket indices not strictly ascending.
+    IndexNotAscending(u32),
+    /// An explicit zero-count bucket (canonical sparse form omits them).
+    ZeroBucket(u32),
+    /// Bucket counts overflow `u64` when summed.
+    CountOverflow,
+    /// Bucket counts don't sum to the declared total.
+    CountMismatch {
+        /// The declared total sample count.
+        declared: u64,
+        /// What the buckets actually sum to.
+        summed: u64,
+    },
+    /// The declared sum can't be produced by samples in the occupied
+    /// buckets.
+    SumOutOfRange {
+        /// The declared sample sum.
+        declared: u128,
+    },
+    /// `min`/`max` don't fall into the first/last occupied bucket.
+    EnvelopeMismatch {
+        /// Declared minimum.
+        min: u64,
+        /// Declared maximum.
+        max: u64,
+    },
+}
+
+impl fmt::Display for SparseHistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseHistogramError::EmptyButPopulated => {
+                write!(f, "count is 0 but sum/min/max/buckets are populated")
+            }
+            SparseHistogramError::MinAboveMax { min, max } => {
+                write!(f, "min {min} exceeds max {max}")
+            }
+            SparseHistogramError::IndexOutOfRange(i) => {
+                write!(f, "bucket index {i} out of range (max {})", BUCKETS - 1)
+            }
+            SparseHistogramError::IndexNotAscending(i) => {
+                write!(f, "bucket index {i} not strictly ascending")
+            }
+            SparseHistogramError::ZeroBucket(i) => {
+                write!(f, "bucket {i} declared with zero count")
+            }
+            SparseHistogramError::CountOverflow => write!(f, "bucket counts overflow u64"),
+            SparseHistogramError::CountMismatch { declared, summed } => {
+                write!(f, "declared count {declared} but buckets sum to {summed}")
+            }
+            SparseHistogramError::SumOutOfRange { declared } => {
+                write!(
+                    f,
+                    "declared sum {declared} impossible for the occupied buckets"
+                )
+            }
+            SparseHistogramError::EnvelopeMismatch { min, max } => {
+                write!(
+                    f,
+                    "[{min}, {max}] envelope disagrees with the occupied buckets"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseHistogramError {}
 
 /// Snapshot of the percentiles a serving report prints; produced by
 /// [`Histogram::summary`].
@@ -343,6 +528,72 @@ mod tests {
         b.record_n(777, 5);
         b.record_n(123, 0); // no-op
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_roundtrip_is_exact() {
+        let mut h = Histogram::new();
+        let mut x = 3u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x >> (x % 48));
+        }
+        let rebuilt =
+            Histogram::from_sparse(h.count(), h.sum(), h.min(), h.max(), &h.sparse_counts())
+                .expect("genuine parts reconstruct");
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.summary(), h.summary());
+    }
+
+    #[test]
+    fn sparse_roundtrip_empty() {
+        let h = Histogram::new();
+        let rebuilt =
+            Histogram::from_sparse(h.count(), h.sum(), h.min(), h.max(), &h.sparse_counts())
+                .unwrap();
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    fn from_sparse_rejects_forged_parts() {
+        let mut h = Histogram::new();
+        h.record_n(1_000, 10);
+        h.record(50);
+        let parts = h.sparse_counts();
+        let (count, sum, min, max) = (h.count(), h.sum(), h.min(), h.max());
+        // Each corruption draws its own typed error.
+        assert!(matches!(
+            Histogram::from_sparse(count + 1, sum, min, max, &parts),
+            Err(SparseHistogramError::CountMismatch { .. })
+        ));
+        assert!(matches!(
+            Histogram::from_sparse(count, sum, max, max, &parts),
+            Err(SparseHistogramError::EnvelopeMismatch { .. })
+        ));
+        assert!(matches!(
+            Histogram::from_sparse(count, sum, max, min, &parts),
+            Err(SparseHistogramError::MinAboveMax { .. })
+        ));
+        assert!(matches!(
+            Histogram::from_sparse(count, u128::MAX, min, max, &parts),
+            Err(SparseHistogramError::SumOutOfRange { .. })
+        ));
+        let mut bad_index = parts.clone();
+        bad_index[0].0 = BUCKETS as u32;
+        assert!(matches!(
+            Histogram::from_sparse(count, sum, min, max, &bad_index),
+            Err(SparseHistogramError::IndexOutOfRange(_))
+        ));
+        let mut unsorted = parts.clone();
+        unsorted.swap(0, 1);
+        assert!(matches!(
+            Histogram::from_sparse(count, sum, min, max, &unsorted),
+            Err(SparseHistogramError::IndexNotAscending(_))
+        ));
+        assert!(matches!(
+            Histogram::from_sparse(0, 0, 0, 0, &parts),
+            Err(SparseHistogramError::EmptyButPopulated)
+        ));
     }
 
     #[test]

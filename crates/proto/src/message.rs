@@ -29,6 +29,8 @@ mod ty {
     pub const QUERY_VERDICT: u8 = 0x05;
     pub const SNAPSHOT: u8 = 0x06;
     pub const SNAPSHOT_V2: u8 = 0x07;
+    pub const METRICS_SNAPSHOT: u8 = 0x08;
+    pub const TRACE_DUMP: u8 = 0x09;
     pub const HELLO_OK: u8 = 0x81;
     pub const ENROLL_OK: u8 = 0x82;
     pub const VERDICT: u8 = 0x83;
@@ -36,6 +38,8 @@ mod ty {
     pub const FLAG_INFO: u8 = 0x85;
     pub const SNAPSHOT_TEXT: u8 = 0x86;
     pub const SNAPSHOT_BIN: u8 = 0x87;
+    pub const METRICS_BIN: u8 = 0x88;
+    pub const TRACE_BIN: u8 = 0x89;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -308,6 +312,12 @@ pub enum Request {
     /// Ask for a `ropuf-verifier/v2` binary registry snapshot (the
     /// compact, CRC-protected, flag-preserving format).
     SnapshotV2,
+    /// Ask for a `ropuf-metrics/v1` telemetry snapshot covering every
+    /// instrumented layer behind this connection (server + verifier).
+    MetricsSnapshot,
+    /// Ask for the server's slow-request trace ring as a
+    /// `ropuf-trace/v1` blob.
+    TraceDump,
 }
 
 impl Request {
@@ -340,6 +350,8 @@ impl Request {
             },
             Request::Snapshot => RequestRef::Snapshot,
             Request::SnapshotV2 => RequestRef::SnapshotV2,
+            Request::MetricsSnapshot => RequestRef::MetricsSnapshot,
+            Request::TraceDump => RequestRef::TraceDump,
         }
     }
 
@@ -426,6 +438,10 @@ pub enum RequestRef<'a> {
     Snapshot,
     /// See [`Request::SnapshotV2`].
     SnapshotV2,
+    /// See [`Request::MetricsSnapshot`].
+    MetricsSnapshot,
+    /// See [`Request::TraceDump`].
+    TraceDump,
 }
 
 impl<'a> RequestRef<'a> {
@@ -454,6 +470,8 @@ impl<'a> RequestRef<'a> {
             RequestRef::QueryVerdict { device_id } => Request::QueryVerdict { device_id },
             RequestRef::Snapshot => Request::Snapshot,
             RequestRef::SnapshotV2 => Request::SnapshotV2,
+            RequestRef::MetricsSnapshot => Request::MetricsSnapshot,
+            RequestRef::TraceDump => Request::TraceDump,
         }
     }
 
@@ -497,6 +515,8 @@ impl<'a> RequestRef<'a> {
             }
             RequestRef::Snapshot => out.put_u8(ty::SNAPSHOT),
             RequestRef::SnapshotV2 => out.put_u8(ty::SNAPSHOT_V2),
+            RequestRef::MetricsSnapshot => out.put_u8(ty::METRICS_SNAPSHOT),
+            RequestRef::TraceDump => out.put_u8(ty::TRACE_DUMP),
         }
     }
 
@@ -536,6 +556,8 @@ impl<'a> RequestRef<'a> {
             },
             ty::SNAPSHOT => RequestRef::Snapshot,
             ty::SNAPSHOT_V2 => RequestRef::SnapshotV2,
+            ty::METRICS_SNAPSHOT => RequestRef::MetricsSnapshot,
+            ty::TRACE_DUMP => RequestRef::TraceDump,
             other => return Err(DecodeError::UnknownMessage(other)),
         };
         r.finish()?;
@@ -639,6 +661,18 @@ pub enum Response {
         /// The snapshot bytes.
         bytes: Vec<u8>,
     },
+    /// A `ropuf-metrics/v1` telemetry snapshot. Opaque to the wire
+    /// layer, like [`Response::SnapshotBin`]: the blob carries its own
+    /// magic, version and CRC (see `ropuf_telemetry::codec`).
+    MetricsBin {
+        /// The metrics blob.
+        bytes: Vec<u8>,
+    },
+    /// A `ropuf-trace/v1` slow-request trace dump, equally opaque.
+    TraceBin {
+        /// The trace blob.
+        bytes: Vec<u8>,
+    },
     /// Typed failure.
     Error {
         /// What went wrong.
@@ -702,6 +736,14 @@ impl Response {
                 out.put_u8(ty::SNAPSHOT_BIN);
                 out.put_bytes(bytes);
             }
+            Response::MetricsBin { bytes } => {
+                out.put_u8(ty::METRICS_BIN);
+                out.put_bytes(bytes);
+            }
+            Response::TraceBin { bytes } => {
+                out.put_u8(ty::TRACE_BIN);
+                out.put_bytes(bytes);
+            }
             Response::Error { code, detail } => {
                 out.put_u8(ty::ERROR);
                 out.put_u8(code.code());
@@ -755,6 +797,12 @@ impl Response {
             ty::SNAPSHOT_BIN => Response::SnapshotBin {
                 bytes: r.bytes("snapshot_v2", crate::frame::MAX_FRAME as usize)?,
             },
+            ty::METRICS_BIN => Response::MetricsBin {
+                bytes: r.bytes("metrics", crate::frame::MAX_FRAME as usize)?,
+            },
+            ty::TRACE_BIN => Response::TraceBin {
+                bytes: r.bytes("trace", crate::frame::MAX_FRAME as usize)?,
+            },
             ty::ERROR => Response::Error {
                 code: ErrorCode::from_code(r.u8()?)?,
                 detail: r.string("detail", MAX_BYTES)?,
@@ -807,6 +855,8 @@ mod tests {
             Request::QueryVerdict { device_id: 1 },
             Request::Snapshot,
             Request::SnapshotV2,
+            Request::MetricsSnapshot,
+            Request::TraceDump,
         ];
         for request in requests {
             let bytes = request.encode();
@@ -838,6 +888,12 @@ mod tests {
             },
             Response::SnapshotBin {
                 bytes: b"RPUFSNP2\x02\x00rest-is-opaque-here".to_vec(),
+            },
+            Response::MetricsBin {
+                bytes: b"RPUFMET1\x01\x00opaque-to-this-layer".to_vec(),
+            },
+            Response::TraceBin {
+                bytes: b"RPUFTRC1\x01\x00opaque-to-this-layer".to_vec(),
             },
             Response::Error {
                 code: ErrorCode::DeviceFlagged,

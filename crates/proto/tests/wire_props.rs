@@ -68,6 +68,8 @@ proptest! {
             Request::QueryVerdict { device_id },
             Request::Snapshot,
             Request::SnapshotV2,
+            Request::MetricsSnapshot,
+            Request::TraceDump,
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode());
@@ -125,7 +127,9 @@ proptest! {
             Response::FlagInfo { flagged: None },
             Response::FlagInfo { flagged: Some((at, reason_from(reason_code))) },
             Response::SnapshotText { json: text.clone() },
-            Response::SnapshotBin { bytes: blob },
+            Response::SnapshotBin { bytes: blob.clone() },
+            Response::MetricsBin { bytes: blob.clone() },
+            Response::TraceBin { bytes: blob },
             Response::Error {
                 code: ErrorCode::from_code(error_code).expect("1..=7 are valid"),
                 detail: text,
@@ -161,6 +165,8 @@ proptest! {
             Request::Hello { protocol: seed as u16, client: format!("c{seed}") },
             Request::Snapshot,
             Request::SnapshotV2,
+            Request::MetricsSnapshot,
+            Request::TraceDump,
         ];
         // One deliberately dirty buffer reused across all encodes.
         let mut reused = vec![0xEEu8; 37];

@@ -51,7 +51,7 @@ use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -62,6 +62,7 @@ use ropuf_proto::{
 
 use crate::handler::RequestHandler;
 use crate::sys::epoll::{event, Epoll, Event};
+use crate::telemetry::{elapsed_ns, request_device_hash, ServerTelemetry};
 
 /// Tuning knobs of the evented server. [`EventedConfig::default`] is
 /// the production shape; tests shrink the timeouts to milliseconds.
@@ -85,6 +86,14 @@ pub struct EventedConfig {
     /// How long a graceful [`EventedServer::shutdown`] waits for open
     /// connections to take their answers before force-closing them.
     pub drain_timeout: Duration,
+    /// A served request whose decode + handle + flush time meets this
+    /// threshold lands in the slow-request trace ring
+    /// ([`Request::TraceDump`](ropuf_proto::Request::TraceDump)).
+    /// `Duration::ZERO` traces every request.
+    pub slow_trace_threshold: Duration,
+    /// Capacity of the slow-request trace ring (oldest records are
+    /// overwritten).
+    pub trace_capacity: usize,
 }
 
 impl Default for EventedConfig {
@@ -95,19 +104,10 @@ impl Default for EventedConfig {
             frame_timeout: Duration::from_secs(10),
             max_write_buffer: 1024 * 1024,
             drain_timeout: Duration::from_secs(1),
+            slow_trace_threshold: Duration::from_millis(1),
+            trace_capacity: 256,
         }
     }
-}
-
-/// Aggregate serving counters, shared by all loops (used by tests and
-/// the load generator's reporting).
-#[derive(Debug, Default)]
-struct Stats {
-    open: AtomicUsize,
-    accepted: AtomicU64,
-    requests: AtomicU64,
-    evicted_idle: AtomicU64,
-    evicted_slow: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -116,7 +116,9 @@ struct Shared {
     stop: AtomicBool,
     /// Force stop: close everything now.
     force: AtomicBool,
-    stats: Stats,
+    /// Aggregate serving counters, phase histograms, and the
+    /// slow-request ring, shared by all loops.
+    telemetry: Arc<ServerTelemetry>,
     /// Write halves of each loop's waker pipe.
     wakers: Mutex<Vec<UnixStream>>,
 }
@@ -151,7 +153,11 @@ impl EventedServer {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             force: AtomicBool::new(false),
-            stats: Stats::default(),
+            telemetry: ServerTelemetry::new(
+                "evented",
+                config.slow_trace_threshold,
+                config.trace_capacity,
+            ),
             wakers: Mutex::new(Vec::new()),
         });
 
@@ -184,10 +190,11 @@ impl EventedServer {
             let spawned = std::thread::Builder::new()
                 .name(format!("evented-loop-{loop_id}"))
                 .spawn(move || {
-                    let mut event_loop = match EventLoop::new(listener, wake_rx, config) {
-                        Ok(event_loop) => event_loop,
-                        Err(e) => panic!("event loop {loop_id} failed to initialize: {e}"),
-                    };
+                    let mut event_loop =
+                        match EventLoop::new(listener, wake_rx, config, loop_id as u32) {
+                            Ok(event_loop) => event_loop,
+                            Err(e) => panic!("event loop {loop_id} failed to initialize: {e}"),
+                        };
                     event_loop.run(handler.as_ref(), &loop_shared);
                 });
             match spawned {
@@ -213,25 +220,28 @@ impl EventedServer {
 
     /// Connections currently established across all loops.
     pub fn open_connections(&self) -> usize {
-        self.shared.stats.open.load(Ordering::SeqCst)
+        usize::try_from(self.shared.telemetry.open_connections()).unwrap_or(usize::MAX)
     }
 
     /// Connections accepted since the server started.
     pub fn accepted_total(&self) -> u64 {
-        self.shared.stats.accepted.load(Ordering::SeqCst)
+        self.shared.telemetry.accepted_total()
     }
 
-    /// Requests served (one per decoded frame) since the server started.
+    /// Requests served (one per completed frame) since the server started.
     pub fn requests_served(&self) -> u64 {
-        self.shared.stats.requests.load(Ordering::SeqCst)
+        self.shared.telemetry.requests_served()
     }
 
     /// Connections evicted by the idle / mid-frame (slow-loris) timers.
     pub fn evictions(&self) -> (u64, u64) {
-        (
-            self.shared.stats.evicted_idle.load(Ordering::SeqCst),
-            self.shared.stats.evicted_slow.load(Ordering::SeqCst),
-        )
+        self.shared.telemetry.evictions()
+    }
+
+    /// This server's telemetry: the same registry and trace ring a
+    /// wire scrape reads, for in-process inspection.
+    pub fn telemetry(&self) -> &Arc<ServerTelemetry> {
+        &self.shared.telemetry
     }
 
     /// Flags the loops to stop (skipping the drain window when
@@ -321,6 +331,9 @@ struct EventLoop {
     listener: TcpListener,
     waker: UnixStream,
     config: EventedConfig,
+    /// Which loop thread this is — the `worker` field of the trace
+    /// records this loop emits.
+    loop_id: u32,
     conns: Vec<Option<Conn>>,
     free: VecDeque<usize>,
     /// Response-encode scratch shared by every connection on this loop
@@ -333,7 +346,12 @@ struct EventLoop {
 }
 
 impl EventLoop {
-    fn new(listener: TcpListener, waker: UnixStream, config: EventedConfig) -> io::Result<Self> {
+    fn new(
+        listener: TcpListener,
+        waker: UnixStream,
+        config: EventedConfig,
+        loop_id: u32,
+    ) -> io::Result<Self> {
         let epoll = Epoll::new()?;
         epoll.add(&listener, event::IN, TOKEN_LISTENER)?;
         epoll.add(&waker, event::IN, TOKEN_WAKER)?;
@@ -342,6 +360,7 @@ impl EventLoop {
             listener,
             waker,
             config,
+            loop_id,
             conns: Vec::new(),
             free: VecDeque::new(),
             encode_scratch: Vec::new(),
@@ -445,8 +464,7 @@ impl EventLoop {
                         continue; // conn drops, socket closes
                     }
                     self.conns[index] = Some(conn);
-                    shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
-                    shared.stats.open.fetch_add(1, Ordering::SeqCst);
+                    shared.telemetry.connection_accepted();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -484,17 +502,47 @@ impl EventLoop {
             }
             match conn.accum.poll(&mut conn.stream) {
                 Ok(FramePoll::Frame) => {
-                    conn.last_activity = Instant::now();
+                    let t0 = Instant::now();
+                    conn.last_activity = t0;
                     conn.frame_deadline = None;
-                    shared.stats.requests.fetch_add(1, Ordering::SeqCst);
-                    let keep_going = match RequestRef::decode(conn.accum.payload()) {
+                    // Counted before decode: malformed frames and the
+                    // metrics scrape itself are part of the tally, so
+                    // `server.requests` equals the client-side op
+                    // count exactly.
+                    shared.telemetry.request_started();
+                    let msg_type = conn.accum.payload().first().copied().unwrap_or(0);
+                    let decoded = RequestRef::decode(conn.accum.payload());
+                    let t1 = Instant::now();
+                    let keep_going = match decoded {
                         Ok(request) => {
-                            let response = handler.handle_ref(request);
-                            queue_response(conn, &response, &mut self.encode_scratch)
+                            let device_hash = request_device_hash(&request);
+                            let response = match request {
+                                // The handler only knows the verifier's
+                                // metrics; the serving layer folds its
+                                // own namespace into the blob.
+                                RequestRef::MetricsSnapshot => shared
+                                    .telemetry
+                                    .merged_metrics_response(handler.handle_ref(request)),
+                                // Traces live here, not in the handler.
+                                RequestRef::TraceDump => shared.telemetry.trace_response(),
+                                request => handler.handle_ref(request),
+                            };
+                            let t2 = Instant::now();
+                            let queued = queue_response(conn, &response, &mut self.encode_scratch);
+                            shared.telemetry.observe(
+                                msg_type,
+                                device_hash,
+                                elapsed_ns(t0, t1),
+                                elapsed_ns(t1, t2),
+                                elapsed_ns(t2, Instant::now()),
+                                self.loop_id,
+                            );
+                            queued
                         }
                         Err(e) => {
                             // Same contract as the blocking server: a
                             // typed answer, then the connection ends.
+                            let t2 = Instant::now();
                             let answered = queue_response(
                                 conn,
                                 &Response::Error {
@@ -502,6 +550,14 @@ impl EventLoop {
                                     detail: FrameError::Decode(e).to_string(),
                                 },
                                 &mut self.encode_scratch,
+                            );
+                            shared.telemetry.observe(
+                                msg_type,
+                                0,
+                                elapsed_ns(t0, t1),
+                                elapsed_ns(t1, t2),
+                                elapsed_ns(t2, Instant::now()),
+                                self.loop_id,
                             );
                             conn.closing = true;
                             conn.frame_deadline = None;
@@ -617,16 +673,10 @@ impl EventLoop {
         if let Some(conn) = self.conns[index].take() {
             // Counters first: a peer that observes the EOF below must
             // already see its eviction accounted for.
-            shared.stats.open.fetch_sub(1, Ordering::SeqCst);
-            match reason {
-                Teardown::Normal => {}
-                Teardown::Idle => {
-                    shared.stats.evicted_idle.fetch_add(1, Ordering::SeqCst);
-                }
-                Teardown::SlowFrame => {
-                    shared.stats.evicted_slow.fetch_add(1, Ordering::SeqCst);
-                }
-            }
+            shared.telemetry.connection_closed(
+                matches!(reason, Teardown::Idle),
+                matches!(reason, Teardown::SlowFrame),
+            );
             let _ = self.epoll.delete(&conn.stream);
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
             self.free.push_back(index);
@@ -745,6 +795,58 @@ mod tests {
         assert_eq!(server.open_connections(), 1);
         server.force_shutdown();
         assert!(client.hello("again").is_err());
+    }
+
+    #[test]
+    fn wire_scrape_merges_server_and_verifier_metrics() {
+        let verifier = Arc::new(Verifier::new(2, DetectorConfig::default()));
+        let handler: Arc<dyn RequestHandler> = Arc::new(VerifierHandler::new(verifier));
+        let server = EventedServer::spawn(
+            "127.0.0.1:0",
+            handler,
+            EventedConfig {
+                slow_trace_threshold: Duration::ZERO,
+                ..EventedConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut client = Client::new(TcpTransport::connect(server.local_addr()).unwrap());
+        client.hello("scraper").unwrap();
+        let snap = client.metrics().unwrap();
+        // The scrape's own request is already in the tally: hello + it.
+        assert_eq!(snap.counter_total("server.requests"), 2);
+        // Verifier namespace rode along in the same blob.
+        assert!(snap.metrics.iter().any(|m| m.name.starts_with("verifier.")));
+        // Both requests landed phase samples under their own msg label.
+        assert!(snap.histogram_samples("server.request.phase_ns") >= 2);
+        // Threshold zero: both prior requests are in the ring (the
+        // dump request itself is recorded only after it is answered).
+        let trace = client.trace_dump().unwrap();
+        assert_eq!(trace.records.len(), 2);
+        assert_eq!(trace.records[0].msg_type, 0x01); // hello
+        assert_eq!(trace.records[1].msg_type, 0x08); // metrics scrape
+        server.shutdown();
+    }
+
+    #[test]
+    fn huge_trace_threshold_keeps_the_ring_empty() {
+        let verifier = Arc::new(Verifier::new(2, DetectorConfig::default()));
+        let handler: Arc<dyn RequestHandler> = Arc::new(VerifierHandler::new(verifier));
+        let server = EventedServer::spawn(
+            "127.0.0.1:0",
+            handler,
+            EventedConfig {
+                slow_trace_threshold: Duration::from_secs(3600),
+                ..EventedConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut client = Client::new(TcpTransport::connect(server.local_addr()).unwrap());
+        client.hello("fast").unwrap();
+        let trace = client.trace_dump().unwrap();
+        assert!(trace.records.is_empty(), "{:?}", trace.records);
+        assert_eq!(trace.dropped, 0);
+        server.shutdown();
     }
 
     #[test]

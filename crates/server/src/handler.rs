@@ -192,6 +192,19 @@ impl RequestHandler for VerifierHandler {
             RequestRef::SnapshotV2 => Response::SnapshotBin {
                 bytes: self.verifier.snapshot_v2(),
             },
+            // The handler answers with the verifier's metrics only; a
+            // server backend in front of this handler intercepts the
+            // request, merges its own `server.*` namespace into the
+            // blob, and re-encodes. Over loopback there is no server
+            // layer, so the verifier's view is the whole answer.
+            RequestRef::MetricsSnapshot => Response::MetricsBin {
+                bytes: self.verifier.telemetry_snapshot().encode(),
+            },
+            // Slow-request traces live in the serving backend, not the
+            // verifier; standalone (loopback) the ring is empty.
+            RequestRef::TraceDump => Response::TraceBin {
+                bytes: ropuf_telemetry::TraceSnapshot::default().encode(),
+            },
         }
     }
 }

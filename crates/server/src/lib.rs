@@ -26,6 +26,10 @@
 //!   `equivalence` test suite.
 //! * [`sys`] (Linux) — the in-tree `epoll` syscall wrapper (no `libc`
 //!   crate; the workspace stays dependency-free).
+//! * [`telemetry`] — [`ServerTelemetry`]: backend-labeled request and
+//!   connection metrics, per-message-type phase latency histograms,
+//!   and the slow-request trace ring; scrapeable mid-run over the wire
+//!   via `Request::MetricsSnapshot` / `Request::TraceDump`.
 //! * [`transport`] — the [`Transport`] abstraction, the
 //!   [`LoopbackTransport`] (same handler, full codec, no sockets) and
 //!   the typed [`Client`].
@@ -61,6 +65,7 @@ pub mod evented;
 pub mod handler;
 pub mod sys;
 pub mod tcp;
+pub mod telemetry;
 pub mod traffic;
 pub mod transport;
 
@@ -68,5 +73,6 @@ pub mod transport;
 pub use evented::{EventedConfig, EventedServer};
 pub use handler::{wire_reason, wire_verdict, RequestHandler, VerifierHandler};
 pub use tcp::{TcpServer, TcpTransport};
+pub use telemetry::ServerTelemetry;
 pub use traffic::{DeviceTraffic, Role, TrafficPlan, TrafficSpec};
 pub use transport::{Client, ClientError, LoopbackTransport, Transport};

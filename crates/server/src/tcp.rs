@@ -27,10 +27,14 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use ropuf_proto::{ErrorCode, FrameError, FrameReader, FrameWriter, Response};
+use ropuf_proto::{
+    ErrorCode, FrameError, FramePoll, FrameReader, FrameWriter, RequestRef, Response,
+};
 
 use crate::handler::RequestHandler;
+use crate::telemetry::{elapsed_ns, request_device_hash, ServerTelemetry};
 
 /// A running TCP server: accept thread + fixed worker pool.
 ///
@@ -48,6 +52,7 @@ pub struct TcpServer {
     connections: Arc<Mutex<Vec<(u64, TcpStream)>>>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    telemetry: Arc<ServerTelemetry>,
 }
 
 impl TcpServer {
@@ -67,20 +72,30 @@ impl TcpServer {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(Mutex::new(Vec::new()));
+        // Same defaults as the evented backend's config; the blocking
+        // pool has no config struct to hang them on.
+        let telemetry = ServerTelemetry::new("blocking", std::time::Duration::from_millis(1), 256);
         let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
         let rx = Arc::new(Mutex::new(rx));
 
         let worker_handles = (0..workers.max(1))
-            .map(|_| {
+            .map(|worker_id| {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
                 let connections = Arc::clone(&connections);
+                let telemetry = Arc::clone(&telemetry);
                 std::thread::spawn(move || loop {
                     // Hold the receiver lock only while claiming.
                     let next = rx.lock().expect("worker queue poisoned").recv();
                     match next {
                         Ok((conn_id, stream)) => {
-                            serve_connection(stream, handler.as_ref());
+                            serve_connection(
+                                stream,
+                                handler.as_ref(),
+                                &telemetry,
+                                worker_id as u32,
+                            );
+                            telemetry.connection_closed(false, false);
                             // Release the shutdown registry's duplicate
                             // descriptor now, not at server shutdown.
                             connections
@@ -96,6 +111,7 @@ impl TcpServer {
 
         let accept_stop = Arc::clone(&stop);
         let accept_conns = Arc::clone(&connections);
+        let accept_telemetry = Arc::clone(&telemetry);
         let accept_thread = std::thread::spawn(move || {
             let mut next_id = 0u64;
             for stream in listener.incoming() {
@@ -112,6 +128,7 @@ impl TcpServer {
                                 .expect("connection list poisoned")
                                 .push((conn_id, clone));
                         }
+                        accept_telemetry.connection_accepted();
                         if tx.send((conn_id, stream)).is_err() {
                             break;
                         }
@@ -128,12 +145,35 @@ impl TcpServer {
             connections,
             accept_thread: Some(accept_thread),
             workers: worker_handles,
+            telemetry,
         })
     }
 
     /// The bound address (resolves port 0 to the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Connections accepted since the server started.
+    pub fn accepted_total(&self) -> u64 {
+        self.telemetry.accepted_total()
+    }
+
+    /// Requests served (one per completed frame) since the server
+    /// started.
+    pub fn requests_served(&self) -> u64 {
+        self.telemetry.requests_served()
+    }
+
+    /// Connections accepted but not yet finished serving.
+    pub fn open_connections(&self) -> usize {
+        usize::try_from(self.telemetry.open_connections()).unwrap_or(usize::MAX)
+    }
+
+    /// This server's telemetry: the same registry and trace ring a
+    /// wire scrape reads, for in-process inspection.
+    pub fn telemetry(&self) -> &Arc<ServerTelemetry> {
+        &self.telemetry
     }
 
     /// Stops accepting, force-closes every open connection (clients
@@ -169,7 +209,17 @@ impl TcpServer {
 /// borrowing [`ropuf_proto::RequestRef`] straight out of that buffer,
 /// and the frame writer encodes the response into its own reused
 /// buffer.
-fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
+///
+/// Frames are pulled with the incremental `poll_frame` machinery
+/// rather than `read_request_ref`, so the phase clocks start when a
+/// complete frame is buffered — time spent blocked on the socket
+/// waiting for the peer is not billed to any phase.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn RequestHandler,
+    telemetry: &ServerTelemetry,
+    worker: u32,
+) {
     stream.set_nodelay(true).ok(); // response latency over batching
     let (Ok(write_half), Ok(closer)) = (stream.try_clone(), stream.try_clone()) else {
         return;
@@ -177,29 +227,88 @@ fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
     let mut reader = FrameReader::new(stream);
     let mut writer = FrameWriter::new(write_half);
     loop {
-        match reader.read_request_ref() {
-            Ok(None) => break,
-            Ok(Some(request)) => {
-                match writer.write_response(&handler.handle_ref(request)) {
-                    Ok(()) => {}
-                    // The answer outgrew the frame cap (giant registry
-                    // snapshot): tell the client why and keep serving —
-                    // nothing was half-written.
-                    Err(FrameError::Oversize(n)) => {
-                        let fallback = writer.write_response(&Response::Error {
-                            code: ErrorCode::ResponseTooLarge,
-                            detail: format!(
-                                "response needs {n} bytes, frame cap is {}",
-                                ropuf_proto::MAX_FRAME
-                            ),
-                        });
-                        if fallback.is_err() {
+        // On a blocking stream one poll drives the accumulator to a
+        // complete frame or clean EOF.
+        reader.finish_frame();
+        match reader.poll_frame() {
+            Ok(FramePoll::Frame) => {
+                let t0 = Instant::now();
+                // Counted before decode, same as the evented backend:
+                // malformed frames and the metrics scrape itself are
+                // part of the tally.
+                telemetry.request_started();
+                let msg_type = reader.frame_payload().first().copied().unwrap_or(0);
+                let decoded = RequestRef::decode(reader.frame_payload());
+                let t1 = Instant::now();
+                match decoded {
+                    Ok(request) => {
+                        let device_hash = request_device_hash(&request);
+                        let response = match request {
+                            // The handler answers with the verifier's
+                            // metrics only; fold this backend's own
+                            // namespace into the blob.
+                            RequestRef::MetricsSnapshot => {
+                                telemetry.merged_metrics_response(handler.handle_ref(request))
+                            }
+                            // Traces live here, not in the handler.
+                            RequestRef::TraceDump => telemetry.trace_response(),
+                            request => handler.handle_ref(request),
+                        };
+                        let t2 = Instant::now();
+                        let flushed = match writer.write_response(&response) {
+                            Ok(()) => true,
+                            // The answer outgrew the frame cap (giant
+                            // registry snapshot): tell the client why
+                            // and keep serving — nothing was
+                            // half-written.
+                            Err(FrameError::Oversize(n)) => writer
+                                .write_response(&Response::Error {
+                                    code: ErrorCode::ResponseTooLarge,
+                                    detail: format!(
+                                        "response needs {n} bytes, frame cap is {}",
+                                        ropuf_proto::MAX_FRAME
+                                    ),
+                                })
+                                .is_ok(),
+                            Err(_) => false,
+                        };
+                        telemetry.observe(
+                            msg_type,
+                            device_hash,
+                            elapsed_ns(t0, t1),
+                            elapsed_ns(t1, t2),
+                            elapsed_ns(t2, Instant::now()),
+                            worker,
+                        );
+                        if !flushed {
                             break;
                         }
                     }
-                    Err(_) => break,
+                    Err(e) => {
+                        // Typed answer, then the connection ends —
+                        // identical contract (and detail string) to
+                        // the pre-telemetry `read_request_ref` path.
+                        let t2 = Instant::now();
+                        let _ = writer.write_response(&Response::Error {
+                            code: ErrorCode::MalformedRequest,
+                            detail: FrameError::Decode(e).to_string(),
+                        });
+                        telemetry.observe(
+                            msg_type,
+                            0,
+                            elapsed_ns(t0, t1),
+                            elapsed_ns(t1, t2),
+                            elapsed_ns(t2, Instant::now()),
+                            worker,
+                        );
+                        break;
+                    }
                 }
             }
+            Ok(FramePoll::Eof) => break,
+            // A blocking socket only reports Pending under a read
+            // timeout; nobody sets one here, so treat it as dead.
+            Ok(FramePoll::Pending) => break,
             Err(e) if e.is_peer_fault() => {
                 let _ = writer.write_response(&Response::Error {
                     code: ErrorCode::MalformedRequest,

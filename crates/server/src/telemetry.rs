@@ -1,0 +1,299 @@
+//! Server-side telemetry: backend-labeled request/connection counters,
+//! per-message-type phase latency histograms, and the slow-request
+//! trace ring — everything a wire scrape merges on top of the
+//! verifier's own metrics.
+//!
+//! Both backends (`TcpServer`, `EventedServer`) own one
+//! [`ServerTelemetry`] and record into it once per served frame with
+//! the three phase durations. All hot-path writes
+//! are `Relaxed` striped-counter adds or per-stripe histogram inserts;
+//! nothing here takes a process-wide lock on the request path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ropuf_proto::{ErrorCode, RequestRef, Response};
+use ropuf_telemetry::{
+    Counter, Gauge, Registry, Snapshot, TimerHistogram, TraceRecord, TraceRing, TraceSnapshot,
+};
+
+/// Message-type label for each request byte the wire can carry, plus a
+/// catch-all bucket so a hostile byte can't mint unbounded label
+/// values.
+pub(crate) fn msg_label(msg_type: u8) -> &'static str {
+    match msg_type {
+        0x01 => "hello",
+        0x02 => "enroll",
+        0x03 => "auth",
+        0x04 => "batch-auth",
+        0x05 => "query-verdict",
+        0x06 => "snapshot",
+        0x07 => "snapshot-v2",
+        0x08 => "metrics",
+        0x09 => "trace",
+        _ => "other",
+    }
+}
+
+/// The wire bytes `msg_label` distinguishes, in label-table order.
+/// `0x00` stands in for the "other" bucket.
+const MSG_TYPES: [u8; 10] = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x00];
+
+const PHASES: [&str; 3] = ["decode", "handle", "flush"];
+
+fn msg_slot(msg_type: u8) -> usize {
+    match msg_type {
+        0x01..=0x09 => (msg_type - 1) as usize,
+        _ => MSG_TYPES.len() - 1,
+    }
+}
+
+/// Nanoseconds from `earlier` to `later`, saturating at `u64::MAX`
+/// (and at zero for out-of-order instants).
+pub(crate) fn elapsed_ns(earlier: Instant, later: Instant) -> u64 {
+    u64::try_from(later.saturating_duration_since(earlier).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Pseudonymous device identity for trace records: the splitmix64 mix
+/// of the claimed device id, or 0 for requests that carry none. Trace
+/// dumps travel over the wire, so raw ids stay out of them.
+pub(crate) fn request_device_hash(request: &RequestRef<'_>) -> u64 {
+    let id = match request {
+        RequestRef::Enroll { device_id, .. } => Some(*device_id),
+        RequestRef::Authenticate(item) => Some(item.device_id),
+        RequestRef::QueryVerdict { device_id } => Some(*device_id),
+        RequestRef::BatchAuthenticate { items } => items.first().map(|i| i.device_id),
+        _ => None,
+    };
+    id.map_or(0, ropuf_numeric::splitmix64)
+}
+
+/// One backend's worth of server metrics plus the slow-request ring.
+///
+/// Cheap to clone-by-`Arc`; every handle inside is already shareable.
+#[derive(Debug)]
+pub struct ServerTelemetry {
+    registry: Registry,
+    accepted: Counter,
+    open: Gauge,
+    requests: Counter,
+    evicted_idle: Counter,
+    evicted_slow: Counter,
+    trace_dropped: Gauge,
+    /// `[msg_slot][phase]`, pre-resolved so the hot path never touches
+    /// the registry lock.
+    phase: Vec<[TimerHistogram; 3]>,
+    ring: TraceRing,
+    threshold_ns: u64,
+}
+
+impl ServerTelemetry {
+    /// Builds a registry for one backend. `backend` labels every
+    /// metric (`blocking` or `evented`); requests slower than
+    /// `slow_threshold` land in a ring of `trace_capacity` records.
+    pub fn new(backend: &str, slow_threshold: Duration, trace_capacity: usize) -> Arc<Self> {
+        let registry = Registry::new();
+        let b = [("backend", backend)];
+        let accepted = registry.counter("server.connections.accepted", &b);
+        let open = registry.gauge("server.connections.open", &b);
+        let requests = registry.counter("server.requests", &b);
+        let evicted_idle =
+            registry.counter("server.evicted", &[("backend", backend), ("kind", "idle")]);
+        let evicted_slow =
+            registry.counter("server.evicted", &[("backend", backend), ("kind", "slow")]);
+        let trace_dropped = registry.gauge("server.trace.dropped", &b);
+        let phase = MSG_TYPES
+            .iter()
+            .map(|&ty| {
+                let msg = msg_label(ty);
+                PHASES.map(|phase| {
+                    registry.histogram(
+                        "server.request.phase_ns",
+                        &[("backend", backend), ("msg", msg), ("phase", phase)],
+                    )
+                })
+            })
+            .collect();
+        let threshold_ns = u64::try_from(slow_threshold.as_nanos()).unwrap_or(u64::MAX);
+        Arc::new(Self {
+            registry,
+            accepted,
+            open,
+            requests,
+            evicted_idle,
+            evicted_slow,
+            trace_dropped,
+            phase,
+            ring: TraceRing::new(trace_capacity),
+            threshold_ns,
+        })
+    }
+
+    /// A connection was accepted (and is now open).
+    pub(crate) fn connection_accepted(&self) {
+        self.accepted.inc();
+        self.open.add(1);
+    }
+
+    /// An open connection went away, evicted or not.
+    pub(crate) fn connection_closed(&self, evicted_idle: bool, evicted_slow: bool) {
+        self.open.sub(1);
+        if evicted_idle {
+            self.evicted_idle.inc();
+        }
+        if evicted_slow {
+            self.evicted_slow.inc();
+        }
+    }
+
+    /// Counts a request the moment its frame is complete — before
+    /// decode, so malformed frames and the scrape request itself are
+    /// part of the tally. This is what makes the CI equality check
+    /// (`server.requests == client-side ops`) exact.
+    pub(crate) fn request_started(&self) {
+        self.requests.inc();
+    }
+
+    /// Records one served frame's phase timings, and a trace record
+    /// when the request was slow.
+    pub(crate) fn observe(
+        &self,
+        msg_type: u8,
+        device_hash: u64,
+        decode_ns: u64,
+        handle_ns: u64,
+        flush_ns: u64,
+        worker: u32,
+    ) {
+        let slot = &self.phase[msg_slot(msg_type)];
+        slot[0].record(decode_ns);
+        slot[1].record(handle_ns);
+        slot[2].record(flush_ns);
+        let total_ns = decode_ns.saturating_add(handle_ns).saturating_add(flush_ns);
+        if total_ns >= self.threshold_ns {
+            self.ring.push(TraceRecord {
+                seq: 0, // assigned by the ring
+                msg_type,
+                device_hash,
+                decode_ns,
+                handle_ns,
+                flush_ns,
+                total_ns,
+                worker,
+            });
+        }
+    }
+
+    /// Connections accepted since spawn.
+    pub(crate) fn accepted_total(&self) -> u64 {
+        self.accepted.get()
+    }
+
+    /// Connections currently open.
+    pub(crate) fn open_connections(&self) -> u64 {
+        self.open.get()
+    }
+
+    /// Requests served since spawn.
+    pub(crate) fn requests_served(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// (idle, slow-frame) evictions since spawn.
+    pub(crate) fn evictions(&self) -> (u64, u64) {
+        (self.evicted_idle.get(), self.evicted_slow.get())
+    }
+
+    /// A point-in-time snapshot of this backend's metrics, with the
+    /// trace-drop gauge refreshed first.
+    pub fn snapshot(&self) -> Snapshot {
+        self.trace_dropped.set(self.ring.dropped());
+        self.registry.snapshot()
+    }
+
+    /// The slow-request ring as a wire-ready snapshot.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        TraceSnapshot::from_ring(&self.ring)
+    }
+
+    /// Answers `Request::TraceDump` straight from this backend's ring.
+    pub(crate) fn trace_response(&self) -> Response {
+        Response::TraceBin {
+            bytes: self.trace_snapshot().encode(),
+        }
+    }
+
+    /// Answers `Request::MetricsSnapshot`: takes the handler's reply
+    /// (the verifier's `ropuf-metrics/v1` blob), merges this backend's
+    /// own metrics into it, and re-encodes. Namespaces are disjoint
+    /// (`server.*` vs `verifier.*`), so the merge never clashes.
+    ///
+    /// A handler reply that is not a decodable `MetricsBin` (custom
+    /// handler, or a typed error) passes through untouched — the
+    /// server never turns a working reply into a worse one.
+    pub(crate) fn merged_metrics_response(&self, handler_reply: Response) -> Response {
+        match handler_reply {
+            Response::MetricsBin { bytes } => match Snapshot::decode(&bytes) {
+                Ok(mut snapshot) => {
+                    snapshot.merge(self.snapshot());
+                    Response::MetricsBin {
+                        bytes: snapshot.encode(),
+                    }
+                }
+                Err(e) => Response::Error {
+                    code: ErrorCode::Internal,
+                    detail: format!("handler metrics blob undecodable: {e}"),
+                },
+            },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_labels_cover_every_wire_byte() {
+        for ty in 0x01..=0x09u8 {
+            assert_ne!(msg_label(ty), "other", "byte {ty:#04x} should be named");
+        }
+        assert_eq!(msg_label(0x00), "other");
+        assert_eq!(msg_label(0xEE), "other");
+        // The slot table and the label table agree.
+        for (slot, &ty) in MSG_TYPES.iter().enumerate() {
+            assert_eq!(msg_slot(ty), slot);
+        }
+    }
+
+    #[test]
+    fn zero_threshold_traces_everything_and_large_threshold_nothing() {
+        let eager = ServerTelemetry::new("test", Duration::ZERO, 8);
+        let lazy = ServerTelemetry::new("test", Duration::from_secs(3600), 8);
+        for i in 0..5 {
+            eager.observe(0x03, i, 10, 20, 30, 0);
+            lazy.observe(0x03, i, 10, 20, 30, 0);
+        }
+        assert_eq!(eager.trace_snapshot().records.len(), 5);
+        assert_eq!(lazy.trace_snapshot().records.len(), 0);
+        let snap = eager.snapshot();
+        match snap.find(
+            "server.request.phase_ns",
+            &[("backend", "test"), ("msg", "auth"), ("phase", "handle")],
+        ) {
+            Some(ropuf_telemetry::MetricValue::Histogram(h)) => assert_eq!(h.count, 5),
+            other => panic!("expected handle-phase histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_passthrough_leaves_non_metrics_replies_alone() {
+        let t = ServerTelemetry::new("test", Duration::ZERO, 8);
+        let err = Response::Error {
+            code: ErrorCode::Internal,
+            detail: "boom".to_string(),
+        };
+        assert_eq!(t.merged_metrics_response(err.clone()), err);
+    }
+}

@@ -297,6 +297,42 @@ impl<T: Transport> Client<T> {
             _ => Err(ClientError::UnexpectedResponse("SnapshotBin")),
         }
     }
+
+    /// A live `ropuf-metrics/v1` scrape of the serving stack: the
+    /// server backend's own metrics merged with the verifier's. Decoded
+    /// and CRC-verified client-side;
+    /// [`Snapshot::render_text`](ropuf_telemetry::Snapshot::render_text)
+    /// turns the result into the human view.
+    ///
+    /// # Errors
+    ///
+    /// Transport/shape failures, or
+    /// [`ClientError::UnexpectedResponse`] when the returned blob does
+    /// not decode as `ropuf-metrics/v1`.
+    pub fn metrics(&mut self) -> Result<ropuf_telemetry::Snapshot, ClientError> {
+        match self.exchange(&Request::MetricsSnapshot)? {
+            Response::MetricsBin { bytes } => ropuf_telemetry::Snapshot::decode(&bytes)
+                .map_err(|_| ClientError::UnexpectedResponse("decodable ropuf-metrics/v1 blob")),
+            _ => Err(ClientError::UnexpectedResponse("MetricsBin")),
+        }
+    }
+
+    /// The server's slow-request trace ring as a decoded
+    /// `ropuf-trace/v1` snapshot (empty over loopback — traces live in
+    /// the serving backends).
+    ///
+    /// # Errors
+    ///
+    /// Transport/shape failures, or
+    /// [`ClientError::UnexpectedResponse`] when the returned blob does
+    /// not decode as `ropuf-trace/v1`.
+    pub fn trace_dump(&mut self) -> Result<ropuf_telemetry::TraceSnapshot, ClientError> {
+        match self.exchange(&Request::TraceDump)? {
+            Response::TraceBin { bytes } => ropuf_telemetry::TraceSnapshot::decode(&bytes)
+                .map_err(|_| ClientError::UnexpectedResponse("decodable ropuf-trace/v1 blob")),
+            _ => Err(ClientError::UnexpectedResponse("TraceBin")),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -312,6 +312,63 @@ fn recovered_registry_replays_bit_for_bit_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Telemetry must be free at the wire: a server tracing **every**
+/// request (threshold zero, so the ring and every histogram take the
+/// maximum instrumentation hit) answers bit-for-bit identically to one
+/// running the default config. Observability is a read-side overlay —
+/// it may never perturb a served byte.
+#[test]
+fn full_tracing_does_not_change_the_byte_stream() {
+    let plan = TrafficPlan::build(&spec());
+
+    let default_server = EventedServer::spawn(
+        "127.0.0.1:0",
+        enrolled_handler(&plan, 4),
+        EventedConfig::default(),
+    )
+    .expect("bind");
+    let default_bytes = replay_sequential(&plan, default_server.local_addr());
+    default_server.shutdown();
+
+    let traced_server = EventedServer::spawn(
+        "127.0.0.1:0",
+        enrolled_handler(&plan, 4),
+        EventedConfig {
+            slow_trace_threshold: std::time::Duration::ZERO,
+            trace_capacity: 16, // force wraparound under the full plan
+            ..EventedConfig::default()
+        },
+    )
+    .expect("bind");
+    let traced_bytes = replay_sequential(&plan, traced_server.local_addr());
+    // Every request was slower than the zero threshold, so the ring
+    // really was exercised (wrapping well past its 16 slots).
+    assert_eq!(
+        traced_server.telemetry().trace_snapshot().recorded,
+        traced_bytes.len() as u64,
+        "threshold zero must trace every request"
+    );
+    traced_server.shutdown();
+
+    assert_eq!(
+        default_bytes, traced_bytes,
+        "tracing every request must not change a single served byte"
+    );
+
+    // The blocking backend under the same traffic also agrees (its
+    // telemetry is always on — parity with the pre-telemetry suite).
+    let blocking_server =
+        TcpServer::spawn("127.0.0.1:0", enrolled_handler(&plan, 4), 3).expect("bind blocking");
+    let blocking_bytes = replay_sequential(&plan, blocking_server.local_addr());
+    assert_eq!(
+        blocking_server.requests_served(),
+        blocking_bytes.len() as u64,
+        "blocking backend counts exactly one request per answer"
+    );
+    blocking_server.shutdown();
+    assert_eq!(default_bytes, blocking_bytes, "blocking vs evented");
+}
+
 #[test]
 fn shard_count_does_not_change_the_byte_stream() {
     let plan = TrafficPlan::build(&spec());

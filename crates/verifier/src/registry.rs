@@ -419,6 +419,15 @@ impl ShardedRegistry {
         self.len() == 0
     }
 
+    /// Enrolled devices per shard, in shard order (locks each shard
+    /// once) — the source for the `verifier.registry.entries` gauges.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").len())
+            .collect()
+    }
+
     /// Runs `f` on the device's entry under its shard lock.
     pub(crate) fn with_entry<R>(
         &self,

@@ -12,11 +12,13 @@
 
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 use ropuf_constructions::{Device, DeviceResponse};
 use ropuf_hash::{hmac_sha256, sha256};
 use ropuf_numeric::BitVec;
 use ropuf_sim::Environment;
+use ropuf_telemetry::{Counter, Registry as TelemetryRegistry, Snapshot as TelemetrySnapshot};
 
 use crate::detector::{AuthVerdict, DetectorConfig, FlagReason};
 use crate::registry::{
@@ -130,6 +132,54 @@ impl BatchScratch {
     }
 }
 
+/// Pre-resolved handles onto the verifier's hot-path counters: verdict
+/// accounting must cost a striped `Relaxed` add, not a registry lookup.
+#[derive(Debug)]
+struct VerifierMetrics {
+    accept: Counter,
+    reject: Counter,
+    /// Indexed by [`flag_reason_index`].
+    flagged: [Counter; 4],
+}
+
+/// All four flag reasons, in [`flag_reason_index`] order.
+const FLAG_REASONS: [FlagReason; 4] = [
+    FlagReason::HelperMismatch,
+    FlagReason::MalformedHelper,
+    FlagReason::RateBudget,
+    FlagReason::FailureStreak,
+];
+
+fn flag_reason_index(reason: FlagReason) -> usize {
+    match reason {
+        FlagReason::HelperMismatch => 0,
+        FlagReason::MalformedHelper => 1,
+        FlagReason::RateBudget => 2,
+        FlagReason::FailureStreak => 3,
+    }
+}
+
+impl VerifierMetrics {
+    fn new(telemetry: &TelemetryRegistry) -> Self {
+        Self {
+            accept: telemetry.counter("verifier.auth.accept", &[]),
+            reject: telemetry.counter("verifier.auth.reject", &[]),
+            flagged: FLAG_REASONS.map(|reason| {
+                telemetry.counter("verifier.auth.flagged", &[("reason", reason.label())])
+            }),
+        }
+    }
+
+    #[inline]
+    fn note(&self, verdict: AuthVerdict) {
+        match verdict {
+            AuthVerdict::Accept => self.accept.inc(),
+            AuthVerdict::Reject => self.reject.inc(),
+            AuthVerdict::Flagged(reason) => self.flagged[flag_reason_index(reason)].inc(),
+        }
+    }
+}
+
 /// The defender-side verifier service.
 ///
 /// Thread-safe by construction: all mutable state lives behind the
@@ -138,15 +188,28 @@ impl BatchScratch {
 #[derive(Debug)]
 pub struct Verifier {
     registry: ShardedRegistry,
+    telemetry: TelemetryRegistry,
+    metrics: VerifierMetrics,
 }
 
 impl Verifier {
+    /// Wraps a registry, wiring up this verifier's own telemetry
+    /// namespace (`verifier.*`). Every constructor funnels through
+    /// here, so the metrics exist — at zero — from the first request.
+    fn assemble(registry: ShardedRegistry) -> Self {
+        let telemetry = TelemetryRegistry::new();
+        let metrics = VerifierMetrics::new(&telemetry);
+        Self {
+            registry,
+            telemetry,
+            metrics,
+        }
+    }
+
     /// Creates a verifier with an empty `shards`-shard registry; every
     /// enrolled device gets a detector built from `detector_config`.
     pub fn new(shards: usize, detector_config: DetectorConfig) -> Self {
-        Self {
-            registry: ShardedRegistry::new(shards, detector_config),
-        }
+        Self::assemble(ShardedRegistry::new(shards, detector_config))
     }
 
     /// Restores a verifier from a legacy `ropuf-verifier/v1` registry
@@ -159,9 +222,10 @@ impl Verifier {
         snapshot: &str,
         detector_config: DetectorConfig,
     ) -> Result<Self, SnapshotError> {
-        Ok(Self {
-            registry: ShardedRegistry::from_snapshot(snapshot, detector_config)?,
-        })
+        Ok(Self::assemble(ShardedRegistry::from_snapshot(
+            snapshot,
+            detector_config,
+        )?))
     }
 
     /// Restores a verifier from a `ropuf-verifier/v2` binary snapshot,
@@ -174,9 +238,10 @@ impl Verifier {
         bytes: &[u8],
         detector_config: DetectorConfig,
     ) -> Result<Self, SnapshotV2Error> {
-        Ok(Self {
-            registry: ShardedRegistry::from_snapshot_v2(bytes, detector_config)?,
-        })
+        Ok(Self::assemble(ShardedRegistry::from_snapshot_v2(
+            bytes,
+            detector_config,
+        )?))
     }
 
     /// Restores a verifier from a snapshot in either format (sniffed by
@@ -190,9 +255,10 @@ impl Verifier {
         bytes: &[u8],
         detector_config: DetectorConfig,
     ) -> Result<Self, SnapshotError> {
-        Ok(Self {
-            registry: ShardedRegistry::load_snapshot_auto(bytes, detector_config)?,
-        })
+        Ok(Self::assemble(ShardedRegistry::load_snapshot_auto(
+            bytes,
+            detector_config,
+        )?))
     }
 
     /// Opens a durable verifier backed by a store directory: recovers
@@ -214,8 +280,36 @@ impl Verifier {
         options: StoreOptions,
     ) -> Result<(Self, RecoveryReport), StoreError> {
         let (mut registry, report) = store::recover(dir, shards, detector_config)?;
-        registry.attach_store(Arc::new(DeviceStore::open(dir, options)?));
-        Ok((Self { registry }, report))
+        let verifier = {
+            let telemetry = TelemetryRegistry::new();
+            let mut store = DeviceStore::open(dir, options)?;
+            store.attach_telemetry(&telemetry);
+            registry.attach_store(Arc::new(store));
+            let metrics = VerifierMetrics::new(&telemetry);
+            Self {
+                registry,
+                telemetry,
+                metrics,
+            }
+        };
+        // What recovery found, as gauges: scraping a freshly restarted
+        // server shows how much state the WAL replay reconstructed.
+        let t = &verifier.telemetry;
+        t.gauge("verifier.recovery.enrolls_applied", &[])
+            .set(report.enrolls_applied);
+        t.gauge("verifier.recovery.flags_applied", &[])
+            .set(report.flags_applied);
+        t.gauge("verifier.recovery.segments_replayed", &[])
+            .set(report.segments_replayed as u64);
+        t.gauge("verifier.recovery.snapshots_skipped", &[])
+            .set(report.snapshots_skipped as u64);
+        t.gauge("verifier.recovery.duplicate_enrolls", &[])
+            .set(report.duplicate_enrolls);
+        t.gauge("verifier.recovery.unknown_flag_devices", &[])
+            .set(report.unknown_flag_devices);
+        t.gauge("verifier.recovery.torn_tail", &[])
+            .set(u64::from(report.torn_tail.is_some()));
+        Ok((verifier, report))
     }
 
     /// The registry as a `ropuf-verifier/v2` binary snapshot — the
@@ -235,10 +329,16 @@ impl Verifier {
     /// [`StoreError::NotDurable`] on an in-memory verifier;
     /// [`StoreError::Io`] if rotation or the snapshot write fails.
     pub fn compact(&self) -> Result<u64, StoreError> {
+        let started = Instant::now();
         let store = self.registry.store().ok_or(StoreError::NotDurable)?;
         let closed = store.rotate()?;
         let bytes = self.registry.snapshot_v2();
         store.install_snapshot(closed, &bytes)?;
+        // Cold path: the registry lookup (idempotent registration) is
+        // fine here, unlike the per-request counters.
+        self.telemetry
+            .histogram("verifier.compaction.duration_ns", &[])
+            .record_duration(started.elapsed());
         Ok(closed)
     }
 
@@ -256,6 +356,27 @@ impl Verifier {
     /// The underlying registry (snapshots, flag inspection, stats).
     pub fn registry(&self) -> &ShardedRegistry {
         &self.registry
+    }
+
+    /// This verifier's telemetry registry (`verifier.*` namespace) —
+    /// server layers merge it into their own at scrape time.
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.telemetry
+    }
+
+    /// A telemetry snapshot with the sampled gauges refreshed: per-shard
+    /// entry counts are read from the registry at the moment of the
+    /// scrape (nothing on the enrollment path maintains them).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        for (shard, len) in self.registry.shard_lens().into_iter().enumerate() {
+            self.telemetry
+                .gauge(
+                    "verifier.registry.entries",
+                    &[("shard", &shard.to_string())],
+                )
+                .set(len as u64);
+        }
+        self.telemetry.snapshot()
     }
 
     /// Enrolls a device from its enrollment outputs: stores the scheme
@@ -333,6 +454,7 @@ impl Verifier {
         if let Some((at, reason)) = latched {
             self.registry.log_flag(query.device_id, at, reason);
         }
+        self.metrics.note(verdict);
         verdict
     }
 
@@ -392,6 +514,9 @@ impl Verifier {
         for &(device_id, at, reason) in &scratch.latched {
             self.registry.log_flag(device_id, at, reason);
         }
+        for &verdict in verdicts.iter() {
+            self.metrics.note(verdict);
+        }
     }
 
     /// Reference batch path that re-derives the full HMAC key schedule
@@ -439,6 +564,9 @@ impl Verifier {
         for (device_id, at, reason) in latched {
             self.registry.log_flag(device_id, at, reason);
         }
+        for &verdict in &verdicts {
+            self.metrics.note(verdict);
+        }
         verdicts
     }
 
@@ -468,6 +596,7 @@ impl Verifier {
         if let Some((at, reason)) = latched {
             self.registry.log_flag(device_id, at, reason);
         }
+        self.metrics.note(verdict);
         verdict
     }
 

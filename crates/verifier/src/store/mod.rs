@@ -214,6 +214,16 @@ struct ActiveSegment {
     bytes: u64,
 }
 
+/// WAL activity counters. Detached (unregistered) by default so a bare
+/// [`DeviceStore::open`] costs nothing extra;
+/// [`DeviceStore::attach_telemetry`] swaps in registered handles.
+#[derive(Debug, Default)]
+struct StoreMetrics {
+    wal_bytes: ropuf_telemetry::Counter,
+    wal_fsyncs: ropuf_telemetry::Counter,
+    wal_rotations: ropuf_telemetry::Counter,
+}
+
 /// The durable half of a registry: owns the store directory, the
 /// active WAL segment, and the compaction machinery. Thread-safe —
 /// appends serialize on one internal lock, which is fine because the
@@ -224,6 +234,7 @@ pub struct DeviceStore {
     options: StoreOptions,
     active: Mutex<ActiveSegment>,
     io_errors: AtomicU64,
+    metrics: StoreMetrics,
 }
 
 impl DeviceStore {
@@ -257,7 +268,19 @@ impl DeviceStore {
                 bytes: 0,
             }),
             io_errors: AtomicU64::new(0),
+            metrics: StoreMetrics::default(),
         })
+    }
+
+    /// Registers this store's WAL counters (`verifier.wal.*`) in
+    /// `telemetry`. Called before the store is shared (`&mut self`), so
+    /// the serving path always sees the registered handles.
+    pub fn attach_telemetry(&mut self, telemetry: &ropuf_telemetry::Registry) {
+        self.metrics = StoreMetrics {
+            wal_bytes: telemetry.counter("verifier.wal.bytes", &[]),
+            wal_fsyncs: telemetry.counter("verifier.wal.fsyncs", &[]),
+            wal_rotations: telemetry.counter("verifier.wal.rotations", &[]),
+        };
     }
 
     /// The store directory.
@@ -286,8 +309,10 @@ impl DeviceStore {
             .write_all(buf)
             .map_err(io_err("append wal record"))?;
         active.bytes += buf.len() as u64;
+        self.metrics.wal_bytes.add(buf.len() as u64);
         if self.options.sync_policy == SyncPolicy::EveryRecord {
             active.file.sync_data().map_err(io_err("sync wal record"))?;
+            self.metrics.wal_fsyncs.inc();
         }
         if active.bytes >= self.options.segment_bytes {
             self.rotate_locked(&mut active)?;
@@ -342,7 +367,12 @@ impl DeviceStore {
     /// [`StoreError::Io`] if the fsync fails.
     pub fn sync(&self) -> Result<(), StoreError> {
         let active = self.active.lock().expect("store lock poisoned");
-        active.file.sync_data().map_err(io_err("sync wal segment"))
+        active
+            .file
+            .sync_data()
+            .map_err(io_err("sync wal segment"))?;
+        self.metrics.wal_fsyncs.inc();
+        Ok(())
     }
 
     fn rotate_locked(&self, active: &mut ActiveSegment) -> Result<u64, StoreError> {
@@ -350,6 +380,8 @@ impl DeviceStore {
             .file
             .sync_data()
             .map_err(io_err("sync wal segment"))?;
+        self.metrics.wal_fsyncs.inc();
+        self.metrics.wal_rotations.inc();
         let closed = active.seq;
         let seq = closed + 1;
         let file = OpenOptions::new()
