@@ -43,9 +43,17 @@ fn bucket_index(value: u64) -> usize {
     band * SUB_COUNT + offset
 }
 
-/// Smallest value mapping to bucket `index` (used to report
-/// percentiles; a conservative lower bound of every sample in the
-/// bucket).
+/// Smallest value mapping to bucket `index` (a conservative lower
+/// bound of every sample in the bucket). Public so consumers of
+/// [`Histogram::sparse_counts`] — the `ropuf-timeseries/v1` band
+/// collapser, the ops dashboard — can label bucket indices with
+/// representative values; indices at or beyond [`BUCKETS`] clamp to the
+/// last bucket.
+pub fn bucket_floor(index: usize) -> u64 {
+    bucket_low(index.min(BUCKETS - 1))
+}
+
+/// Internal unclamped form of [`bucket_floor`].
 fn bucket_low(index: usize) -> u64 {
     if index < SUB_COUNT {
         return index as u64;

@@ -31,6 +31,7 @@ mod ty {
     pub const SNAPSHOT_V2: u8 = 0x07;
     pub const METRICS_SNAPSHOT: u8 = 0x08;
     pub const TRACE_DUMP: u8 = 0x09;
+    pub const TIMESERIES_DUMP: u8 = 0x0A;
     pub const HELLO_OK: u8 = 0x81;
     pub const ENROLL_OK: u8 = 0x82;
     pub const VERDICT: u8 = 0x83;
@@ -40,6 +41,7 @@ mod ty {
     pub const SNAPSHOT_BIN: u8 = 0x87;
     pub const METRICS_BIN: u8 = 0x88;
     pub const TRACE_BIN: u8 = 0x89;
+    pub const TIMESERIES_BIN: u8 = 0x8A;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -318,6 +320,9 @@ pub enum Request {
     /// Ask for the server's slow-request trace ring as a
     /// `ropuf-trace/v1` blob.
     TraceDump,
+    /// Ask for the server's retained time-series history (periodic
+    /// delta snapshots) as a `ropuf-timeseries/v1` blob.
+    TimeSeriesDump,
 }
 
 impl Request {
@@ -352,6 +357,7 @@ impl Request {
             Request::SnapshotV2 => RequestRef::SnapshotV2,
             Request::MetricsSnapshot => RequestRef::MetricsSnapshot,
             Request::TraceDump => RequestRef::TraceDump,
+            Request::TimeSeriesDump => RequestRef::TimeSeriesDump,
         }
     }
 
@@ -442,6 +448,8 @@ pub enum RequestRef<'a> {
     MetricsSnapshot,
     /// See [`Request::TraceDump`].
     TraceDump,
+    /// See [`Request::TimeSeriesDump`].
+    TimeSeriesDump,
 }
 
 impl<'a> RequestRef<'a> {
@@ -472,6 +480,7 @@ impl<'a> RequestRef<'a> {
             RequestRef::SnapshotV2 => Request::SnapshotV2,
             RequestRef::MetricsSnapshot => Request::MetricsSnapshot,
             RequestRef::TraceDump => Request::TraceDump,
+            RequestRef::TimeSeriesDump => Request::TimeSeriesDump,
         }
     }
 
@@ -517,6 +526,7 @@ impl<'a> RequestRef<'a> {
             RequestRef::SnapshotV2 => out.put_u8(ty::SNAPSHOT_V2),
             RequestRef::MetricsSnapshot => out.put_u8(ty::METRICS_SNAPSHOT),
             RequestRef::TraceDump => out.put_u8(ty::TRACE_DUMP),
+            RequestRef::TimeSeriesDump => out.put_u8(ty::TIMESERIES_DUMP),
         }
     }
 
@@ -558,6 +568,7 @@ impl<'a> RequestRef<'a> {
             ty::SNAPSHOT_V2 => RequestRef::SnapshotV2,
             ty::METRICS_SNAPSHOT => RequestRef::MetricsSnapshot,
             ty::TRACE_DUMP => RequestRef::TraceDump,
+            ty::TIMESERIES_DUMP => RequestRef::TimeSeriesDump,
             other => return Err(DecodeError::UnknownMessage(other)),
         };
         r.finish()?;
@@ -673,6 +684,11 @@ pub enum Response {
         /// The trace blob.
         bytes: Vec<u8>,
     },
+    /// A `ropuf-timeseries/v1` retained-history dump, equally opaque.
+    TimeSeriesBin {
+        /// The time-series blob.
+        bytes: Vec<u8>,
+    },
     /// Typed failure.
     Error {
         /// What went wrong.
@@ -744,6 +760,10 @@ impl Response {
                 out.put_u8(ty::TRACE_BIN);
                 out.put_bytes(bytes);
             }
+            Response::TimeSeriesBin { bytes } => {
+                out.put_u8(ty::TIMESERIES_BIN);
+                out.put_bytes(bytes);
+            }
             Response::Error { code, detail } => {
                 out.put_u8(ty::ERROR);
                 out.put_u8(code.code());
@@ -803,6 +823,9 @@ impl Response {
             ty::TRACE_BIN => Response::TraceBin {
                 bytes: r.bytes("trace", crate::frame::MAX_FRAME as usize)?,
             },
+            ty::TIMESERIES_BIN => Response::TimeSeriesBin {
+                bytes: r.bytes("timeseries", crate::frame::MAX_FRAME as usize)?,
+            },
             ty::ERROR => Response::Error {
                 code: ErrorCode::from_code(r.u8()?)?,
                 detail: r.string("detail", MAX_BYTES)?,
@@ -857,6 +880,7 @@ mod tests {
             Request::SnapshotV2,
             Request::MetricsSnapshot,
             Request::TraceDump,
+            Request::TimeSeriesDump,
         ];
         for request in requests {
             let bytes = request.encode();
@@ -894,6 +918,9 @@ mod tests {
             },
             Response::TraceBin {
                 bytes: b"RPUFTRC1\x01\x00opaque-to-this-layer".to_vec(),
+            },
+            Response::TimeSeriesBin {
+                bytes: b"RPUFTSR1\x01\x00opaque-to-this-layer".to_vec(),
             },
             Response::Error {
                 code: ErrorCode::DeviceFlagged,

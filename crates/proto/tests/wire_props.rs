@@ -70,6 +70,7 @@ proptest! {
             Request::SnapshotV2,
             Request::MetricsSnapshot,
             Request::TraceDump,
+            Request::TimeSeriesDump,
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode());
@@ -129,7 +130,8 @@ proptest! {
             Response::SnapshotText { json: text.clone() },
             Response::SnapshotBin { bytes: blob.clone() },
             Response::MetricsBin { bytes: blob.clone() },
-            Response::TraceBin { bytes: blob },
+            Response::TraceBin { bytes: blob.clone() },
+            Response::TimeSeriesBin { bytes: blob },
             Response::Error {
                 code: ErrorCode::from_code(error_code).expect("1..=7 are valid"),
                 detail: text,
@@ -167,6 +169,7 @@ proptest! {
             Request::SnapshotV2,
             Request::MetricsSnapshot,
             Request::TraceDump,
+            Request::TimeSeriesDump,
         ];
         // One deliberately dirty buffer reused across all encodes.
         let mut reused = vec![0xEEu8; 37];

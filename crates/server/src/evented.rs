@@ -60,9 +60,11 @@ use ropuf_proto::{
     append_frame, ErrorCode, FrameAccum, FrameError, FramePoll, RequestRef, Response,
 };
 
+use ropuf_telemetry::{Sampler, TraceRecord};
+
 use crate::handler::RequestHandler;
 use crate::sys::epoll::{event, Epoll, Event};
-use crate::telemetry::{elapsed_ns, request_device_hash, ServerTelemetry};
+use crate::telemetry::{elapsed_ns, request_device_hash, LaneStats, ServerTelemetry};
 
 /// Tuning knobs of the evented server. [`EventedConfig::default`] is
 /// the production shape; tests shrink the timeouts to milliseconds.
@@ -94,6 +96,16 @@ pub struct EventedConfig {
     /// Capacity of the slow-request trace ring (oldest records are
     /// overwritten).
     pub trace_capacity: usize,
+    /// Interval at which the in-server sampler thread cuts a
+    /// [`SeriesPoint`](ropuf_telemetry::SeriesPoint) delta into the
+    /// time-series ring
+    /// ([`Request::TimeSeriesDump`](ropuf_proto::Request::TimeSeriesDump)).
+    /// `Duration::ZERO` disables the sampler entirely.
+    pub sample_interval: Duration,
+    /// Capacity of the time-series ring (oldest points are
+    /// overwritten). At the default 1 s interval, 512 points is
+    /// ~8.5 minutes of history in ~140 KiB.
+    pub series_capacity: usize,
 }
 
 impl Default for EventedConfig {
@@ -106,6 +118,8 @@ impl Default for EventedConfig {
             drain_timeout: Duration::from_secs(1),
             slow_trace_threshold: Duration::from_millis(1),
             trace_capacity: 256,
+            sample_interval: Duration::from_secs(1),
+            series_capacity: 512,
         }
     }
 }
@@ -133,6 +147,10 @@ pub struct EventedServer {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
+    /// The time-series sampler thread; `None` when
+    /// [`EventedConfig::sample_interval`] is zero. Stopped (joined) on
+    /// shutdown.
+    sampler: Option<Sampler>,
 }
 
 impl EventedServer {
@@ -157,9 +175,12 @@ impl EventedServer {
                 "evented",
                 config.slow_trace_threshold,
                 config.trace_capacity,
+                config.series_capacity,
+                config.sample_interval,
             ),
             wakers: Mutex::new(Vec::new()),
         });
+        let sampler = shared.telemetry.start_sampler();
 
         // A failure partway through (fd exhaustion on a clone, a pair
         // or spawn error) must not leak the loops already running, so
@@ -210,6 +231,7 @@ impl EventedServer {
             local_addr,
             shared,
             threads,
+            sampler,
         })
     }
 
@@ -270,12 +292,18 @@ impl EventedServer {
     /// force-closes whatever remains after
     /// [`EventedConfig::drain_timeout`], and joins the loop threads.
     pub fn shutdown(mut self) {
+        if let Some(sampler) = &mut self.sampler {
+            sampler.stop();
+        }
         Self::stop_loops(&self.shared, &mut self.threads, false);
     }
 
     /// Immediate shutdown: every open connection is closed now,
     /// mid-exchange peers see EOF/reset.
     pub fn force_shutdown(mut self) {
+        if let Some(sampler) = &mut self.sampler {
+            sampler.stop();
+        }
         Self::stop_loops(&self.shared, &mut self.threads, true);
     }
 }
@@ -288,6 +316,23 @@ enum Teardown {
     Idle,
     /// Mid-frame (slow-loris) timer fired.
     SlowFrame,
+}
+
+/// A response queued in a connection's out-buffer whose flush-wait
+/// clock is still running: the trace record is finalized (and its
+/// flush-wait phase recorded) only once the socket has accepted every
+/// byte up to `end`.
+#[derive(Debug)]
+struct PendingFlush {
+    /// Absolute out-stream offset (total bytes ever queued on this
+    /// connection) at which this response ends.
+    end: u64,
+    /// When the response landed in the out-buffer — the flush-wait
+    /// clock's start.
+    queued_at: Instant,
+    /// The partially-filled record from
+    /// [`ServerTelemetry::observe_queued`].
+    record: TraceRecord,
 }
 
 /// One connection's full state: socket, incremental frame reader,
@@ -312,11 +357,39 @@ struct Conn {
     frame_deadline: Option<Instant>,
     /// No more requests will be read; close once `out` drains.
     closing: bool,
+    /// When the connection was accepted — the accept-to-first-frame
+    /// clock's start.
+    accepted_at: Instant,
+    /// Whether the first complete frame has been observed (the
+    /// accept-to-first-frame histogram records exactly once).
+    saw_first_frame: bool,
+    /// Total bytes ever appended to `out` (monotonic, survives the
+    /// compaction `flush_out` performs on the buffer itself).
+    queued_total: u64,
+    /// Total bytes the socket has ever accepted (monotonic).
+    sent_total: u64,
+    /// Responses queued but not yet fully accepted by the socket,
+    /// oldest first (responses drain in order).
+    pending_flush: VecDeque<PendingFlush>,
 }
 
 impl Conn {
     fn pending_out(&self) -> usize {
         self.out.len() - self.sent
+    }
+
+    /// Finalizes every queued trace record whose response bytes the
+    /// socket has now fully accepted, crediting the elapsed out-buffer
+    /// residency as the flush-wait phase.
+    fn settle_flushed(&mut self, telemetry: &ServerTelemetry) {
+        while self
+            .pending_flush
+            .front()
+            .is_some_and(|p| p.end <= self.sent_total)
+        {
+            let entry = self.pending_flush.pop_front().expect("front checked");
+            telemetry.observe_drained(entry.record, elapsed_ns(entry.queued_at, Instant::now()));
+        }
     }
 }
 
@@ -343,6 +416,12 @@ struct EventLoop {
     /// deregistered.
     draining: bool,
     drain_deadline: Option<Instant>,
+    /// This loop's saturation counters and high-water gauge, resolved
+    /// once at `run` entry (registry lookups are too slow per-frame).
+    lane: Option<LaneStats>,
+    /// Largest pending out-buffer any connection on this loop has
+    /// reached; the gauge is only touched when this grows.
+    out_highwater: usize,
 }
 
 impl EventLoop {
@@ -366,6 +445,8 @@ impl EventLoop {
             encode_scratch: Vec::new(),
             draining: false,
             drain_deadline: None,
+            lane: None,
+            out_highwater: 0,
         })
     }
 
@@ -382,13 +463,23 @@ impl EventLoop {
     }
 
     fn run(&mut self, handler: &dyn RequestHandler, shared: &Shared) {
+        self.lane = Some(shared.telemetry.lane(self.loop_id));
         let mut events = vec![Event::default(); 1024];
         let tick = self.tick_ms();
         loop {
+            let wait_start = Instant::now();
             let n = match self.epoll.wait(&mut events, tick) {
                 Ok(n) => n,
                 Err(_) => break, // epoll itself failed: abandon ship
             };
+            // Everything serviced from this wake-up measures its
+            // ready-wait phase from here: the kernel said "ready" now,
+            // and whatever sits behind earlier events in the batch (or
+            // behind earlier pipelined frames) waits its turn.
+            let ready_at = Instant::now();
+            if n > 0 {
+                shared.telemetry.ready_batch(n as u64);
+            }
             for ev in &events[..n] {
                 match ev.token() {
                     TOKEN_LISTENER => self.accept_ready(shared),
@@ -398,7 +489,7 @@ impl EventLoop {
                     }
                     token => {
                         let index = (token - CONN_BASE) as usize;
-                        self.service(index, ev.writable(), handler, shared);
+                        self.service(index, ev.writable(), ready_at, handler, shared);
                     }
                 }
             }
@@ -418,7 +509,7 @@ impl EventLoop {
                         if let Some(conn) = self.conns[index].as_mut() {
                             conn.closing = true;
                         }
-                        self.service(index, true, handler, shared);
+                        self.service(index, true, Instant::now(), handler, shared);
                     }
                 }
                 let open = self.conns.iter().flatten().count();
@@ -429,6 +520,14 @@ impl EventLoop {
                     self.close_all(shared);
                     break;
                 }
+            }
+            // Saturation accounting: wall covers the whole iteration
+            // (park included), busy only the part after the kernel
+            // returned. busy/wall is the loop's utilization.
+            if let Some(lane) = &self.lane {
+                let end = Instant::now();
+                lane.busy_ns.add(elapsed_ns(ready_at, end));
+                lane.wall_ns.add(elapsed_ns(wait_start, end));
             }
         }
     }
@@ -449,15 +548,21 @@ impl EventLoop {
                         self.conns.len() - 1
                     });
                     let token = index as u64 + CONN_BASE;
+                    let now = Instant::now();
                     let conn = Conn {
                         stream,
                         accum: FrameAccum::new(),
                         out: Vec::new(),
                         sent: 0,
                         interest: event::IN | event::RDHUP,
-                        last_activity: Instant::now(),
+                        last_activity: now,
                         frame_deadline: None,
                         closing: false,
+                        accepted_at: now,
+                        saw_first_frame: false,
+                        queued_total: 0,
+                        sent_total: 0,
+                        pending_flush: VecDeque::new(),
                     };
                     if self.epoll.add(&conn.stream, conn.interest, token).is_err() {
                         self.free.push_back(index);
@@ -481,6 +586,7 @@ impl EventLoop {
         &mut self,
         index: usize,
         writable: bool,
+        ready_at: Instant,
         handler: &dyn RequestHandler,
         shared: &Shared,
     ) {
@@ -488,9 +594,12 @@ impl EventLoop {
             return; // already closed this iteration
         };
 
-        if writable && !flush_out(conn) {
-            self.close(index, Teardown::Normal, shared);
-            return;
+        if writable {
+            if !flush_out(conn) {
+                self.close(index, Teardown::Normal, shared);
+                return;
+            }
+            conn.settle_flushed(&shared.telemetry);
         }
 
         let teardown = loop {
@@ -505,6 +614,12 @@ impl EventLoop {
                     let t0 = Instant::now();
                     conn.last_activity = t0;
                     conn.frame_deadline = None;
+                    if !conn.saw_first_frame {
+                        conn.saw_first_frame = true;
+                        shared
+                            .telemetry
+                            .first_frame(elapsed_ns(conn.accepted_at, t0));
+                    }
                     // Counted before decode: malformed frames and the
                     // metrics scrape itself are part of the tally, so
                     // `server.requests` equals the client-side op
@@ -523,26 +638,45 @@ impl EventLoop {
                                 RequestRef::MetricsSnapshot => shared
                                     .telemetry
                                     .merged_metrics_response(handler.handle_ref(request)),
-                                // Traces live here, not in the handler.
+                                // Traces and the time series live
+                                // here, not in the handler.
                                 RequestRef::TraceDump => shared.telemetry.trace_response(),
+                                RequestRef::TimeSeriesDump => {
+                                    shared.telemetry.timeseries_response()
+                                }
                                 request => handler.handle_ref(request),
                             };
                             let t2 = Instant::now();
+                            let before = conn.out.len();
                             let queued = queue_response(conn, &response, &mut self.encode_scratch);
-                            shared.telemetry.observe(
+                            conn.queued_total += (conn.out.len() - before) as u64;
+                            let t3 = Instant::now();
+                            let record = shared.telemetry.observe_queued(
                                 msg_type,
                                 device_hash,
+                                // Pipelined frames behind this one re-use
+                                // the same wake-up anchor, so their
+                                // ready-wait grows by exactly the time
+                                // earlier frames held the loop: genuine
+                                // queueing, attributed.
+                                elapsed_ns(ready_at, t0),
                                 elapsed_ns(t0, t1),
                                 elapsed_ns(t1, t2),
-                                elapsed_ns(t2, Instant::now()),
+                                elapsed_ns(t2, t3),
                                 self.loop_id,
                             );
+                            conn.pending_flush.push_back(PendingFlush {
+                                end: conn.queued_total,
+                                queued_at: t3,
+                                record,
+                            });
                             queued
                         }
                         Err(e) => {
                             // Same contract as the blocking server: a
                             // typed answer, then the connection ends.
                             let t2 = Instant::now();
+                            let before = conn.out.len();
                             let answered = queue_response(
                                 conn,
                                 &Response::Error {
@@ -551,14 +685,22 @@ impl EventLoop {
                                 },
                                 &mut self.encode_scratch,
                             );
-                            shared.telemetry.observe(
+                            conn.queued_total += (conn.out.len() - before) as u64;
+                            let t3 = Instant::now();
+                            let record = shared.telemetry.observe_queued(
                                 msg_type,
                                 0,
+                                elapsed_ns(ready_at, t0),
                                 elapsed_ns(t0, t1),
                                 elapsed_ns(t1, t2),
-                                elapsed_ns(t2, Instant::now()),
+                                elapsed_ns(t2, t3),
                                 self.loop_id,
                             );
+                            conn.pending_flush.push_back(PendingFlush {
+                                end: conn.queued_total,
+                                queued_at: t3,
+                                record,
+                            });
                             conn.closing = true;
                             conn.frame_deadline = None;
                             answered
@@ -606,10 +748,21 @@ impl EventLoop {
             return;
         }
 
+        // Out-buffer peak is measured *before* the flush below: this
+        // is the residency the responses just queued actually saw.
+        let pending = conn.pending_out();
+        if pending > self.out_highwater {
+            self.out_highwater = pending;
+            if let Some(lane) = &self.lane {
+                lane.out_highwater.set(pending as u64);
+            }
+        }
+
         if !flush_out(conn) {
             self.close(index, Teardown::Normal, shared);
             return;
         }
+        conn.settle_flushed(&shared.telemetry);
         if conn.closing && conn.pending_out() == 0 {
             self.close(index, Teardown::Normal, shared);
             return;
@@ -727,6 +880,7 @@ fn flush_out(conn: &mut Conn) -> bool {
             Ok(0) => return false,
             Ok(n) => {
                 conn.sent += n;
+                conn.sent_total += n as u64;
                 conn.last_activity = Instant::now();
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -825,6 +979,63 @@ mod tests {
         assert_eq!(trace.records.len(), 2);
         assert_eq!(trace.records[0].msg_type, 0x01); // hello
         assert_eq!(trace.records[1].msg_type, 0x08); // metrics scrape
+                                                     // Every record's total is exactly the sum of its five phases:
+                                                     // nothing a client waited on is left unattributed.
+        for record in &trace.records {
+            assert_eq!(
+                record.total_ns,
+                record.ready_ns
+                    + record.decode_ns
+                    + record.handle_ns
+                    + record.flush_ns
+                    + record.flush_wait_ns,
+                "{record:?}"
+            );
+        }
+        // The saturation instruments registered under this loop's lane.
+        assert!(snap
+            .find("server.loop.ready_batch", &[("backend", "evented")])
+            .is_some());
+        assert!(snap
+            .find(
+                "server.worker.busy_ns",
+                &[("backend", "evented"), ("worker", "0")]
+            )
+            .is_some());
+        assert!(snap
+            .find("server.conn.first_frame_ns", &[("backend", "evented")])
+            .is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn wire_timeseries_returns_sampled_history() {
+        let verifier = Arc::new(Verifier::new(2, DetectorConfig::default()));
+        let handler: Arc<dyn RequestHandler> = Arc::new(VerifierHandler::new(verifier));
+        let server = EventedServer::spawn(
+            "127.0.0.1:0",
+            handler,
+            EventedConfig {
+                sample_interval: Duration::from_millis(5),
+                ..EventedConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut client = Client::new(TcpTransport::connect(server.local_addr()).unwrap());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let snap = loop {
+            client.hello("series").unwrap();
+            let snap = client.timeseries().unwrap();
+            if snap.points.iter().any(|p| p.requests > 0) || Instant::now() >= deadline {
+                break snap;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(snap.interval_ns, 5_000_000);
+        assert!(
+            snap.points.iter().any(|p| p.requests > 0),
+            "sampler should have cut a point with traffic in it: {snap:?}"
+        );
         server.shutdown();
     }
 

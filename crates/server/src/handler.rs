@@ -205,6 +205,11 @@ impl RequestHandler for VerifierHandler {
             RequestRef::TraceDump => Response::TraceBin {
                 bytes: ropuf_telemetry::TraceSnapshot::default().encode(),
             },
+            // Same story for the time series: the sampler belongs to
+            // the serving backend, so a loopback dump is empty.
+            RequestRef::TimeSeriesDump => Response::TimeSeriesBin {
+                bytes: ropuf_telemetry::TimeSeriesSnapshot::default().encode(),
+            },
         }
     }
 }

@@ -27,14 +27,15 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ropuf_proto::{
     ErrorCode, FrameError, FramePoll, FrameReader, FrameWriter, RequestRef, Response,
 };
+use ropuf_telemetry::Sampler;
 
 use crate::handler::RequestHandler;
-use crate::telemetry::{elapsed_ns, request_device_hash, ServerTelemetry};
+use crate::telemetry::{elapsed_ns, request_device_hash, LaneStats, ServerTelemetry};
 
 /// A running TCP server: accept thread + fixed worker pool.
 ///
@@ -53,12 +54,18 @@ pub struct TcpServer {
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     telemetry: Arc<ServerTelemetry>,
+    /// The time-series sampler thread; `None` when the sample interval
+    /// is zero. Stopped (joined) when the server handle drops.
+    sampler: Option<Sampler>,
 }
 
 impl TcpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts one
     /// accept thread plus `workers` serving threads (`0` is promoted
-    /// to 1).
+    /// to 1), with the same telemetry defaults as
+    /// [`EventedConfig::default`](crate::evented::EventedConfig): 1 ms
+    /// slow-trace threshold, 256-record trace ring, 1 s sampling into
+    /// a 512-point time-series ring.
     ///
     /// # Errors
     ///
@@ -68,14 +75,47 @@ impl TcpServer {
         handler: Arc<dyn RequestHandler>,
         workers: usize,
     ) -> io::Result<Self> {
+        Self::spawn_traced(
+            addr,
+            handler,
+            workers,
+            Duration::from_millis(1),
+            256,
+            Duration::from_secs(1),
+            512,
+        )
+    }
+
+    /// [`TcpServer::spawn`] with every telemetry knob exposed: the
+    /// slow-trace threshold (`Duration::ZERO` traces everything) and
+    /// ring capacity, plus the time-series sampling interval
+    /// (`Duration::ZERO` disables the sampler) and point capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn_traced(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+        workers: usize,
+        slow_trace_threshold: Duration,
+        trace_capacity: usize,
+        sample_interval: Duration,
+        series_capacity: usize,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(Mutex::new(Vec::new()));
-        // Same defaults as the evented backend's config; the blocking
-        // pool has no config struct to hang them on.
-        let telemetry = ServerTelemetry::new("blocking", std::time::Duration::from_millis(1), 256);
-        let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
+        let telemetry = ServerTelemetry::new(
+            "blocking",
+            slow_trace_threshold,
+            trace_capacity,
+            series_capacity,
+            sample_interval,
+        );
+        let sampler = telemetry.start_sampler();
+        let (tx, rx) = mpsc::channel::<(u64, TcpStream, Instant)>();
         let rx = Arc::new(Mutex::new(rx));
 
         let worker_handles = (0..workers.max(1))
@@ -84,26 +124,39 @@ impl TcpServer {
                 let handler = Arc::clone(&handler);
                 let connections = Arc::clone(&connections);
                 let telemetry = Arc::clone(&telemetry);
-                std::thread::spawn(move || loop {
-                    // Hold the receiver lock only while claiming.
-                    let next = rx.lock().expect("worker queue poisoned").recv();
-                    match next {
-                        Ok((conn_id, stream)) => {
-                            serve_connection(
-                                stream,
-                                handler.as_ref(),
-                                &telemetry,
-                                worker_id as u32,
-                            );
-                            telemetry.connection_closed(false, false);
-                            // Release the shutdown registry's duplicate
-                            // descriptor now, not at server shutdown.
-                            connections
-                                .lock()
-                                .expect("connection list poisoned")
-                                .retain(|(id, _)| *id != conn_id);
+                std::thread::spawn(move || {
+                    let lane = telemetry.lane(worker_id as u32);
+                    // Wall anchor: everything since the last connection
+                    // finished (idle included) is this worker's wall
+                    // time; busy time accrues per frame inside
+                    // `serve_connection`. busy/wall is utilization.
+                    let mut last_tick = Instant::now();
+                    loop {
+                        // Hold the receiver lock only while claiming.
+                        let next = rx.lock().expect("worker queue poisoned").recv();
+                        match next {
+                            Ok((conn_id, stream, queued_at)) => {
+                                serve_connection(
+                                    stream,
+                                    handler.as_ref(),
+                                    &telemetry,
+                                    &lane,
+                                    worker_id as u32,
+                                    queued_at,
+                                );
+                                telemetry.connection_closed(false, false);
+                                // Release the shutdown registry's duplicate
+                                // descriptor now, not at server shutdown.
+                                connections
+                                    .lock()
+                                    .expect("connection list poisoned")
+                                    .retain(|(id, _)| *id != conn_id);
+                                let now = Instant::now();
+                                lane.wall_ns.add(elapsed_ns(last_tick, now));
+                                last_tick = now;
+                            }
+                            Err(_) => break, // accept loop gone: drain done
                         }
-                        Err(_) => break, // accept loop gone: drain done
                     }
                 })
             })
@@ -129,7 +182,7 @@ impl TcpServer {
                                 .push((conn_id, clone));
                         }
                         accept_telemetry.connection_accepted();
-                        if tx.send((conn_id, stream)).is_err() {
+                        if tx.send((conn_id, stream, Instant::now())).is_err() {
                             break;
                         }
                     }
@@ -146,6 +199,7 @@ impl TcpServer {
             accept_thread: Some(accept_thread),
             workers: worker_handles,
             telemetry,
+            sampler,
         })
     }
 
@@ -179,6 +233,9 @@ impl TcpServer {
     /// Stops accepting, force-closes every open connection (clients
     /// mid-exchange see EOF/reset), and joins every serving thread.
     pub fn shutdown(mut self) {
+        if let Some(sampler) = &mut self.sampler {
+            sampler.stop();
+        }
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
@@ -214,16 +271,28 @@ impl TcpServer {
 /// rather than `read_request_ref`, so the phase clocks start when a
 /// complete frame is buffered — time spent blocked on the socket
 /// waiting for the peer is not billed to any phase.
+///
+/// Queue-wait attribution on this backend: the first frame's
+/// ready-wait phase is the time the accepted connection sat in the
+/// dispatch channel before a worker claimed it (the pool's invisible
+/// queue); later frames on the same dedicated worker have no queue and
+/// report zero. Responses are written synchronously, so the flush-wait
+/// phase is always zero here — out-buffer residency is an evented-only
+/// phenomenon.
 fn serve_connection(
     stream: TcpStream,
     handler: &dyn RequestHandler,
     telemetry: &ServerTelemetry,
+    lane: &LaneStats,
     worker: u32,
+    queued_at: Instant,
 ) {
     stream.set_nodelay(true).ok(); // response latency over batching
     let (Ok(write_half), Ok(closer)) = (stream.try_clone(), stream.try_clone()) else {
         return;
     };
+    let claim_wait_ns = elapsed_ns(queued_at, Instant::now());
+    let mut first_frame_anchor = Some(queued_at);
     let mut reader = FrameReader::new(stream);
     let mut writer = FrameWriter::new(write_half);
     loop {
@@ -233,6 +302,13 @@ fn serve_connection(
         match reader.poll_frame() {
             Ok(FramePoll::Frame) => {
                 let t0 = Instant::now();
+                let ready_ns = match first_frame_anchor.take() {
+                    Some(anchor) => {
+                        telemetry.first_frame(elapsed_ns(anchor, t0));
+                        claim_wait_ns
+                    }
+                    None => 0,
+                };
                 // Counted before decode, same as the evented backend:
                 // malformed frames and the metrics scrape itself are
                 // part of the tally.
@@ -250,8 +326,10 @@ fn serve_connection(
                             RequestRef::MetricsSnapshot => {
                                 telemetry.merged_metrics_response(handler.handle_ref(request))
                             }
-                            // Traces live here, not in the handler.
+                            // Traces and the time series live here,
+                            // not in the handler.
                             RequestRef::TraceDump => telemetry.trace_response(),
+                            RequestRef::TimeSeriesDump => telemetry.timeseries_response(),
                             request => handler.handle_ref(request),
                         };
                         let t2 = Instant::now();
@@ -272,14 +350,21 @@ fn serve_connection(
                                 .is_ok(),
                             Err(_) => false,
                         };
-                        telemetry.observe(
+                        let t3 = Instant::now();
+                        let record = telemetry.observe_queued(
                             msg_type,
                             device_hash,
+                            ready_ns,
                             elapsed_ns(t0, t1),
                             elapsed_ns(t1, t2),
-                            elapsed_ns(t2, Instant::now()),
+                            elapsed_ns(t2, t3),
                             worker,
                         );
+                        // The write above was synchronous: the bytes
+                        // are already with the kernel, flush-wait is
+                        // genuinely zero.
+                        telemetry.observe_drained(record, 0);
+                        lane.busy_ns.add(elapsed_ns(t0, t3));
                         if !flushed {
                             break;
                         }
@@ -293,14 +378,18 @@ fn serve_connection(
                             code: ErrorCode::MalformedRequest,
                             detail: FrameError::Decode(e).to_string(),
                         });
-                        telemetry.observe(
+                        let t3 = Instant::now();
+                        let record = telemetry.observe_queued(
                             msg_type,
                             0,
+                            ready_ns,
                             elapsed_ns(t0, t1),
                             elapsed_ns(t1, t2),
-                            elapsed_ns(t2, Instant::now()),
+                            elapsed_ns(t2, t3),
                             worker,
                         );
+                        telemetry.observe_drained(record, 0);
+                        lane.busy_ns.add(elapsed_ns(t0, t3));
                         break;
                     }
                 }

@@ -1,20 +1,25 @@
 //! Server-side telemetry: backend-labeled request/connection counters,
-//! per-message-type phase latency histograms, and the slow-request
-//! trace ring — everything a wire scrape merges on top of the
-//! verifier's own metrics.
+//! per-message-type phase latency histograms, per-lane saturation
+//! counters, the slow-request trace ring and the retained time-series
+//! ring — everything a wire scrape merges on top of the verifier's own
+//! metrics.
 //!
 //! Both backends (`TcpServer`, `EventedServer`) own one
 //! [`ServerTelemetry`] and record into it once per served frame with
-//! the three phase durations. All hot-path writes
-//! are `Relaxed` striped-counter adds or per-stripe histogram inserts;
-//! nothing here takes a process-wide lock on the request path.
+//! five phase durations covering the whole lifecycle the client can
+//! observe: ready-wait (readiness to decode start), decode, handle,
+//! flush, and flush-wait (out-buffer residency until the socket
+//! drained). All hot-path writes are `Relaxed` striped-counter adds or
+//! per-stripe histogram inserts; nothing here takes a process-wide
+//! lock on the request path.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ropuf_proto::{ErrorCode, RequestRef, Response};
 use ropuf_telemetry::{
-    Counter, Gauge, Registry, Snapshot, TimerHistogram, TraceRecord, TraceRing, TraceSnapshot,
+    Counter, Gauge, Registry, Sampler, SeriesRing, Snapshot, TimeSeriesSnapshot, TimerHistogram,
+    TraceRecord, TraceRing, TraceSnapshot, SERIES_PHASES,
 };
 
 /// Message-type label for each request byte the wire can carry, plus a
@@ -31,21 +36,43 @@ pub(crate) fn msg_label(msg_type: u8) -> &'static str {
         0x07 => "snapshot-v2",
         0x08 => "metrics",
         0x09 => "trace",
+        0x0A => "timeseries",
         _ => "other",
     }
 }
 
 /// The wire bytes `msg_label` distinguishes, in label-table order.
 /// `0x00` stands in for the "other" bucket.
-const MSG_TYPES: [u8; 10] = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x00];
+const MSG_TYPES: [u8; 11] = [
+    0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x00,
+];
 
-const PHASES: [&str; 3] = ["decode", "handle", "flush"];
+/// Request-lifecycle phases, in lifecycle order (shared with the
+/// time-series sampler's delta schema).
+const PHASES: [&str; 5] = SERIES_PHASES;
 
 fn msg_slot(msg_type: u8) -> usize {
     match msg_type {
-        0x01..=0x09 => (msg_type - 1) as usize,
+        0x01..=0x0A => (msg_type - 1) as usize,
         _ => MSG_TYPES.len() - 1,
     }
+}
+
+/// Label values for per-lane (event loop / pool worker) saturation
+/// metrics. Lanes at or beyond the table's end share one overflow
+/// bucket, so a huge auto-bumped worker pool cannot mint thousands of
+/// label sets.
+const LANE_LABELS: [&str; 33] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16",
+    "17", "18", "19", "20", "21", "22", "23", "24", "25", "26", "27", "28", "29", "30", "31",
+    "32+",
+];
+
+fn lane_label(lane: u32) -> &'static str {
+    LANE_LABELS
+        .get(lane as usize)
+        .copied()
+        .unwrap_or(LANE_LABELS[LANE_LABELS.len() - 1])
 }
 
 /// Nanoseconds from `earlier` to `later`, saturating at `u64::MAX`
@@ -68,12 +95,29 @@ pub(crate) fn request_device_hash(request: &RequestRef<'_>) -> u64 {
     id.map_or(0, ropuf_numeric::splitmix64)
 }
 
-/// One backend's worth of server metrics plus the slow-request ring.
+/// Per-lane saturation handles: one event loop (evented backend) or
+/// one pool worker (blocking backend). Utilization is
+/// `busy_ns / wall_ns` over any scrape interval.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneStats {
+    /// Nanoseconds the lane spent doing work (not parked waiting).
+    pub(crate) busy_ns: Counter,
+    /// Wall nanoseconds the lane has existed for (accumulated in the
+    /// same cadence as `busy_ns`, so the ratio is meaningful over any
+    /// window).
+    pub(crate) wall_ns: Counter,
+    /// Largest pending out-buffer this lane has ever observed, bytes.
+    pub(crate) out_highwater: Gauge,
+}
+
+/// One backend's worth of server metrics plus the slow-request ring
+/// and the retained time-series ring.
 ///
 /// Cheap to clone-by-`Arc`; every handle inside is already shareable.
 #[derive(Debug)]
 pub struct ServerTelemetry {
     registry: Registry,
+    backend: String,
     accepted: Counter,
     open: Gauge,
     requests: Counter,
@@ -81,17 +125,34 @@ pub struct ServerTelemetry {
     evicted_slow: Counter,
     trace_dropped: Gauge,
     /// `[msg_slot][phase]`, pre-resolved so the hot path never touches
-    /// the registry lock.
-    phase: Vec<[TimerHistogram; 3]>,
+    /// the registry lock. Phases in lifecycle order: ready-wait,
+    /// decode, handle, flush, flush-wait.
+    phase: Vec<[TimerHistogram; 5]>,
+    /// Whole-request latency (ready-wait through flush-wait), the
+    /// distribution the time-series heatmap collapses.
+    total: TimerHistogram,
+    /// Accept-to-first-frame per connection.
+    first_frame: TimerHistogram,
+    /// Ready-list batch sizes per epoll wakeup (evented backend only).
+    ready_batch: TimerHistogram,
     ring: TraceRing,
+    series: SeriesRing,
     threshold_ns: u64,
 }
 
 impl ServerTelemetry {
     /// Builds a registry for one backend. `backend` labels every
     /// metric (`blocking` or `evented`); requests slower than
-    /// `slow_threshold` land in a ring of `trace_capacity` records.
-    pub fn new(backend: &str, slow_threshold: Duration, trace_capacity: usize) -> Arc<Self> {
+    /// `slow_threshold` land in a ring of `trace_capacity` records;
+    /// the time-series sampler (when started) retains
+    /// `series_capacity` points cut every `sample_interval`.
+    pub fn new(
+        backend: &str,
+        slow_threshold: Duration,
+        trace_capacity: usize,
+        series_capacity: usize,
+        sample_interval: Duration,
+    ) -> Arc<Self> {
         let registry = Registry::new();
         let b = [("backend", backend)];
         let accepted = registry.counter("server.connections.accepted", &b);
@@ -114,9 +175,13 @@ impl ServerTelemetry {
                 })
             })
             .collect();
+        let total = registry.histogram("server.request.total_ns", &b);
+        let first_frame = registry.histogram("server.conn.first_frame_ns", &b);
+        let ready_batch = registry.histogram("server.loop.ready_batch", &b);
         let threshold_ns = u64::try_from(slow_threshold.as_nanos()).unwrap_or(u64::MAX);
         Arc::new(Self {
             registry,
+            backend: backend.to_owned(),
             accepted,
             open,
             requests,
@@ -124,9 +189,49 @@ impl ServerTelemetry {
             evicted_slow,
             trace_dropped,
             phase,
+            total,
+            first_frame,
+            ready_batch,
             ring: TraceRing::new(trace_capacity),
+            series: SeriesRing::new(series_capacity, sample_interval),
             threshold_ns,
         })
+    }
+
+    /// Registers (idempotently) and returns the saturation handles for
+    /// one lane. Cold path: called once per loop/worker at startup.
+    pub(crate) fn lane(&self, lane: u32) -> LaneStats {
+        let labels = [
+            ("backend", self.backend.as_str()),
+            ("worker", lane_label(lane)),
+        ];
+        LaneStats {
+            busy_ns: self.registry.counter("server.worker.busy_ns", &labels),
+            wall_ns: self.registry.counter("server.worker.wall_ns", &labels),
+            out_highwater: self
+                .registry
+                .gauge("server.worker.out_highwater_bytes", &labels),
+        }
+    }
+
+    /// Starts the time-series sampler thread feeding this telemetry's
+    /// ring, or `None` when `sample_interval` was zero. The returned
+    /// [`Sampler`] stops (and joins) on drop — backends hold it for
+    /// their lifetime.
+    pub(crate) fn start_sampler(self: &Arc<Self>) -> Option<Sampler> {
+        let interval_ns = self.series.interval_ns();
+        if interval_ns == 0 {
+            return None;
+        }
+        let source = {
+            let telemetry = Arc::clone(self);
+            move || telemetry.snapshot()
+        };
+        Some(Sampler::start(
+            self.series.clone(),
+            Duration::from_nanos(interval_ns),
+            source,
+        ))
     }
 
     /// A connection was accepted (and is now open).
@@ -154,34 +259,70 @@ impl ServerTelemetry {
         self.requests.inc();
     }
 
-    /// Records one served frame's phase timings, and a trace record
-    /// when the request was slow.
-    pub(crate) fn observe(
+    /// Records a served frame's first four phase timings (ready-wait
+    /// through flush) the moment its response is queued, returning the
+    /// trace candidate. The caller completes the lifecycle with
+    /// [`ServerTelemetry::observe_drained`] once the response bytes
+    /// have actually left the out-buffer — immediately, on the
+    /// blocking backend, whose write is synchronous.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn observe_queued(
         &self,
         msg_type: u8,
         device_hash: u64,
+        ready_ns: u64,
         decode_ns: u64,
         handle_ns: u64,
         flush_ns: u64,
         worker: u32,
-    ) {
+    ) -> TraceRecord {
         let slot = &self.phase[msg_slot(msg_type)];
-        slot[0].record(decode_ns);
-        slot[1].record(handle_ns);
-        slot[2].record(flush_ns);
-        let total_ns = decode_ns.saturating_add(handle_ns).saturating_add(flush_ns);
-        if total_ns >= self.threshold_ns {
-            self.ring.push(TraceRecord {
-                seq: 0, // assigned by the ring
-                msg_type,
-                device_hash,
-                decode_ns,
-                handle_ns,
-                flush_ns,
-                total_ns,
-                worker,
-            });
+        slot[0].record(ready_ns);
+        slot[1].record(decode_ns);
+        slot[2].record(handle_ns);
+        slot[3].record(flush_ns);
+        let total_ns = ready_ns
+            .saturating_add(decode_ns)
+            .saturating_add(handle_ns)
+            .saturating_add(flush_ns);
+        TraceRecord {
+            seq: 0, // assigned by the ring
+            msg_type,
+            device_hash,
+            ready_ns,
+            decode_ns,
+            handle_ns,
+            flush_ns,
+            flush_wait_ns: 0,
+            total_ns,
+            worker,
         }
+    }
+
+    /// Completes a request's lifecycle: records the flush-wait phase
+    /// (out-buffer residency) and the whole-request total, and pushes
+    /// the trace record when the *total* — waits included — crossed
+    /// the slow threshold. Deferring the threshold decision to drain
+    /// time is what lets a fast-to-serve but slow-to-drain request
+    /// show up in the ring with its tail attributed.
+    pub(crate) fn observe_drained(&self, mut record: TraceRecord, flush_wait_ns: u64) {
+        record.flush_wait_ns = flush_wait_ns;
+        record.total_ns = record.total_ns.saturating_add(flush_wait_ns);
+        self.phase[msg_slot(record.msg_type)][4].record(flush_wait_ns);
+        self.total.record(record.total_ns);
+        if record.total_ns >= self.threshold_ns {
+            self.ring.push(record);
+        }
+    }
+
+    /// Records one connection's accept-to-first-frame latency.
+    pub(crate) fn first_frame(&self, ns: u64) {
+        self.first_frame.record(ns);
+    }
+
+    /// Records one epoll wakeup's ready-list batch size.
+    pub(crate) fn ready_batch(&self, n: u64) {
+        self.ready_batch.record(n);
     }
 
     /// Connections accepted since spawn.
@@ -223,6 +364,19 @@ impl ServerTelemetry {
         }
     }
 
+    /// The retained time-series history as a wire-ready snapshot.
+    pub fn timeseries_snapshot(&self) -> TimeSeriesSnapshot {
+        TimeSeriesSnapshot::from_ring(&self.series)
+    }
+
+    /// Answers `Request::TimeSeriesDump` straight from this backend's
+    /// series ring.
+    pub(crate) fn timeseries_response(&self) -> Response {
+        Response::TimeSeriesBin {
+            bytes: self.timeseries_snapshot().encode(),
+        }
+    }
+
     /// Answers `Request::MetricsSnapshot`: takes the handler's reply
     /// (the verifier's `ropuf-metrics/v1` blob), merges this backend's
     /// own metrics into it, and re-encodes. Namespaces are disjoint
@@ -254,9 +408,13 @@ impl ServerTelemetry {
 mod tests {
     use super::*;
 
+    fn test_telemetry(threshold: Duration) -> Arc<ServerTelemetry> {
+        ServerTelemetry::new("test", threshold, 8, 16, Duration::ZERO)
+    }
+
     #[test]
     fn msg_labels_cover_every_wire_byte() {
-        for ty in 0x01..=0x09u8 {
+        for ty in 0x01..=0x0Au8 {
             assert_ne!(msg_label(ty), "other", "byte {ty:#04x} should be named");
         }
         assert_eq!(msg_label(0x00), "other");
@@ -269,27 +427,92 @@ mod tests {
 
     #[test]
     fn zero_threshold_traces_everything_and_large_threshold_nothing() {
-        let eager = ServerTelemetry::new("test", Duration::ZERO, 8);
-        let lazy = ServerTelemetry::new("test", Duration::from_secs(3600), 8);
+        let eager = test_telemetry(Duration::ZERO);
+        let lazy = test_telemetry(Duration::from_secs(3600));
         for i in 0..5 {
-            eager.observe(0x03, i, 10, 20, 30, 0);
-            lazy.observe(0x03, i, 10, 20, 30, 0);
+            eager.observe_drained(eager.observe_queued(0x03, i, 5, 10, 20, 30, 0), 40);
+            lazy.observe_drained(lazy.observe_queued(0x03, i, 5, 10, 20, 30, 0), 40);
         }
         assert_eq!(eager.trace_snapshot().records.len(), 5);
         assert_eq!(lazy.trace_snapshot().records.len(), 0);
+        let record = eager.trace_snapshot().records[0];
+        assert_eq!(record.ready_ns, 5);
+        assert_eq!(record.flush_wait_ns, 40);
+        assert_eq!(record.total_ns, 5 + 10 + 20 + 30 + 40);
         let snap = eager.snapshot();
-        match snap.find(
-            "server.request.phase_ns",
-            &[("backend", "test"), ("msg", "auth"), ("phase", "handle")],
-        ) {
-            Some(ropuf_telemetry::MetricValue::Histogram(h)) => assert_eq!(h.count, 5),
-            other => panic!("expected handle-phase histogram, got {other:?}"),
+        for (phase, want) in [
+            ("ready-wait", 5u64),
+            ("decode", 5),
+            ("handle", 5),
+            ("flush", 5),
+            ("flush-wait", 5),
+        ] {
+            match snap.find(
+                "server.request.phase_ns",
+                &[("backend", "test"), ("msg", "auth"), ("phase", phase)],
+            ) {
+                Some(ropuf_telemetry::MetricValue::Histogram(h)) => {
+                    assert_eq!(h.count, want, "phase {phase} should have {want} samples")
+                }
+                other => panic!("expected {phase}-phase histogram, got {other:?}"),
+            }
+        }
+        match snap.find("server.request.total_ns", &[("backend", "test")]) {
+            Some(ropuf_telemetry::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 5);
+                assert_eq!(h.max, 105);
+            }
+            other => panic!("expected total histogram, got {other:?}"),
         }
     }
 
     #[test]
+    fn lanes_register_and_overflow_into_one_bucket() {
+        let t = test_telemetry(Duration::ZERO);
+        t.lane(0).busy_ns.add(100);
+        t.lane(0).wall_ns.add(200);
+        t.lane(99).busy_ns.add(7);
+        t.lane(1_000_000).busy_ns.add(3);
+        let snap = t.snapshot();
+        match snap.find(
+            "server.worker.busy_ns",
+            &[("backend", "test"), ("worker", "0")],
+        ) {
+            Some(ropuf_telemetry::MetricValue::Counter(v)) => assert_eq!(*v, 100),
+            other => panic!("expected lane-0 busy counter, got {other:?}"),
+        }
+        // Every out-of-table lane shares the overflow label.
+        match snap.find(
+            "server.worker.busy_ns",
+            &[("backend", "test"), ("worker", "32+")],
+        ) {
+            Some(ropuf_telemetry::MetricValue::Counter(v)) => assert_eq!(*v, 10),
+            other => panic!("expected overflow busy counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampler_feeds_the_series_ring() {
+        let t = ServerTelemetry::new("test", Duration::ZERO, 8, 32, Duration::from_millis(2));
+        let sampler = t.start_sampler().expect("interval > 0 starts a sampler");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while t.timeseries_snapshot().points.is_empty() && Instant::now() < deadline {
+            t.request_started();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(sampler);
+        let snap = t.timeseries_snapshot();
+        assert!(!snap.points.is_empty(), "sampler should have cut points");
+        assert_eq!(snap.interval_ns, 2_000_000);
+        let requests: u64 = snap.points.iter().map(|p| p.requests).sum();
+        assert!(requests <= t.requests_served());
+        // Zero interval means no sampler.
+        assert!(test_telemetry(Duration::ZERO).start_sampler().is_none());
+    }
+
+    #[test]
     fn merge_passthrough_leaves_non_metrics_replies_alone() {
-        let t = ServerTelemetry::new("test", Duration::ZERO, 8);
+        let t = test_telemetry(Duration::ZERO);
         let err = Response::Error {
             code: ErrorCode::Internal,
             detail: "boom".to_string(),

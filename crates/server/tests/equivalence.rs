@@ -17,6 +17,7 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ropuf_proto::{
     ErrorCode, FrameReader, FrameWriter, Request, RequestRef, Response, WireFlagReason,
@@ -314,7 +315,8 @@ fn recovered_registry_replays_bit_for_bit_identically() {
 
 /// Telemetry must be free at the wire: a server tracing **every**
 /// request (threshold zero, so the ring and every histogram take the
-/// maximum instrumentation hit) answers bit-for-bit identically to one
+/// maximum instrumentation hit) with the time-series sampler cutting
+/// points as fast as it can answers bit-for-bit identically to one
 /// running the default config. Observability is a read-side overlay —
 /// it may never perturb a served byte.
 #[test]
@@ -334,19 +336,46 @@ fn full_tracing_does_not_change_the_byte_stream() {
         "127.0.0.1:0",
         enrolled_handler(&plan, 4),
         EventedConfig {
-            slow_trace_threshold: std::time::Duration::ZERO,
+            slow_trace_threshold: Duration::ZERO,
             trace_capacity: 16, // force wraparound under the full plan
+            // The sampler snapshots the registry concurrently with
+            // serving at the fastest interval it supports.
+            sample_interval: Duration::from_millis(1),
             ..EventedConfig::default()
         },
     )
     .expect("bind");
     let traced_bytes = replay_sequential(&plan, traced_server.local_addr());
     // Every request was slower than the zero threshold, so the ring
-    // really was exercised (wrapping well past its 16 slots).
+    // really was exercised (wrapping well past its 16 slots). A record
+    // is finalized when its response bytes drain to the socket, a
+    // moment after the client reads them — hence the bounded wait.
+    let expected = traced_bytes.len() as u64;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while traced_server.telemetry().trace_snapshot().recorded < expected
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
     assert_eq!(
         traced_server.telemetry().trace_snapshot().recorded,
-        traced_bytes.len() as u64,
+        expected,
         "threshold zero must trace every request"
+    );
+    // The concurrent sampler really did cut points while serving. (The
+    // exact telescoping property is proven in `metrics_props`; here the
+    // ring may have wrapped, so only the upper bound is asserted.)
+    let probe = Instant::now();
+    while traced_server.telemetry().timeseries_snapshot().sampled == 0
+        && probe.elapsed() < Duration::from_secs(5)
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let series = traced_server.telemetry().timeseries_snapshot();
+    assert!(series.sampled > 0, "sampler never cut a point");
+    assert!(
+        series.points.iter().map(|p| p.requests).sum::<u64>() <= expected,
+        "surviving series deltas cannot exceed the served-request total"
     );
     traced_server.shutdown();
 

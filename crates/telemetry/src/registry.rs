@@ -451,4 +451,35 @@ mod tests {
         assert!(text.contains("served{x=y} = 9"), "{text}");
         assert!(text.contains("p99"), "{text}");
     }
+
+    /// Golden rendering over a fixed registry: the exact text is part
+    /// of the operator-facing contract (`ropuf-ops` and the loadgen
+    /// `--telemetry` report both print it), so format drift must be a
+    /// conscious change here, not an accident.
+    #[test]
+    fn render_text_golden() {
+        let registry = Registry::new();
+        registry
+            .counter("server.requests", &[("backend", "evented")])
+            .add(42);
+        registry
+            .gauge("server.connections.open", &[("backend", "evented")])
+            .add(3);
+        let h = registry.histogram("server.request.total_ns", &[("backend", "evented")]);
+        for _ in 0..10 {
+            h.record(1_000);
+        }
+        h.record(64_000);
+        registry.counter("unlabeled.total", &[]).add(7);
+        registry.histogram("empty.hist_ns", &[]);
+        let text = registry.snapshot().render_text();
+        let expected = "\
+histogram empty.hist_ns n=0 p50=0 p90=0 p99=0 p999=0 max=0
+gauge     server.connections.open{backend=evented} = 3
+histogram server.request.total_ns{backend=evented} n=11 p50=1000 p90=1000 p99=63488 p999=63488 max=64000
+counter   server.requests{backend=evented} = 42
+counter   unlabeled.total = 7
+";
+        assert_eq!(text, expected);
+    }
 }

@@ -1,0 +1,517 @@
+//! Fixed-capacity time-series history: periodic delta snapshots.
+//!
+//! A metrics scrape is point-in-time — totals since spawn, never rates,
+//! never history. This module retains *minutes* of history in bounded
+//! memory: a [`Sampler`] thread cuts the registry at a configurable
+//! interval, diffs each snapshot against the previous one into a
+//! compact [`SeriesPoint`] (per-interval request/accept/evict deltas,
+//! busy-vs-wall saturation, per-phase time, a 16-band latency
+//! heatmap row), and deposits it into a [`SeriesRing`] that overwrites
+//! its oldest points. One `TimeSeriesDump` wire exchange then returns
+//! the whole ring as a [`TimeSeriesSnapshot`] (`ropuf-timeseries/v1`,
+//! see [`crate::codec`]).
+//!
+//! The ring uses the same slot discipline as [`crate::TraceRing`]: a
+//! `Relaxed` cursor claims a slot, the write happens under a `try_lock`
+//! that drops the point (counted) rather than ever block the sampler,
+//! and dumps sort the surviving points by sequence number.
+//!
+//! Deltas telescope: because the very first sample diffs against an
+//! empty snapshot, the sum of any counter field across all points ever
+//! produced equals the final registry total, exactly (the property
+//! `metrics_props` pins down).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ropuf_numeric::bucket_floor;
+use ropuf_numeric::histogram::BUCKETS;
+
+use crate::registry::{MetricValue, Snapshot};
+
+/// Hard cap on series capacity (also the codec's point-count cap):
+/// 8192 points at the 280-byte wire size stay well inside the 4 MiB
+/// frame limit.
+pub const MAX_SERIES_POINTS: usize = 8_192;
+
+/// Latency heatmap bands per point. Band `b` covers service totals in
+/// `[2^b, 2^(b+1))` microseconds (band 0 also absorbs sub-microsecond
+/// samples, the last band everything ≥ 32.8 ms).
+pub const LATENCY_BANDS: usize = 16;
+
+/// The per-request phases the serving layer records, in lifecycle
+/// order. The phase vectors in [`SeriesPoint`] and the server's
+/// `server.request.phase_ns{phase=..}` label values index by this
+/// table.
+pub const SERIES_PHASES: [&str; 5] = ["ready-wait", "decode", "handle", "flush", "flush-wait"];
+
+/// The heatmap band a nanosecond service total falls into.
+pub fn latency_band(total_ns: u64) -> usize {
+    let us = total_ns / 1_000;
+    if us == 0 {
+        0
+    } else {
+        ((63 - us.leading_zeros()) as usize).min(LATENCY_BANDS - 1)
+    }
+}
+
+/// Inclusive lower bound of heatmap band `band`, in microseconds.
+pub fn band_floor_us(band: usize) -> u64 {
+    if band == 0 {
+        0
+    } else {
+        1u64 << band.min(LATENCY_BANDS - 1)
+    }
+}
+
+/// One sampled interval: the delta between two successive registry
+/// snapshots of the serving schema's well-known metrics, plus the
+/// point-in-time gauges that don't difference.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Ring-assigned sequence number (total points cut so far).
+    pub seq: u64,
+    /// Nanoseconds since the sampler started, at cut time.
+    pub at_ns: u64,
+    /// Wall nanoseconds this point actually covers (since the previous
+    /// cut; the configured interval plus scheduling slop).
+    pub interval_ns: u64,
+    /// Requests served during the interval (`server.requests` delta).
+    pub requests: u64,
+    /// Connections accepted during the interval.
+    pub accepted: u64,
+    /// Evictions (idle + slow) during the interval.
+    pub evicted: u64,
+    /// Connections open at cut time (gauge, not a delta).
+    pub open: u64,
+    /// Loop/worker busy nanoseconds accumulated during the interval,
+    /// summed across lanes.
+    pub busy_ns: u64,
+    /// Loop/worker wall nanoseconds accumulated during the interval,
+    /// summed across lanes. `busy_ns / wall_ns` is fleet utilization.
+    pub wall_ns: u64,
+    /// Per-phase nanoseconds spent during the interval, indexed by
+    /// [`SERIES_PHASES`].
+    pub phase_total_ns: [u64; SERIES_PHASES.len()],
+    /// Per-phase sample counts during the interval, same indexing.
+    pub phase_count: [u64; SERIES_PHASES.len()],
+    /// One heatmap row: per-band request counts of the interval's
+    /// `server.request.total_ns` samples (see [`latency_band`]).
+    pub latency: [u64; LATENCY_BANDS],
+}
+
+/// Sum of every counter sample named `name` (wrapping — deltas of
+/// monotone counters recover exactly).
+fn counter_sum(s: &Snapshot, name: &str) -> u64 {
+    s.metrics
+        .iter()
+        .filter(|m| m.name == name)
+        .map(|m| match &m.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            MetricValue::Histogram(_) => 0,
+        })
+        .fold(0u64, u64::wrapping_add)
+}
+
+/// Aggregate (count, sum-ns) of every histogram named `name`, filtered
+/// to one label value when `label` is given.
+fn histogram_totals(s: &Snapshot, name: &str, label: Option<(&str, &str)>) -> (u64, u64) {
+    let mut count = 0u64;
+    let mut sum = 0u128;
+    for m in &s.metrics {
+        if m.name != name {
+            continue;
+        }
+        if let Some((k, v)) = label {
+            if !m.labels.iter().any(|(lk, lv)| lk == k && lv == v) {
+                continue;
+            }
+        }
+        if let MetricValue::Histogram(h) = &m.value {
+            count = count.wrapping_add(h.count);
+            sum = sum.wrapping_add(h.sum);
+        }
+    }
+    (count, u64::try_from(sum).unwrap_or(u64::MAX))
+}
+
+/// Dense bucket occupancy of every histogram named `name`, summed
+/// across label sets.
+fn histogram_buckets(s: &Snapshot, name: &str) -> Vec<u64> {
+    let mut out = vec![0u64; BUCKETS];
+    for m in &s.metrics {
+        if m.name != name {
+            continue;
+        }
+        if let MetricValue::Histogram(h) = &m.value {
+            for &(index, c) in &h.buckets {
+                if let Some(slot) = out.get_mut(index as usize) {
+                    *slot = slot.wrapping_add(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl SeriesPoint {
+    /// Diffs two successive snapshots of the serving schema into one
+    /// point. `seq` is assigned later by the ring. Counter fields are
+    /// `next - prev` (wrapping, exact for monotone counters); `open` is
+    /// `next`'s gauge value.
+    pub fn between(prev: &Snapshot, next: &Snapshot, at_ns: u64, interval_ns: u64) -> Self {
+        let delta = |name: &str| counter_sum(next, name).wrapping_sub(counter_sum(prev, name));
+        let mut phase_total_ns = [0u64; SERIES_PHASES.len()];
+        let mut phase_count = [0u64; SERIES_PHASES.len()];
+        for (slot, phase) in SERIES_PHASES.iter().enumerate() {
+            let label = Some(("phase", *phase));
+            let (pc, ps) = histogram_totals(prev, "server.request.phase_ns", label);
+            let (nc, ns) = histogram_totals(next, "server.request.phase_ns", label);
+            phase_count[slot] = nc.wrapping_sub(pc);
+            phase_total_ns[slot] = ns.wrapping_sub(ps);
+        }
+        let prev_buckets = histogram_buckets(prev, "server.request.total_ns");
+        let next_buckets = histogram_buckets(next, "server.request.total_ns");
+        let mut latency = [0u64; LATENCY_BANDS];
+        for (index, (n, p)) in next_buckets.iter().zip(&prev_buckets).enumerate() {
+            let d = n.wrapping_sub(*p);
+            if d != 0 {
+                latency[latency_band(bucket_floor(index))] =
+                    latency[latency_band(bucket_floor(index))].wrapping_add(d);
+            }
+        }
+        Self {
+            seq: 0,
+            at_ns,
+            interval_ns,
+            requests: delta("server.requests"),
+            accepted: delta("server.connections.accepted"),
+            evicted: delta("server.evicted"),
+            open: counter_sum(next, "server.connections.open"),
+            busy_ns: delta("server.worker.busy_ns"),
+            wall_ns: delta("server.worker.wall_ns"),
+            phase_total_ns,
+            phase_count,
+            latency,
+        }
+    }
+}
+
+struct SeriesInner {
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+    interval_ns: u64,
+    slots: Vec<Mutex<Option<SeriesPoint>>>,
+}
+
+/// The fixed-capacity point ring. Clones share the same slots.
+#[derive(Clone)]
+pub struct SeriesRing {
+    inner: Arc<SeriesInner>,
+}
+
+impl std::fmt::Debug for SeriesRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeriesRing")
+            .field("capacity", &self.capacity())
+            .field("sampled", &self.sampled())
+            .field("interval_ns", &self.interval_ns())
+            .finish()
+    }
+}
+
+fn unpoison<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SeriesRing {
+    /// A ring holding the most recent `capacity` points (clamped to
+    /// `1..=`[`MAX_SERIES_POINTS`]). `interval` is the configured
+    /// sampling cadence, carried into snapshots so a reader can render
+    /// a time axis without guessing.
+    pub fn new(capacity: usize, interval: Duration) -> Self {
+        let capacity = capacity.clamp(1, MAX_SERIES_POINTS);
+        Self {
+            inner: Arc::new(SeriesInner {
+                cursor: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                interval_ns: u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX),
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            }),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Total points ever cut (wrapped-out ones included).
+    pub fn sampled(&self) -> u64 {
+        self.inner.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Points dropped because their slot was held by a dump in
+    /// progress (the sampler never blocks).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The configured sampling interval in nanoseconds.
+    pub fn interval_ns(&self) -> u64 {
+        self.inner.interval_ns
+    }
+
+    /// Deposits a point, overwriting the oldest. `point.seq` is
+    /// assigned by the ring.
+    pub fn push(&self, mut point: SeriesPoint) {
+        let seq = self.inner.cursor.fetch_add(1, Ordering::Relaxed);
+        point.seq = seq;
+        let slot = (seq % self.inner.slots.len() as u64) as usize;
+        match self.inner.slots[slot].try_lock() {
+            Ok(mut guard) => *guard = Some(point),
+            Err(_) => {
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The ring's current contents, oldest first.
+    pub fn dump(&self) -> Vec<SeriesPoint> {
+        let mut out: Vec<SeriesPoint> = self
+            .inner
+            .slots
+            .iter()
+            .filter_map(|slot| unpoison(slot).clone())
+            .collect();
+        out.sort_by_key(|p| p.seq);
+        out
+    }
+}
+
+/// A dumped ring plus its bookkeeping — the payload of a
+/// `TimeSeriesDump` wire exchange (`ropuf-timeseries/v1`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeriesSnapshot {
+    /// Total points ever cut (wrapped-out ones included).
+    pub sampled: u64,
+    /// The configured sampling interval in nanoseconds (0 when no
+    /// sampler is attached).
+    pub interval_ns: u64,
+    /// The surviving points, oldest first.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl TimeSeriesSnapshot {
+    /// Freezes a ring.
+    pub fn from_ring(ring: &SeriesRing) -> Self {
+        Self {
+            sampled: ring.sampled(),
+            interval_ns: ring.interval_ns(),
+            points: ring.dump(),
+        }
+    }
+}
+
+/// The sampler thread: cuts `source()` every `interval`, diffs against
+/// the previous cut, deposits into the ring. Stops (and joins) on
+/// [`Sampler::stop`] or drop.
+pub struct Sampler {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampler")
+            .field("running", &self.thread.is_some())
+            .finish()
+    }
+}
+
+impl Sampler {
+    /// Spawns the sampler thread. The first cut diffs against an empty
+    /// snapshot, so the series telescopes: summing any delta field over
+    /// every point ever produced yields the registry total exactly.
+    pub fn start<F>(ring: SeriesRing, interval: Duration, source: F) -> Self
+    where
+        F: Fn() -> Snapshot + Send + 'static,
+    {
+        let interval = interval.max(Duration::from_millis(1));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("ropuf-sampler".into())
+            .spawn(move || {
+                let started = Instant::now();
+                let mut prev = Snapshot {
+                    metrics: Vec::new(),
+                };
+                let mut prev_at = started;
+                loop {
+                    let (lock, condvar) = &*stop_flag;
+                    let stopped = unpoison(lock);
+                    let (stopped, _) = condvar
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped);
+                    let now = Instant::now();
+                    let next = source();
+                    let at_ns = u64::try_from(now.saturating_duration_since(started).as_nanos())
+                        .unwrap_or(u64::MAX);
+                    let interval_ns =
+                        u64::try_from(now.saturating_duration_since(prev_at).as_nanos())
+                            .unwrap_or(u64::MAX);
+                    ring.push(SeriesPoint::between(&prev, &next, at_ns, interval_ns));
+                    prev = next;
+                    prev_at = now;
+                }
+            })
+            .expect("spawn sampler thread");
+        Self {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the sampler thread and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        let (lock, condvar) = &*self.stop;
+        *unpoison(lock) = true;
+        condvar.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn latency_bands_are_power_of_two_microseconds() {
+        assert_eq!(latency_band(0), 0);
+        assert_eq!(latency_band(999), 0);
+        assert_eq!(latency_band(1_999), 0);
+        assert_eq!(latency_band(2_000), 1);
+        assert_eq!(latency_band(3_999), 1);
+        assert_eq!(latency_band(4_000), 2);
+        assert_eq!(latency_band(1_000_000), 9); // 1000µs → [512, 1024)µs? no: 1000µs → band 9
+        assert_eq!(latency_band(u64::MAX), LATENCY_BANDS - 1);
+        assert_eq!(band_floor_us(0), 0);
+        assert_eq!(band_floor_us(1), 2);
+        assert_eq!(band_floor_us(9), 512);
+        // Band floors bracket the band's members.
+        for ns in [1_500u64, 70_000, 9_000_000] {
+            let b = latency_band(ns);
+            assert!(band_floor_us(b) <= ns / 1_000);
+            if b + 1 < LATENCY_BANDS {
+                assert!(ns / 1_000 < band_floor_us(b + 1) * 2 || b == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_telescope_to_the_final_totals() {
+        let registry = Registry::new();
+        let requests = registry.counter("server.requests", &[("backend", "test")]);
+        let open = registry.gauge("server.connections.open", &[("backend", "test")]);
+        let phase = registry.histogram(
+            "server.request.phase_ns",
+            &[("backend", "test"), ("phase", "handle")],
+        );
+        let mut prev = Snapshot {
+            metrics: Vec::new(),
+        };
+        let mut summed_requests = 0u64;
+        let mut summed_phase_ns = 0u64;
+        for round in 1..=5u64 {
+            for i in 0..round * 3 {
+                requests.inc();
+                phase.record(i * 100);
+            }
+            open.set(round);
+            let next = registry.snapshot();
+            let point = SeriesPoint::between(&prev, &next, round, round);
+            summed_requests += point.requests;
+            summed_phase_ns += point.phase_total_ns[2];
+            assert_eq!(point.open, round);
+            prev = next;
+        }
+        assert_eq!(summed_requests, requests.get());
+        let final_hist = registry.snapshot();
+        let (_, total_ns) = histogram_totals(
+            &final_hist,
+            "server.request.phase_ns",
+            Some(("phase", "handle")),
+        );
+        assert_eq!(summed_phase_ns, total_ns, "phase deltas telescope");
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_newest() {
+        let ring = SeriesRing::new(4, Duration::from_millis(250));
+        for i in 0..9u64 {
+            ring.push(SeriesPoint {
+                requests: i,
+                ..SeriesPoint::default()
+            });
+        }
+        let snap = TimeSeriesSnapshot::from_ring(&ring);
+        assert_eq!(snap.sampled, 9);
+        assert_eq!(snap.interval_ns, 250_000_000);
+        let seqs: Vec<u64> = snap.points.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, [5, 6, 7, 8]);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_is_clamped() {
+        let z = SeriesRing::new(0, Duration::ZERO);
+        assert_eq!(z.capacity(), 1);
+        assert_eq!(
+            SeriesRing::new(usize::MAX, Duration::ZERO).capacity(),
+            MAX_SERIES_POINTS
+        );
+    }
+
+    #[test]
+    fn sampler_thread_cuts_points_and_stops() {
+        let registry = Registry::new();
+        let requests = registry.counter("server.requests", &[("backend", "test")]);
+        let ring = SeriesRing::new(64, Duration::from_millis(2));
+        let source = {
+            let registry = registry.clone();
+            move || registry.snapshot()
+        };
+        let mut sampler = Sampler::start(ring.clone(), Duration::from_millis(2), source);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ring.sampled() < 3 && Instant::now() < deadline {
+            requests.inc();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sampler.stop();
+        let sampled = ring.sampled();
+        assert!(sampled >= 3, "sampler should have cut points");
+        // Stopped means stopped: no further points arrive.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(ring.sampled(), sampled);
+        // Deltas over the produced points telescope to the totals at
+        // the last cut (no pushes were dropped: single writer).
+        let total: u64 = ring.dump().iter().map(|p| p.requests).sum();
+        assert!(total <= requests.get());
+    }
+}

@@ -27,13 +27,22 @@ pub struct TraceRecord {
     /// SplitMix64 hash of the device id (0 when the message carries
     /// none) — correlates traces per device without logging the id.
     pub device_hash: u64,
+    /// Ready-wait: readiness-notification (epoll dispatch, or the
+    /// accept-queue claim in the blocking pool) to decode start — the
+    /// time the request sat decodable but unserviced.
+    pub ready_ns: u64,
     /// Time spent decoding the frame payload.
     pub decode_ns: u64,
     /// Time spent in the request handler (verifier work).
     pub handle_ns: u64,
     /// Time spent encoding + flushing the response toward the socket.
     pub flush_ns: u64,
-    /// Whole-request service time (decode through flush).
+    /// Flush-wait: out-buffer residency — response queued until the
+    /// socket actually drained its last byte (0 on the blocking
+    /// backend, whose write is synchronous and billed to `flush_ns`).
+    pub flush_wait_ns: u64,
+    /// Whole-request latency as the server can see it (ready-wait
+    /// through flush-wait).
     pub total_ns: u64,
     /// Worker index (blocking pool) or event-loop index (evented).
     pub worker: u32,
@@ -150,10 +159,12 @@ mod tests {
             seq: 0,
             msg_type: 3,
             device_hash: v,
+            ready_ns: v * 4,
             decode_ns: v,
             handle_ns: v * 2,
             flush_ns: v * 3,
-            total_ns: v * 6,
+            flush_wait_ns: v * 5,
+            total_ns: v * 15,
             worker: 1,
         }
     }
