@@ -7,6 +7,7 @@
 //!         [--workers W] [--loops L] [--connections C] [--churn]
 //!         [--smoke] [--loopback] [--json PATH] [--telemetry]
 //!         [--telemetry-json PATH] [--trace-threshold-us U] [--port P]
+//!         [--chaos SEED [--fault-rate R]]
 //! ```
 //!
 //! Builds a deterministic [`TrafficPlan`] (first quarter of the fleet:
@@ -59,6 +60,13 @@
 //! observer (`ropuf-ops`) can attach mid-run. External scrapers add
 //! their own connections and request frames, so `--port` relaxes the
 //! exact-equality telemetry gates to lower bounds (`>=`).
+//!
+//! `--chaos SEED` switches to the chaos harness (see the [`chaos`]
+//! module): the same traffic replayed by resilient retrying clients
+//! whose every connection runs through a seeded fault injector
+//! (`--fault-rate R` partial-I/O odds per 65536; delays at `R/4`,
+//! resets at `R/16`), against an evented server with an armed WAL and
+//! live admission control. Writes a `ropuf-bench-chaos/v1` artifact.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -385,7 +393,18 @@ fn main() {
         "telemetry-json",
         "trace-threshold-us",
         "port",
+        "chaos",
+        "fault-rate",
     ]);
+    if flags.get_u64("chaos").is_some() {
+        #[cfg(target_os = "linux")]
+        {
+            chaos::run(&flags);
+            return;
+        }
+        #[cfg(not(target_os = "linux"))]
+        panic!("--chaos drives the evented backend and requires Linux (epoll)");
+    }
     let smoke = flags.has("smoke");
     let devices = flags
         .get_usize("devices")
@@ -971,5 +990,513 @@ fn main() {
             s.max as f64 / 1e3,
         );
         ropuf_bench::write_artifact(path, &artifact);
+    }
+}
+
+/// Chaos mode (`--chaos <seed>`): the full resilience stack under
+/// deterministic fire, measured instead of merely proven.
+///
+/// The evented backend serves a durable registry whose WAL is armed to
+/// fail exactly at the first flag append (latching read-only degraded
+/// mode mid-run), behind an admission policy with real budgets. Every
+/// client connection runs through a seeded [`FaultPlan`] — partial
+/// I/O, injected delays, random connection resets — and every request
+/// is driven by the retrying [`ResilientClient`]. A concurrent
+/// overload probe pipelines a scrape burst through one connection to
+/// push it over the brown-out budget and counts the `Overloaded`
+/// answers.
+///
+/// Floors asserted, not just printed: eventual success ≥ 99.9 %
+/// (100 % under `--smoke`), at least one retry and one reconnect,
+/// brown-out sheds observed while scrapes still serve, exactly one
+/// degraded transition from exactly one injected WAL fault, and the
+/// shed path answering in well under a millisecond amortized while
+/// the authentication traffic keeps flowing.
+///
+/// `--json PATH` writes a `ropuf-bench-chaos/v1` artifact.
+///
+/// [`FaultPlan`]: ropuf_proto::FaultPlan
+/// [`ResilientClient`]: ropuf_server::ResilientClient
+#[cfg(target_os = "linux")]
+mod chaos {
+    use std::io::Write as _;
+    use std::net::SocketAddr;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::{Duration, Instant};
+
+    use ropuf_numeric::Histogram;
+    use ropuf_proto::{
+        derive_seed, ErrorCode, FaultPlan, FaultStats, FrameReader, FrameWriter, Request, Response,
+        RATE_ONE,
+    };
+    use ropuf_server::{
+        Deadlines, EventedConfig, EventedServer, OverloadPolicy, RequestHandler, ResilientClient,
+        RetryPolicy, Role, TrafficPlan, TrafficSpec, VerifierHandler,
+    };
+    use ropuf_verifier::{DetectorConfig, StoreFaults, StoreOptions, Verifier};
+
+    use ropuf_constructions::pairing::lisa::LisaConfig;
+
+    /// Admission budgets for the run: brown-out at 64 KiB of pending
+    /// out-buffer, hard ceiling at 512 KiB, clients told to come back
+    /// in 2 ms.
+    fn overload_policy() -> OverloadPolicy {
+        OverloadPolicy {
+            brownout_pressure: 64 * 1024,
+            max_pressure: 512 * 1024,
+            retry_after_ms: 2,
+        }
+    }
+
+    fn retry_policy(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            budget: 8,
+            base_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(20),
+            seed,
+        }
+    }
+
+    /// What one device's chaos replay produced.
+    struct Outcome {
+        device_id: u64,
+        role: Role,
+        requests: usize,
+        answered: usize,
+        /// Exchanges that exhausted the retry budget.
+        failed: usize,
+        wire_flagged: bool,
+        registry_flagged: bool,
+    }
+
+    /// What the overload probe observed.
+    struct ProbeReport {
+        sent: usize,
+        served: usize,
+        shed: usize,
+        drain: Duration,
+    }
+
+    /// Pipelines `burst` MetricsSnapshot requests through one raw
+    /// connection without reading, pushing its pending out-buffer over
+    /// the brown-out budget, then drains and classifies every answer.
+    fn overload_probe(addr: SocketAddr, burst: usize) -> ProbeReport {
+        let stream = std::net::TcpStream::connect(addr).expect("probe connect");
+        stream.set_nodelay(true).ok();
+        let mut write_half = stream.try_clone().expect("probe clone");
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            for _ in 0..burst {
+                writer
+                    .write_request(&Request::MetricsSnapshot)
+                    .expect("encode");
+            }
+        }
+        write_half.write_all(&wire).expect("probe burst write");
+        let t0 = Instant::now();
+        let mut reader = FrameReader::new(stream);
+        let (mut served, mut shed) = (0usize, 0usize);
+        for i in 0..burst {
+            let payload = reader
+                .read_frame()
+                .expect("probe read")
+                .unwrap_or_else(|| panic!("server closed the probe at answer {i}/{burst}"));
+            match Response::decode(&payload).expect("probe answer decodes") {
+                Response::MetricsBin { .. } => served += 1,
+                Response::Error {
+                    code: ErrorCode::Overloaded,
+                    detail,
+                } => {
+                    assert!(
+                        ropuf_proto::parse_retry_after_ms(&detail).is_some(),
+                        "Overloaded must carry a retry_after_ms hint, got {detail:?}"
+                    );
+                    shed += 1;
+                }
+                other => panic!("probe answer {i}: unexpected {other:?}"),
+            }
+        }
+        ProbeReport {
+            sent: burst,
+            served,
+            shed,
+            drain: t0.elapsed(),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    pub fn run(flags: &ropuf_bench::Flags) {
+        let smoke = flags.has("smoke");
+        let chaos_seed = flags.get_u64("chaos").expect("--chaos takes a seed");
+        let fault_rate =
+            u32::try_from(flags.get_u64("fault-rate").unwrap_or(2048)).expect("rate fits u32");
+        assert!(fault_rate <= RATE_ONE, "--fault-rate is per {RATE_ONE}");
+        let devices = flags
+            .get_usize("devices")
+            .unwrap_or(if smoke { 8 } else { 32 });
+        let rounds = flags
+            .get_usize("rounds")
+            .unwrap_or(if smoke { 4 } else { 16 });
+        let master_seed = flags.get_u64("seed").unwrap_or(1);
+        let shards = flags.get_usize("shards").unwrap_or(8);
+        let threads = flags
+            .get_usize("threads")
+            .unwrap_or(if smoke { 2 } else { 4 });
+        let connections = flags
+            .get_usize("connections")
+            .unwrap_or(if smoke { 64 } else { 1024 });
+        let loops = flags.get_usize("loops").unwrap_or(1);
+
+        ropuf_bench::header(
+            "LOADGEN --chaos — deterministic fault injection against the resilient stack",
+            "under seeded partial I/O, resets, and a mid-run WAL failure, the retrying client converges to >= 99.9% eventual success while overload sheds answer in well under a millisecond",
+        );
+
+        let detector = DetectorConfig::default();
+        let spec = TrafficSpec {
+            devices,
+            master_seed,
+            rounds,
+            lisa: LisaConfig::default(),
+            detector,
+        };
+        let plan = TrafficPlan::build(&spec);
+        println!(
+            "traffic plan: {} devices ({} attacked), {} requests; chaos seed {chaos_seed}, fault rate {fault_rate}/{RATE_ONE} partial, {}/{RATE_ONE} delay, {}/{RATE_ONE} reset",
+            plan.devices.len(),
+            plan.attackers().count(),
+            plan.total_requests(),
+            fault_rate / 4,
+            fault_rate / 16,
+        );
+
+        // Durable registry with the WAL armed to fail at the first
+        // *flag* append: the fleet enrolls over the wire (appends
+        // 0..devices), so append `devices` is the first best-effort
+        // flag write — it latches read-only without changing answers.
+        let dir = std::env::temp_dir().join(format!("ropuf-chaos-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faults = StoreFaults::new().fail_append_at(devices as u64);
+        let (verifier, _) = Verifier::open_durable_faulted(
+            &dir,
+            shards,
+            detector,
+            StoreOptions::default(),
+            Some(faults),
+        )
+        .expect("open durable store");
+        let handler = Arc::new(VerifierHandler::new(Arc::new(verifier)));
+        let dyn_handler: Arc<dyn RequestHandler> = handler.clone();
+
+        let config = EventedConfig {
+            loops,
+            overload: overload_policy(),
+            ..EventedConfig::default()
+        };
+        let server =
+            EventedServer::spawn("127.0.0.1:0", dyn_handler, config).expect("bind localhost");
+        let addr = server.local_addr();
+        println!(
+            "server: evented TCP {addr}, {loops} loop(s), admission brownout {} KiB / max {} KiB",
+            overload_policy().brownout_pressure / 1024,
+            overload_policy().max_pressure / 1024,
+        );
+
+        // Every client counts retries into one registry and faults
+        // into one stats block, so the artifact can report
+        // client.retries{cause} and faults.injected{kind} next to the
+        // server-side counters.
+        let client_registry = ropuf_telemetry::Registry::new();
+        let fault_stats = Arc::new(FaultStats::new());
+        let make_client = |conn: u64, pin_enroll_reset: bool| -> ResilientClient {
+            let stats = Arc::clone(&fault_stats);
+            let mut client =
+                ResilientClient::new(addr, retry_policy(chaos_seed ^ conn), Deadlines::default())
+                    .expect("resolve addr")
+                    .with_faults(Box::new(move |serial| {
+                        let plan = FaultPlan::new(derive_seed(chaos_seed, conn * 4096 + serial))
+                            .with_partial_io(fault_rate)
+                            .with_delays(fault_rate / 4, Duration::from_micros(20))
+                            .with_resets(fault_rate / 16)
+                            .with_stats(Arc::clone(&stats));
+                        if pin_enroll_reset && serial == 0 {
+                            // Deterministic idempotency exercise: the first
+                            // enroll is applied but its answer dies on the
+                            // wire; the retry must draw DuplicateDevice and
+                            // report success.
+                            plan.with_read_reset_at(0)
+                        } else {
+                            plan
+                        }
+                    }));
+            client.attach_telemetry(&client_registry);
+            client
+        };
+
+        // Wire enrollment of the whole fleet, through the chaos.
+        let t0 = Instant::now();
+        let mut enroller = make_client(1_000_000, true);
+        for device in &plan.devices {
+            let e = &device.enrollment;
+            enroller
+                .enroll(e.device_id, e.scheme_tag, e.helper.clone(), e.key_digest)
+                .expect("every enroll eventually succeeds");
+        }
+        assert!(
+            enroller.retries_total() > 0,
+            "the pinned enroll-response reset must force at least one retry"
+        );
+        println!(
+            "enrolled {} devices over the wire in {:.0} ms ({} retries, {} reconnects)",
+            plan.devices.len(),
+            t0.elapsed().as_secs_f64() * 1e3,
+            enroller.retries_total(),
+            enroller.reconnects(),
+        );
+        drop(enroller);
+
+        // Open and handshake the held connection fleet.
+        let t0 = Instant::now();
+        let mut pools: Vec<Vec<ResilientClient>> =
+            (0..threads.max(1)).map(|_| Vec::new()).collect();
+        for i in 0..connections {
+            let mut client = make_client(i as u64, false);
+            client.hello("loadgen-chaos").unwrap_or_else(|e| {
+                panic!("held connection {i}/{connections} never established: {e}")
+            });
+            pools[i % threads.max(1)].push(client);
+        }
+        pools.retain(|pool| !pool.is_empty());
+        println!(
+            "held {} chaos connections established in {:.0} ms across {} thread(s)",
+            connections,
+            t0.elapsed().as_secs_f64() * 1e3,
+            pools.len(),
+        );
+
+        // Replay under fire, with the overload probe running
+        // concurrently against the same server.
+        let t0 = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(Vec<Outcome>, Histogram)>();
+        let plan_ref = &plan;
+        let probe = std::thread::scope(|scope| {
+            for mut pool in pools {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut rr = 0usize;
+                    let mut latencies = Histogram::new();
+                    let mut outcomes = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(device) = plan_ref.devices.get(i) else {
+                            break;
+                        };
+                        let mut outcome = Outcome {
+                            device_id: device.device_id,
+                            role: device.role,
+                            requests: device.requests.len(),
+                            answered: 0,
+                            failed: 0,
+                            wire_flagged: false,
+                            registry_flagged: false,
+                        };
+                        for item in &device.requests {
+                            let slot = rr % pool.len();
+                            let client = &mut pool[slot];
+                            rr += 1;
+                            let t0 = Instant::now();
+                            let result = client.authenticate(item.clone());
+                            latencies
+                                .record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                            match result {
+                                Ok(_) => outcome.answered += 1,
+                                Err(e) if e.error_code() == Some(ErrorCode::DeviceFlagged) => {
+                                    outcome.answered += 1;
+                                    outcome.wire_flagged = true;
+                                }
+                                Err(e) if e.error_code().is_some() => {
+                                    panic!("device {}: server error: {e}", device.device_id)
+                                }
+                                Err(_) => outcome.failed += 1,
+                            }
+                        }
+                        let slot = rr % pool.len();
+                        outcome.registry_flagged = pool[slot]
+                            .query_verdict(device.device_id)
+                            .expect("flag query eventually succeeds")
+                            .is_some();
+                        outcomes.push(outcome);
+                    }
+                    tx.send((outcomes, latencies)).expect("collector alive");
+                });
+            }
+            drop(tx);
+            let probe = scope.spawn(move || overload_probe(addr, 1024));
+            probe.join().expect("probe thread panicked")
+        });
+        let mut outcomes = Vec::new();
+        let mut latencies = Histogram::new();
+        for (batch, hist) in rx {
+            outcomes.extend(batch);
+            latencies.merge(&hist);
+        }
+        outcomes.sort_by_key(|o| o.device_id);
+        let wall = t0.elapsed().as_secs_f64();
+
+        // ── Report ──────────────────────────────────────────────────
+        let total: usize = outcomes.iter().map(|o| o.requests).sum();
+        let answered: usize = outcomes.iter().map(|o| o.answered).sum();
+        let failed: usize = outcomes.iter().map(|o| o.failed).sum();
+        let success_rate = answered as f64 / total.max(1) as f64;
+        let s = latencies.summary();
+        let client_snapshot = client_registry.snapshot();
+        let retries = client_snapshot.counter_total("client.retries");
+        let client_faults = fault_stats.snapshot();
+        println!(
+            "\nreplayed {total} requests in {wall:.2} s: {answered} answered ({:.4}% eventual success), {failed} exhausted the retry budget",
+            success_rate * 100.0,
+        );
+        println!(
+            "time-to-answer (includes retries): p50 {:.1} us | p99 {:.1} us | p999 {:.1} us | max {:.1} us",
+            s.p50 as f64 / 1e3,
+            s.p99 as f64 / 1e3,
+            s.p999 as f64 / 1e3,
+            s.max as f64 / 1e3,
+        );
+        println!(
+            "client: {retries} retries ({}), faults injected: {}",
+            ["connect", "transport", "overloaded"]
+                .iter()
+                .map(|cause| {
+                    format!(
+                        "{cause} {}",
+                        match client_snapshot.find("client.retries", &[("cause", cause)]) {
+                            Some(ropuf_telemetry::MetricValue::Counter(n)) => *n,
+                            _ => 0,
+                        }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+            client_faults
+                .iter()
+                .map(|(kind, n)| format!("{kind} {n}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        let shed_mean_us = probe.drain.as_secs_f64() * 1e6 / probe.sent.max(1) as f64;
+        println!(
+            "overload probe: {} pipelined scrapes -> {} served, {} shed (Overloaded), drained in {:.1} ms = {:.0} us/answer amortized",
+            probe.sent,
+            probe.served,
+            probe.shed,
+            probe.drain.as_secs_f64() * 1e3,
+            shed_mean_us,
+        );
+
+        // The authoritative post-run scrape (a fault-free client).
+        let mut scraper = ResilientClient::new(addr, retry_policy(0), Deadlines::default())
+            .expect("resolve addr");
+        let snapshot = scraper.metrics().expect("final scrape");
+        let degraded = snapshot.counter_total("server.degraded_transitions");
+        let wal_faults = snapshot.counter_total("faults.injected");
+        let sheds = snapshot.counter_total("server.shed");
+        println!(
+            "server: {} requests served, {sheds} shed, {degraded} degraded transition(s), {wal_faults} injected store fault(s)",
+            snapshot.counter_total("server.requests"),
+        );
+
+        // ── Floors (asserted, not just printed) ─────────────────────
+        if smoke {
+            assert_eq!(failed, 0, "smoke requires 100% eventual success");
+        } else {
+            assert!(
+                success_rate >= 0.999,
+                "eventual success {:.4}% below the 99.9% floor",
+                success_rate * 100.0
+            );
+        }
+        for o in &outcomes {
+            match o.role {
+                Role::LisaAttacker => assert!(
+                    o.wire_flagged && o.registry_flagged,
+                    "attacked device {} not flagged under chaos",
+                    o.device_id
+                ),
+                Role::Benign => assert!(
+                    !o.wire_flagged && !o.registry_flagged,
+                    "benign device {} flagged under chaos",
+                    o.device_id
+                ),
+            }
+        }
+        assert!(retries > 0, "chaos must exercise the retry machinery");
+        assert!(
+            client_faults.iter().map(|(_, n)| n).sum::<u64>() > 0,
+            "chaos must inject transport faults"
+        );
+        assert!(
+            probe.shed > 0 && probe.served > 0,
+            "the probe must see brown-out sheds while scrapes still serve \
+             (served {}, shed {})",
+            probe.served,
+            probe.shed
+        );
+        assert!(
+            shed_mean_us < 1000.0,
+            "overloaded answers took {shed_mean_us:.0} us amortized — the shed path must stay under a millisecond"
+        );
+        assert!(sheds >= probe.shed as u64, "server counted its sheds");
+        assert_eq!(degraded, 1, "exactly one read-only latch transition");
+        assert_eq!(wal_faults, 1, "exactly one injected WAL fault");
+        assert!(
+            handler.read_only(),
+            "the WAL fault must have latched the registry read-only"
+        );
+        println!(
+            "\nverdict: {:.4}% eventual success, {retries} retries, {sheds} sheds, read-only latch exercised — all floors asserted.",
+            success_rate * 100.0,
+        );
+
+        if let Some(path) = flags.get_required_value("json") {
+            let retries_json = ["connect", "transport", "overloaded"]
+                .iter()
+                .map(|cause| {
+                    format!(
+                        "\"{cause}\": {}",
+                        match client_snapshot.find("client.retries", &[("cause", cause)]) {
+                            Some(ropuf_telemetry::MetricValue::Counter(n)) => *n,
+                            _ => 0,
+                        }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let faults_json = client_faults
+                .iter()
+                .map(|(kind, n)| format!("\"{kind}\": {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let artifact = format!(
+                "{{\n  \"schema\": \"ropuf-bench-chaos/v1\",\n  \"mode\": \"{}\",\n  \"server\": \"evented\",\n  \"config\": {{\"devices\": {devices}, \"rounds\": {rounds}, \"seed\": {master_seed}, \"chaos_seed\": {chaos_seed}, \"fault_rate\": {fault_rate}, \"shards\": {shards}, \"threads\": {threads}, \"connections\": {connections}, \"loops\": {loops}}},\n  \"requests\": {total},\n  \"answered\": {answered},\n  \"failed\": {failed},\n  \"eventual_success_rate\": {success_rate:.6},\n  \"availability_us\": {{\"p50\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \"max\": {:.1}}},\n  \"client\": {{\"retries\": {{{retries_json}}}, \"faults_injected\": {{{faults_json}}}}},\n  \"server\": {{\"sheds\": {sheds}, \"degraded_transitions\": {degraded}, \"store_faults_injected\": {wal_faults}}},\n  \"overload_probe\": {{\"sent\": {}, \"served\": {}, \"shed\": {}, \"drain_ms\": {:.2}, \"amortized_us_per_answer\": {shed_mean_us:.1}}}\n}}\n",
+                if smoke { "smoke" } else { "full" },
+                s.p50 as f64 / 1e3,
+                s.p99 as f64 / 1e3,
+                s.p999 as f64 / 1e3,
+                s.max as f64 / 1e3,
+                probe.sent,
+                probe.served,
+                probe.shed,
+                probe.drain.as_secs_f64() * 1e3,
+            );
+            ropuf_bench::write_artifact(path, &artifact);
+        }
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

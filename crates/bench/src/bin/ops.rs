@@ -83,6 +83,58 @@ fn gauge_total(s: &Snapshot, name: &str) -> u64 {
         .sum()
 }
 
+/// Per-label-set values of every counter named `name`, rendered as
+/// `"value1/value2"` keys (most resilience counters carry one label).
+fn counter_breakdown(s: &Snapshot, name: &str) -> Vec<(String, u64)> {
+    s.metrics
+        .iter()
+        .filter(|m| m.name == name)
+        .filter_map(|m| match m.value {
+            MetricValue::Counter(v) => Some((
+                m.labels
+                    .iter()
+                    .map(|(_, v)| v.clone())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                v,
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The resilience line: overload sheds (per shed class, with the
+/// interval rate), read-only degraded-mode transitions, and injected
+/// faults (chaos runs) — the counters a chaos-hardened server answers
+/// "is it degrading gracefully?" with.
+fn render_resilience(prev: &Snapshot, cur: &Snapshot, dt: f64) -> String {
+    let shed = cur.counter_total("server.shed");
+    let degraded = cur.counter_total("server.degraded_transitions");
+    let faults = cur.counter_total("faults.injected");
+    if shed == 0 && degraded == 0 && faults == 0 {
+        return "resilience: no sheds, no degraded transitions, no injected faults\n".to_string();
+    }
+    let breakdown = |name: &str| {
+        let parts = counter_breakdown(cur, name)
+            .iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(k, v)| format!("{k} {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!(" [{parts}]")
+        }
+    };
+    let shed_rate = shed.saturating_sub(prev.counter_total("server.shed")) as f64 / dt;
+    format!(
+        "resilience: shed {shed}{} ({shed_rate:.0}/s) | degraded transitions {degraded} | faults injected {faults}{}\n",
+        breakdown("server.shed"),
+        breakdown("faults.injected"),
+    )
+}
+
 /// Aggregate (count, sum-ns) per lifecycle phase, across message types
 /// and backends, indexed by [`SERIES_PHASES`].
 fn phase_totals(s: &Snapshot) -> [(u64, u128); SERIES_PHASES.len()] {
@@ -336,6 +388,7 @@ fn render(
         cur.trace.recorded,
         cur.series.sampled,
     ));
+    out.push_str(&render_resilience(&prev.metrics, &cur.metrics, dt));
 
     let prev_phases = phase_totals(&prev.metrics);
     let cur_phases = phase_totals(&cur.metrics);
@@ -455,6 +508,20 @@ fn artifact_json(
         })
         .collect::<Vec<_>>()
         .join(", ");
+    let breakdown_json = |name: &str| {
+        counter_breakdown(&cur.metrics, name)
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let resilience = format!(
+        "{{\"shed\": {}, \"shed_by_class\": {{{}}}, \"degraded_transitions\": {}, \"faults_injected\": {{{}}}}}",
+        cur.metrics.counter_total("server.shed"),
+        breakdown_json("server.shed"),
+        cur.metrics.counter_total("server.degraded_transitions"),
+        breakdown_json("faults.injected"),
+    );
     let mut band_totals = [0u64; LATENCY_BANDS];
     for p in &cur.series.points {
         for (slot, c) in p.latency.iter().enumerate() {
@@ -507,7 +574,7 @@ fn artifact_json(
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"schema\": \"ropuf-bench-ops/v1\",\n  \"attach\": \"{attach}\",\n  \"scrapes\": {scrapes},\n  \"interval_ms\": {},\n  \"client_p999_us\": {},\n  \"requests_total\": {},\n  \"open_connections\": {},\n  \"phases\": {{{phases}}},\n  \"workers\": [{workers}],\n  \"timeseries\": {{\"sampled\": {}, \"returned\": {}, \"interval_ns\": {}, \"band_totals\": [{bands}]}},\n  \"trace\": {{\"recorded\": {}, \"dropped\": {}, \"returned\": {}}},\n  \"tail\": {tail},\n  \"top_traces\": [\n{traces}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ropuf-bench-ops/v1\",\n  \"attach\": \"{attach}\",\n  \"scrapes\": {scrapes},\n  \"interval_ms\": {},\n  \"client_p999_us\": {},\n  \"requests_total\": {},\n  \"open_connections\": {},\n  \"phases\": {{{phases}}},\n  \"workers\": [{workers}],\n  \"resilience\": {resilience},\n  \"timeseries\": {{\"sampled\": {}, \"returned\": {}, \"interval_ns\": {}, \"band_totals\": [{bands}]}},\n  \"trace\": {{\"recorded\": {}, \"dropped\": {}, \"returned\": {}}},\n  \"tail\": {tail},\n  \"top_traces\": [\n{traces}\n  ]\n}}\n",
         interval.as_millis(),
         client_p999_us.map_or("null".to_string(), |v| v.to_string()),
         cur.metrics.counter_total("server.requests"),
@@ -701,6 +768,33 @@ mod tests {
         assert_eq!(a.tail, 1);
         assert_eq!(a.cutoff_us, 3_000);
         assert!(attribute_tail(&[], Some(1)).is_none());
+    }
+
+    #[test]
+    fn resilience_line_breaks_sheds_and_faults_down_by_label() {
+        let registry = ropuf_telemetry::Registry::new();
+        let quiet = registry.snapshot();
+        let text = render_resilience(&quiet, &quiet, 1.0);
+        assert!(text.contains("no sheds"), "quiet server: {text}");
+
+        registry
+            .counter("server.shed", &[("class", "scrape")])
+            .add(9);
+        registry
+            .counter("server.shed", &[("class", "verdict")])
+            .add(3);
+        registry
+            .counter("faults.injected", &[("kind", "wal_append")])
+            .inc();
+        registry.counter("server.degraded_transitions", &[]).inc();
+        let loud = registry.snapshot();
+        let text = render_resilience(&quiet, &loud, 2.0);
+        assert!(text.contains("shed 12"), "{text}");
+        assert!(text.contains("scrape 9"), "{text}");
+        assert!(text.contains("verdict 3"), "{text}");
+        assert!(text.contains("(6/s)"), "12 sheds over 2 s: {text}");
+        assert!(text.contains("degraded transitions 1"), "{text}");
+        assert!(text.contains("faults injected 1 [wal_append 1]"), "{text}");
     }
 
     #[test]

@@ -62,15 +62,17 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod faults;
 pub mod frame;
 pub mod message;
 
 pub use codec::DecodeError;
+pub use faults::{derive_seed, FaultPlan, FaultStats, FaultyStream, RATE_ONE};
 pub use frame::{
     append_frame, FrameAccum, FrameError, FramePoll, FrameReader, FrameWriter, MAX_FRAME,
     SCRATCH_RETAIN,
 };
 pub use message::{
-    AuthItem, AuthItemRef, ErrorCode, Request, RequestRef, Response, WireAuthResponse,
-    WireFlagReason, WireVerdict, PROTOCOL_VERSION, WIRE_SCHEMA,
+    overload_detail, parse_retry_after_ms, AuthItem, AuthItemRef, ErrorCode, Request, RequestRef,
+    Response, WireAuthResponse, WireFlagReason, WireVerdict, PROTOCOL_VERSION, WIRE_SCHEMA,
 };

@@ -601,6 +601,18 @@ pub enum ErrorCode {
     /// internal reason — e.g. its durable write-ahead log rejected an
     /// enrollment. The request was **not** applied; retrying is safe.
     Internal,
+    /// Admission control shed the request before it was handled: the
+    /// server is over its in-flight/out-buffer budget. The request was
+    /// **not** applied. The detail carries `retry_after_ms=<n>` (see
+    /// [`overload_detail`] / [`parse_retry_after_ms`]); clients should
+    /// back off at least that long before retrying.
+    Overloaded,
+    /// The server latched its read-only degraded mode (durable WAL
+    /// append/fsync failed): authentications keep serving from memory,
+    /// but mutations (enrollments) are refused until an operator
+    /// intervenes. The request was **not** applied; retrying against
+    /// this server will keep answering `ReadOnly`.
+    ReadOnly,
 }
 
 impl ErrorCode {
@@ -614,6 +626,8 @@ impl ErrorCode {
             ErrorCode::MalformedRequest => 5,
             ErrorCode::ResponseTooLarge => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::Overloaded => 8,
+            ErrorCode::ReadOnly => 9,
         }
     }
 
@@ -627,12 +641,33 @@ impl ErrorCode {
             5 => Ok(ErrorCode::MalformedRequest),
             6 => Ok(ErrorCode::ResponseTooLarge),
             7 => Ok(ErrorCode::Internal),
+            8 => Ok(ErrorCode::Overloaded),
+            9 => Ok(ErrorCode::ReadOnly),
             _ => Err(DecodeError::UnknownDiscriminant {
                 field: "error_code",
                 value,
             }),
         }
     }
+}
+
+/// The detail string an [`ErrorCode::Overloaded`] answer carries:
+/// `retry_after_ms=<n>`. Kept as plain text inside the existing error
+/// frame so ropuf-wire/v1 parsers that ignore details stay compatible;
+/// [`parse_retry_after_ms`] is the typed reader.
+pub fn overload_detail(retry_after_ms: u32) -> String {
+    format!("retry_after_ms={retry_after_ms}")
+}
+
+/// Parses the `retry_after_ms=<n>` detail of an
+/// [`ErrorCode::Overloaded`] answer. `None` when the detail does not
+/// carry a well-formed hint — callers fall back to their own backoff.
+pub fn parse_retry_after_ms(detail: &str) -> Option<u32> {
+    let value = detail.strip_prefix("retry_after_ms=")?;
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    value.parse().ok()
 }
 
 /// Server → client messages.
@@ -976,11 +1011,27 @@ mod tests {
             ErrorCode::MalformedRequest,
             ErrorCode::ResponseTooLarge,
             ErrorCode::Internal,
+            ErrorCode::Overloaded,
+            ErrorCode::ReadOnly,
         ] {
             assert_eq!(ErrorCode::from_code(code.code()), Ok(code));
         }
         assert!(ErrorCode::from_code(0).is_err());
-        assert!(ErrorCode::from_code(8).is_err());
+        assert!(ErrorCode::from_code(10).is_err());
         assert!(ErrorCode::from_code(99).is_err());
+    }
+
+    #[test]
+    fn overload_detail_roundtrips() {
+        assert_eq!(parse_retry_after_ms(&overload_detail(0)), Some(0));
+        assert_eq!(parse_retry_after_ms(&overload_detail(25)), Some(25));
+        assert_eq!(
+            parse_retry_after_ms(&overload_detail(u32::MAX)),
+            Some(u32::MAX)
+        );
+        assert_eq!(parse_retry_after_ms(""), None);
+        assert_eq!(parse_retry_after_ms("retry_after_ms="), None);
+        assert_eq!(parse_retry_after_ms("retry_after_ms=12x"), None);
+        assert_eq!(parse_retry_after_ms("shed class=scrape"), None);
     }
 }

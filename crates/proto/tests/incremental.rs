@@ -4,12 +4,12 @@
 //! on — however a byte stream is sliced by the transport, the decoded
 //! request sequence is identical.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 
 use proptest::prelude::*;
 use ropuf_proto::{
-    AuthItem, FrameAccum, FrameError, FramePoll, FrameReader, FrameWriter, Request, RequestRef,
-    WireAuthResponse, MAX_FRAME, SCRATCH_RETAIN,
+    AuthItem, FaultPlan, FaultyStream, FrameAccum, FrameError, FramePoll, FrameReader, FrameWriter,
+    Request, RequestRef, WireAuthResponse, MAX_FRAME, RATE_ONE, SCRATCH_RETAIN,
 };
 
 /// A `Read` source that delivers its data in caller-chosen chunk
@@ -164,6 +164,61 @@ proptest! {
         let mut trickle = ChunkedSource::new(wire, vec![1]);
         let trickled = decode_all_chunked(&mut trickle);
         prop_assert_eq!(&trickled, &requests);
+    }
+}
+
+proptest! {
+    /// Chunking invariance extends through the fault layer: however a
+    /// seeded [`FaultPlan`] re-chunks the byte stream — short reads
+    /// and short writes at any rate, stacked on top of an adversarial
+    /// transport chunking — the decoded request sequence is identical.
+    /// (This is the property that lets the chaos equivalence suite
+    /// inject partial I/O everywhere while still demanding bit-for-bit
+    /// identical answers.)
+    #[test]
+    fn faulty_stream_partial_io_is_chunking_invariant(
+        nonces in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48),
+            1..7,
+        ),
+        chunks in proptest::collection::vec(1usize..64, 1..24),
+        seed in any::<u64>(),
+        rate in 0u32..=RATE_ONE,
+    ) {
+        let requests = requests_from(&nonces);
+        let wire = framed_stream(&requests);
+
+        // Write side: a frame stream written through partial-writing
+        // faults arrives byte-identical.
+        let mut sink = Vec::new();
+        let mut faulty = FaultyStream::new(
+            &mut sink,
+            FaultPlan::new(seed).with_partial_io(rate),
+        );
+        faulty.write_all(&wire).unwrap();
+        drop(faulty);
+        prop_assert_eq!(&sink, &wire); // short writes may reorder nothing
+
+        // Read side: faults stacked on transport chunking decode to
+        // the same request sequence.
+        let source = ChunkedSource::new(wire, chunks);
+        let mut faulty = FaultyStream::new(
+            source,
+            FaultPlan::new(seed.wrapping_add(1)).with_partial_io(rate),
+        );
+        let mut accum = FrameAccum::new();
+        let mut decoded = Vec::new();
+        loop {
+            match accum.poll(&mut faulty).expect("well-formed stream") {
+                FramePoll::Frame => {
+                    decoded.push(RequestRef::decode(accum.payload()).unwrap().into_owned());
+                    accum.finish_frame();
+                }
+                FramePoll::Pending => continue,
+                FramePoll::Eof => break,
+            }
+        }
+        prop_assert_eq!(&decoded, &requests);
     }
 }
 

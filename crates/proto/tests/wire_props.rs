@@ -115,7 +115,7 @@ proptest! {
         at in any::<u64>(),
         shapes in vec(any::<u8>(), 0..12),
         reason_code in any::<u8>(),
-        error_code in 1u8..=7,
+        error_code in 1u8..=9,
         text in vec(97u8..123, 0..40),
         blob in vec(any::<u8>(), 0..200),
     ) {
@@ -133,7 +133,7 @@ proptest! {
             Response::TraceBin { bytes: blob.clone() },
             Response::TimeSeriesBin { bytes: blob },
             Response::Error {
-                code: ErrorCode::from_code(error_code).expect("1..=7 are valid"),
+                code: ErrorCode::from_code(error_code).expect("1..=9 are valid"),
                 detail: text,
             },
         ];

@@ -1,0 +1,305 @@
+//! Admission control: bounded budgets with graceful brown-out.
+//!
+//! An overloaded verifier must degrade *predictably*: answer cheap
+//! typed errors fast instead of queueing unboundedly, and shed the
+//! traffic that matters least first. The policy here is two
+//! thresholds over one backend-supplied pressure signal (queued
+//! out-buffer bytes on the evented backend, in-flight connections on
+//! the blocking one):
+//!
+//! * **brown-out** (`brownout_pressure`): observability scrapes
+//!   (metrics/trace/time-series/snapshots) and `QueryVerdict` lookups
+//!   are shed with [`ErrorCode::Overloaded`]; authentication and
+//!   enrollment keep serving. Scrapes are the right first sacrifice —
+//!   they are large, bursty, and retryable, and the fleet has other
+//!   replicas to scrape.
+//! * **hard limit** (`max_pressure`): everything but the `Hello`
+//!   handshake is shed. The answer is a pre-classified one-byte-peek
+//!   decision plus a tiny error frame — no decode, no verifier work —
+//!   so it leaves the server in well under a millisecond and tells
+//!   the client exactly when to come back (`retry_after_ms`).
+//!
+//! Shedding is visible: every refusal counts into
+//! `server.shed{class}`. The default policy is disabled (infinite
+//! budgets) so existing deployments and the equivalence suites are
+//! byte-for-byte unaffected until a budget is configured.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ropuf_proto::{overload_detail, ErrorCode, Response};
+use ropuf_telemetry::Counter;
+
+use crate::telemetry::ServerTelemetry;
+
+/// Coarse request taxonomy for admission decisions, classifiable from
+/// the first payload byte alone — shedding must not pay for a decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// `Authenticate` / `BatchAuthenticate` — the product traffic,
+    /// shed last.
+    Auth,
+    /// `Enroll` — mutations; kept through brown-out, shed at the hard
+    /// limit.
+    Mutate,
+    /// `QueryVerdict` — point lookups, shed at brown-out.
+    Verdict,
+    /// Snapshots and observability dumps — shed first at brown-out.
+    Scrape,
+    /// `Hello` and unclassifiable bytes — handshakes are admitted
+    /// always (they are how a client learns who it is talking to),
+    /// garbage is cheaper to reject through the normal decode error
+    /// path than to special-case here.
+    Other,
+}
+
+impl RequestClass {
+    /// Classifies a request by its wire type byte (the first payload
+    /// byte of a frame).
+    pub fn of(msg_type: u8) -> Self {
+        match msg_type {
+            0x03 | 0x04 => RequestClass::Auth,
+            0x02 => RequestClass::Mutate,
+            0x05 => RequestClass::Verdict,
+            0x06..=0x0A => RequestClass::Scrape,
+            _ => RequestClass::Other,
+        }
+    }
+
+    /// The `class` label value for `server.shed`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::Auth => "auth",
+            RequestClass::Mutate => "mutate",
+            RequestClass::Verdict => "verdict",
+            RequestClass::Scrape => "scrape",
+            RequestClass::Other => "other",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            RequestClass::Auth => 0,
+            RequestClass::Mutate => 1,
+            RequestClass::Verdict => 2,
+            RequestClass::Scrape => 3,
+            RequestClass::Other => 4,
+        }
+    }
+}
+
+/// Every class, in [`RequestClass::slot`] order.
+const CLASSES: [RequestClass; 5] = [
+    RequestClass::Auth,
+    RequestClass::Mutate,
+    RequestClass::Verdict,
+    RequestClass::Scrape,
+    RequestClass::Other,
+];
+
+/// Overload thresholds. Pressure is whatever unit the backend
+/// measures: queued out-buffer bytes (evented) or in-flight
+/// connections (blocking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// At or above this pressure, scrapes and verdict lookups are
+    /// shed (brown-out).
+    pub brownout_pressure: u64,
+    /// At or above this pressure, everything but `Hello` is shed.
+    pub max_pressure: u64,
+    /// Backoff hint carried in the `Overloaded` error detail.
+    pub retry_after_ms: u32,
+}
+
+impl OverloadPolicy {
+    /// The disabled policy: infinite budgets, nothing is ever shed.
+    pub fn disabled() -> Self {
+        Self {
+            brownout_pressure: u64::MAX,
+            max_pressure: u64::MAX,
+            retry_after_ms: 50,
+        }
+    }
+
+    /// `true` when any budget is finite.
+    pub fn is_enabled(&self) -> bool {
+        self.brownout_pressure != u64::MAX || self.max_pressure != u64::MAX
+    }
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// One backend's admission gate: the policy, an in-flight tally for
+/// backends that meter by request, and the shed counters. Shareable
+/// across serving threads; every decision is a couple of relaxed
+/// atomic loads.
+#[derive(Debug)]
+pub struct Admission {
+    policy: OverloadPolicy,
+    inflight: AtomicU64,
+    shed: [Counter; CLASSES.len()],
+}
+
+impl Admission {
+    /// Builds the gate, registering `server.shed{class}` counters in
+    /// the backend's telemetry.
+    pub fn new(policy: OverloadPolicy, telemetry: &ServerTelemetry) -> Self {
+        Self {
+            policy,
+            inflight: AtomicU64::new(0),
+            shed: CLASSES.map(|class| telemetry.shed_counter(class.label())),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> &OverloadPolicy {
+        &self.policy
+    }
+
+    /// Decides one request given the backend's current pressure.
+    /// `None` admits; `Some(response)` is the shed answer to write
+    /// back (already counted in `server.shed{class}`).
+    pub fn check(&self, class: RequestClass, pressure: u64) -> Option<Response> {
+        let shed = if pressure >= self.policy.max_pressure {
+            class != RequestClass::Other
+        } else if pressure >= self.policy.brownout_pressure {
+            matches!(class, RequestClass::Verdict | RequestClass::Scrape)
+        } else {
+            false
+        };
+        if !shed {
+            return None;
+        }
+        self.shed[class.slot()].inc();
+        Some(Response::Error {
+            code: ErrorCode::Overloaded,
+            detail: overload_detail(self.policy.retry_after_ms),
+        })
+    }
+
+    /// Convenience for request-metered backends: [`Admission::check`]
+    /// against the internal in-flight tally.
+    pub fn check_inflight(&self, class: RequestClass) -> Option<Response> {
+        self.check(class, self.inflight.load(Ordering::Relaxed))
+    }
+
+    /// Marks one request (or connection) in flight; pair with
+    /// [`Admission::end`].
+    pub fn begin(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ends one in-flight request (or connection).
+    pub fn end(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The current in-flight tally.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Total requests shed so far, all classes.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().map(Counter::get).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn telemetry() -> std::sync::Arc<ServerTelemetry> {
+        ServerTelemetry::new("test", Duration::ZERO, 8, 16, Duration::ZERO)
+    }
+
+    #[test]
+    fn classes_cover_the_wire_bytes() {
+        assert_eq!(RequestClass::of(0x03), RequestClass::Auth);
+        assert_eq!(RequestClass::of(0x04), RequestClass::Auth);
+        assert_eq!(RequestClass::of(0x02), RequestClass::Mutate);
+        assert_eq!(RequestClass::of(0x05), RequestClass::Verdict);
+        for scrape in 0x06..=0x0A {
+            assert_eq!(RequestClass::of(scrape), RequestClass::Scrape);
+        }
+        assert_eq!(RequestClass::of(0x01), RequestClass::Other);
+        assert_eq!(RequestClass::of(0xEE), RequestClass::Other);
+    }
+
+    #[test]
+    fn disabled_policy_admits_everything() {
+        let t = telemetry();
+        let gate = Admission::new(OverloadPolicy::disabled(), &t);
+        assert!(!gate.policy().is_enabled());
+        for class in CLASSES {
+            assert_eq!(gate.check(class, u64::MAX - 1), None);
+        }
+        assert_eq!(gate.shed_total(), 0);
+    }
+
+    #[test]
+    fn brownout_sheds_scrapes_and_verdicts_only() {
+        let t = telemetry();
+        let gate = Admission::new(
+            OverloadPolicy {
+                brownout_pressure: 10,
+                max_pressure: 100,
+                retry_after_ms: 25,
+            },
+            &t,
+        );
+        // Below brown-out: everything admitted.
+        for class in CLASSES {
+            assert_eq!(gate.check(class, 9), None);
+        }
+        // Brown-out: scrape + verdict shed with the retry hint; auth
+        // and enroll keep serving.
+        for class in [RequestClass::Scrape, RequestClass::Verdict] {
+            match gate.check(class, 10) {
+                Some(Response::Error { code, detail }) => {
+                    assert_eq!(code, ErrorCode::Overloaded);
+                    assert_eq!(ropuf_proto::parse_retry_after_ms(&detail), Some(25));
+                }
+                other => panic!("expected shed, got {other:?}"),
+            }
+        }
+        assert_eq!(gate.check(RequestClass::Auth, 10), None);
+        assert_eq!(gate.check(RequestClass::Mutate, 10), None);
+        // Hard limit: only Hello survives.
+        assert!(gate.check(RequestClass::Auth, 100).is_some());
+        assert!(gate.check(RequestClass::Mutate, 100).is_some());
+        assert_eq!(gate.check(RequestClass::Other, 100), None);
+        assert_eq!(gate.shed_total(), 4);
+        // The sheds are attributable by class.
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_total("server.shed"), 4);
+        match snap.find("server.shed", &[("backend", "test"), ("class", "auth")]) {
+            Some(ropuf_telemetry::MetricValue::Counter(v)) => assert_eq!(*v, 1),
+            other => panic!("expected auth shed counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inflight_tally_pairs() {
+        let t = telemetry();
+        let gate = Admission::new(
+            OverloadPolicy {
+                brownout_pressure: 2,
+                max_pressure: 3,
+                retry_after_ms: 1,
+            },
+            &t,
+        );
+        gate.begin();
+        gate.begin();
+        assert_eq!(gate.inflight(), 2);
+        assert!(gate.check_inflight(RequestClass::Scrape).is_some());
+        assert_eq!(gate.check_inflight(RequestClass::Auth), None);
+        gate.end();
+        assert_eq!(gate.check_inflight(RequestClass::Scrape), None);
+    }
+}

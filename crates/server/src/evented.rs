@@ -62,6 +62,7 @@ use ropuf_proto::{
 
 use ropuf_telemetry::{Sampler, TraceRecord};
 
+use crate::admission::{Admission, OverloadPolicy, RequestClass};
 use crate::handler::RequestHandler;
 use crate::sys::epoll::{event, Epoll, Event};
 use crate::telemetry::{elapsed_ns, request_device_hash, LaneStats, ServerTelemetry};
@@ -106,6 +107,13 @@ pub struct EventedConfig {
     /// overwritten). At the default 1 s interval, 512 points is
     /// ~8.5 minutes of history in ~140 KiB.
     pub series_capacity: usize,
+    /// Admission budget. On this backend pressure is a connection's
+    /// pending out-buffer bytes — the direct measure of a peer that
+    /// asks faster than it reads. Sensible budgets sit below
+    /// [`EventedConfig::max_write_buffer`], so cheap `Overloaded`
+    /// answers go out *before* backpressure stops reading entirely.
+    /// Disabled by default.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for EventedConfig {
@@ -120,6 +128,7 @@ impl Default for EventedConfig {
             trace_capacity: 256,
             sample_interval: Duration::from_secs(1),
             series_capacity: 512,
+            overload: OverloadPolicy::disabled(),
         }
     }
 }
@@ -133,6 +142,8 @@ struct Shared {
     /// Aggregate serving counters, phase histograms, and the
     /// slow-request ring, shared by all loops.
     telemetry: Arc<ServerTelemetry>,
+    /// Admission gate (policy + shed tallies), shared by all loops.
+    admission: Admission,
     /// Write halves of each loop's waker pipe.
     wakers: Mutex<Vec<UnixStream>>,
 }
@@ -168,16 +179,19 @@ impl EventedServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let telemetry = ServerTelemetry::new(
+            "evented",
+            config.slow_trace_threshold,
+            config.trace_capacity,
+            config.series_capacity,
+            config.sample_interval,
+        );
+        let admission = Admission::new(config.overload, &telemetry);
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             force: AtomicBool::new(false),
-            telemetry: ServerTelemetry::new(
-                "evented",
-                config.slow_trace_threshold,
-                config.trace_capacity,
-                config.series_capacity,
-                config.sample_interval,
-            ),
+            telemetry,
+            admission,
             wakers: Mutex::new(Vec::new()),
         });
         let sampler = shared.telemetry.start_sampler();
@@ -264,6 +278,11 @@ impl EventedServer {
     /// wire scrape reads, for in-process inspection.
     pub fn telemetry(&self) -> &Arc<ServerTelemetry> {
         &self.shared.telemetry
+    }
+
+    /// This server's admission gate (policy + shed tallies).
+    pub fn admission(&self) -> &Admission {
+        &self.shared.admission
     }
 
     /// Flags the loops to stop (skipping the drain window when
@@ -626,6 +645,39 @@ impl EventLoop {
                     // count exactly.
                     shared.telemetry.request_started();
                     let msg_type = conn.accum.payload().first().copied().unwrap_or(0);
+                    // Admission off the type byte alone, metered by
+                    // this connection's unsent response bytes: a shed
+                    // request costs a small error frame, never a decode
+                    // or a verifier call, and the connection lives on.
+                    if let Some(shed) = shared
+                        .admission
+                        .check(RequestClass::of(msg_type), conn.pending_out() as u64)
+                    {
+                        let t2 = Instant::now();
+                        let before = conn.out.len();
+                        let queued = queue_response(conn, &shed, &mut self.encode_scratch);
+                        conn.queued_total += (conn.out.len() - before) as u64;
+                        let t3 = Instant::now();
+                        let record = shared.telemetry.observe_queued(
+                            msg_type,
+                            0,
+                            elapsed_ns(ready_at, t0),
+                            0,
+                            elapsed_ns(t0, t2),
+                            elapsed_ns(t2, t3),
+                            self.loop_id,
+                        );
+                        conn.pending_flush.push_back(PendingFlush {
+                            end: conn.queued_total,
+                            queued_at: t3,
+                            record,
+                        });
+                        conn.accum.finish_frame();
+                        if !queued {
+                            break Some(Teardown::Normal);
+                        }
+                        continue;
+                    }
                     let decoded = RequestRef::decode(conn.accum.payload());
                     let t1 = Instant::now();
                     let keep_going = match decoded {
@@ -823,8 +875,22 @@ impl EventLoop {
     }
 
     fn close(&mut self, index: usize, reason: Teardown, shared: &Shared) {
-        if let Some(conn) = self.conns[index].take() {
-            // Counters first: a peer that observes the EOF below must
+        if let Some(mut conn) = self.conns[index].take() {
+            // A connection killed mid-flush still owes its lifecycle
+            // accounting: settle whatever the socket did accept, then
+            // finalize the responses that never fully drained — their
+            // flush-wait ends here, at teardown, so the phase
+            // histograms and the total never under-count a request the
+            // server answered but the wire lost. Without this, every
+            // force-shutdown or eviction leaked its queued records.
+            conn.settle_flushed(&shared.telemetry);
+            let now = Instant::now();
+            for entry in conn.pending_flush.drain(..) {
+                shared
+                    .telemetry
+                    .observe_drained(entry.record, elapsed_ns(entry.queued_at, now));
+            }
+            // Counters next: a peer that observes the EOF below must
             // already see its eviction accounted for.
             shared.telemetry.connection_closed(
                 matches!(reason, Teardown::Idle),

@@ -95,6 +95,16 @@ impl VerifierHandler {
     pub fn verifier(&self) -> &Arc<Verifier> {
         &self.verifier
     }
+
+    /// `true` once the durable store has latched its read-only degraded
+    /// mode (a WAL append or fsync failed). In-memory registries are
+    /// never degraded — there is no durability to lose.
+    pub fn read_only(&self) -> bool {
+        self.verifier
+            .registry()
+            .store()
+            .is_some_and(|store| store.is_degraded())
+    }
 }
 
 impl RequestHandler for VerifierHandler {
@@ -127,6 +137,15 @@ impl RequestHandler for VerifierHandler {
                 helper,
                 key_digest,
             } => {
+                // Once the store latches degraded, mutations are refused
+                // up front — auths keep serving from memory, but an
+                // enrollment the WAL can't record must not be accepted.
+                if self.read_only() {
+                    return Response::Error {
+                        code: ErrorCode::ReadOnly,
+                        detail: "registry is read-only: write-ahead log failed".into(),
+                    };
+                }
                 let record = ropuf_verifier::EnrollmentRecord {
                     scheme_tag,
                     helper: helper.to_vec(),
@@ -139,9 +158,10 @@ impl RequestHandler for VerifierHandler {
                         detail: e.to_string(),
                     },
                     // A write-ahead-log failure means the enrollment was
-                    // NOT applied; retrying is safe.
+                    // NOT applied (no record, no state) and the store has
+                    // just latched degraded; retrying elsewhere is safe.
                     Err(e @ ropuf_verifier::RegistryError::Storage(_)) => Response::Error {
-                        code: ErrorCode::Internal,
+                        code: ErrorCode::ReadOnly,
                         detail: e.to_string(),
                     },
                 }

@@ -60,18 +60,24 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 #[cfg(target_os = "linux")]
 pub mod evented;
 pub mod handler;
+pub mod resilient;
 pub mod sys;
 pub mod tcp;
 pub mod telemetry;
 pub mod traffic;
 pub mod transport;
 
+pub use admission::{Admission, OverloadPolicy, RequestClass};
 #[cfg(target_os = "linux")]
 pub use evented::{EventedConfig, EventedServer};
 pub use handler::{wire_reason, wire_verdict, RequestHandler, VerifierHandler};
+pub use resilient::{
+    Deadlines, FaultyTcpTransport, PlanFactory, ResilientClient, RetryCause, RetryPolicy,
+};
 pub use tcp::{TcpServer, TcpTransport};
 pub use telemetry::ServerTelemetry;
 pub use traffic::{DeviceTraffic, Role, TrafficPlan, TrafficSpec};

@@ -34,6 +34,7 @@ use ropuf_proto::{
 };
 use ropuf_telemetry::Sampler;
 
+use crate::admission::{Admission, OverloadPolicy, RequestClass};
 use crate::handler::RequestHandler;
 use crate::telemetry::{elapsed_ns, request_device_hash, LaneStats, ServerTelemetry};
 
@@ -54,6 +55,7 @@ pub struct TcpServer {
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     telemetry: Arc<ServerTelemetry>,
+    admission: Arc<Admission>,
     /// The time-series sampler thread; `None` when the sample interval
     /// is zero. Stopped (joined) when the server handle drops.
     sampler: Option<Sampler>,
@@ -103,6 +105,57 @@ impl TcpServer {
         sample_interval: Duration,
         series_capacity: usize,
     ) -> io::Result<Self> {
+        Self::spawn_configured(
+            addr,
+            handler,
+            workers,
+            slow_trace_threshold,
+            trace_capacity,
+            sample_interval,
+            series_capacity,
+            OverloadPolicy::disabled(),
+        )
+    }
+
+    /// [`TcpServer::spawn`] with an admission budget: this backend
+    /// meters pressure as connections accepted but not yet finished
+    /// (the worker pool's invisible queue), so the policy's thresholds
+    /// are connection counts. Shed requests are answered inline with
+    /// [`ErrorCode::Overloaded`](ropuf_proto::ErrorCode) — no decode,
+    /// no verifier work — while admitted traffic keeps serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn_overload(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+        workers: usize,
+        policy: OverloadPolicy,
+    ) -> io::Result<Self> {
+        Self::spawn_configured(
+            addr,
+            handler,
+            workers,
+            Duration::from_millis(1),
+            256,
+            Duration::from_secs(1),
+            512,
+            policy,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_configured(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+        workers: usize,
+        slow_trace_threshold: Duration,
+        trace_capacity: usize,
+        sample_interval: Duration,
+        series_capacity: usize,
+        policy: OverloadPolicy,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -115,6 +168,7 @@ impl TcpServer {
             sample_interval,
         );
         let sampler = telemetry.start_sampler();
+        let admission = Arc::new(Admission::new(policy, &telemetry));
         let (tx, rx) = mpsc::channel::<(u64, TcpStream, Instant)>();
         let rx = Arc::new(Mutex::new(rx));
 
@@ -124,6 +178,7 @@ impl TcpServer {
                 let handler = Arc::clone(&handler);
                 let connections = Arc::clone(&connections);
                 let telemetry = Arc::clone(&telemetry);
+                let admission = Arc::clone(&admission);
                 std::thread::spawn(move || {
                     let lane = telemetry.lane(worker_id as u32);
                     // Wall anchor: everything since the last connection
@@ -140,10 +195,12 @@ impl TcpServer {
                                     stream,
                                     handler.as_ref(),
                                     &telemetry,
+                                    &admission,
                                     &lane,
                                     worker_id as u32,
                                     queued_at,
                                 );
+                                admission.end();
                                 telemetry.connection_closed(false, false);
                                 // Release the shutdown registry's duplicate
                                 // descriptor now, not at server shutdown.
@@ -165,6 +222,7 @@ impl TcpServer {
         let accept_stop = Arc::clone(&stop);
         let accept_conns = Arc::clone(&connections);
         let accept_telemetry = Arc::clone(&telemetry);
+        let accept_admission = Arc::clone(&admission);
         let accept_thread = std::thread::spawn(move || {
             let mut next_id = 0u64;
             for stream in listener.incoming() {
@@ -182,6 +240,7 @@ impl TcpServer {
                                 .push((conn_id, clone));
                         }
                         accept_telemetry.connection_accepted();
+                        accept_admission.begin();
                         if tx.send((conn_id, stream, Instant::now())).is_err() {
                             break;
                         }
@@ -199,8 +258,14 @@ impl TcpServer {
             accept_thread: Some(accept_thread),
             workers: worker_handles,
             telemetry,
+            admission,
             sampler,
         })
+    }
+
+    /// This backend's admission gate (policy + shed tallies).
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.admission
     }
 
     /// The bound address (resolves port 0 to the ephemeral port).
@@ -283,6 +348,7 @@ fn serve_connection(
     stream: TcpStream,
     handler: &dyn RequestHandler,
     telemetry: &ServerTelemetry,
+    admission: &Admission,
     lane: &LaneStats,
     worker: u32,
     queued_at: Instant,
@@ -314,6 +380,30 @@ fn serve_connection(
                 // part of the tally.
                 telemetry.request_started();
                 let msg_type = reader.frame_payload().first().copied().unwrap_or(0);
+                // Admission first, off the type byte alone: a shed
+                // request must cost a small error frame, not a decode
+                // and a verifier call. The connection stays up — the
+                // client is told when to retry, not reset.
+                if let Some(shed) = admission.check_inflight(RequestClass::of(msg_type)) {
+                    let t1 = Instant::now();
+                    let ok = writer.write_response(&shed).is_ok();
+                    let t3 = Instant::now();
+                    let record = telemetry.observe_queued(
+                        msg_type,
+                        0,
+                        ready_ns,
+                        elapsed_ns(t0, t1),
+                        0,
+                        elapsed_ns(t1, t3),
+                        worker,
+                    );
+                    telemetry.observe_drained(record, 0);
+                    lane.busy_ns.add(elapsed_ns(t0, t3));
+                    if !ok {
+                        break;
+                    }
+                    continue;
+                }
                 let decoded = RequestRef::decode(reader.frame_payload());
                 let t1 = Instant::now();
                 match decoded {
@@ -428,6 +518,35 @@ impl TcpTransport {
     /// Propagates connection/clone failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects under [`Deadlines`](crate::resilient::Deadlines): the
+    /// dial, every read, and every write each get a finite budget, so
+    /// a wedged server surfaces as `io::ErrorKind::TimedOut`/
+    /// `WouldBlock` instead of hanging the client forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution, connection, configuration, and clone
+    /// failures.
+    pub fn connect_with_deadlines(
+        addr: impl ToSocketAddrs,
+        deadlines: &crate::resilient::Deadlines,
+    ) -> io::Result<Self> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let stream = match deadlines.connect {
+            Some(timeout) => TcpStream::connect_timeout(&resolved, timeout)?,
+            None => TcpStream::connect(resolved)?,
+        };
+        stream.set_read_timeout(deadlines.read)?;
+        stream.set_write_timeout(deadlines.write)?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Self> {
         stream.set_nodelay(true).ok(); // latency over batching
         let write_half = stream.try_clone()?;
         Ok(Self {

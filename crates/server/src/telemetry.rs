@@ -198,6 +198,16 @@ impl ServerTelemetry {
         })
     }
 
+    /// Registers (idempotently) and returns the `server.shed` counter
+    /// for one admission class. Cold path: called once per class when
+    /// the admission gate is built.
+    pub(crate) fn shed_counter(&self, class: &'static str) -> Counter {
+        self.registry.counter(
+            "server.shed",
+            &[("backend", self.backend.as_str()), ("class", class)],
+        )
+    }
+
     /// Registers (idempotently) and returns the saturation handles for
     /// one lane. Cold path: called once per loop/worker at startup.
     pub(crate) fn lane(&self, lane: u32) -> LaneStats {

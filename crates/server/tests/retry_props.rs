@@ -1,0 +1,93 @@
+//! Property tests for the resilient client's [`RetryPolicy`]: the
+//! backoff schedule is capped, jittered within its bounds, a pure
+//! function of `(seed, op, attempt)`, and the retry budget is a hard
+//! ceiling on attempts.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use ropuf_server::{Deadlines, ResilientClient, RetryPolicy};
+
+proptest! {
+    /// Every delay is bounded by the cap and sits in the equal-jitter
+    /// band `[nominal/2, nominal]` where `nominal = min(base · 2^n,
+    /// cap)` — and the whole schedule replays from the seed.
+    #[test]
+    fn backoff_is_capped_jittered_and_deterministic(
+        seed in any::<u64>(),
+        base_us in 1u64..10_000,
+        cap_us in 1u64..1_000_000,
+        op in 0u64..1 << 48,
+        attempt in 0u32..64,
+    ) {
+        let policy = RetryPolicy {
+            budget: 4,
+            base_delay: Duration::from_micros(base_us),
+            max_delay: Duration::from_micros(cap_us),
+            seed,
+        };
+        let delay = policy.delay(op, attempt);
+        prop_assert!(delay <= policy.max_delay, "{delay:?} over cap");
+        let nominal_ns = (base_us * 1_000)
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(cap_us * 1_000);
+        let nominal = Duration::from_nanos(nominal_ns);
+        prop_assert!(
+            delay >= nominal / 2,
+            "{delay:?} below the equal-jitter floor of {nominal:?}"
+        );
+        // Pure function: the same draw twice, and from a rebuilt policy.
+        prop_assert_eq!(delay, policy.delay(op, attempt));
+        let rebuilt = RetryPolicy { ..policy };
+        prop_assert_eq!(delay, rebuilt.delay(op, attempt));
+    }
+
+    /// Until the cap bites, each retry's jitter band doubles: the
+    /// floor of attempt `n+1` is never below the floor of attempt `n`.
+    #[test]
+    fn backoff_floors_are_monotone_until_the_cap(
+        seed in any::<u64>(),
+        base_us in 1u64..1_000,
+        attempt in 0u32..20,
+    ) {
+        let policy = RetryPolicy {
+            budget: 4,
+            base_delay: Duration::from_micros(base_us),
+            max_delay: Duration::from_secs(3600),
+            seed,
+        };
+        let nominal_ns = (base_us * 1_000)
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(u64::try_from(policy.max_delay.as_nanos()).unwrap());
+        let this_floor = Duration::from_nanos(nominal_ns) / 2;
+        let next = policy.delay(7, attempt + 1);
+        prop_assert!(
+            next >= this_floor,
+            "attempt {} delay {next:?} under attempt {attempt} floor {this_floor:?}",
+            attempt + 1,
+        );
+    }
+
+    /// The budget is a hard ceiling: against an address that refuses
+    /// every dial, the client makes exactly `budget` retries — never
+    /// more — and reports the exhaustion.
+    #[test]
+    fn budget_is_never_exceeded(budget in 0u32..4, seed in any::<u64>()) {
+        let policy = RetryPolicy {
+            budget,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(100),
+            seed,
+        };
+        // Port 1 on loopback: nothing listens, every dial fails fast.
+        let mut client =
+            ResilientClient::new("127.0.0.1:1", policy, Deadlines::default()).unwrap();
+        let err = client.hello("budget-prober").unwrap_err();
+        prop_assert_eq!(client.retries_total(), u64::from(budget));
+        prop_assert!(
+            err.to_string().contains("retry budget"),
+            "exhaustion must be reported, got: {}",
+            err
+        );
+    }
+}

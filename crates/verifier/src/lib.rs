@@ -99,5 +99,6 @@ pub use service::{
     auth_key, client_tag, device_auth_response, AuthQuery, AuthRequest, BatchEnrollment,
     BatchScratch, Verifier,
 };
+pub use store::faults::StoreFaults;
 pub use store::snapshot::SnapshotV2Error;
 pub use store::{DeviceStore, RecoveryReport, StoreError, StoreOptions, SyncPolicy, TornTail};

@@ -24,6 +24,7 @@ use crate::detector::{AuthVerdict, DetectorConfig, FlagReason};
 use crate::registry::{
     DeviceEntry, EnrollmentRecord, RegistryError, ShardedRegistry, SnapshotError,
 };
+use crate::store::faults::StoreFaults;
 use crate::store::snapshot::SnapshotV2Error;
 use crate::store::{self, DeviceStore, RecoveryReport, StoreError, StoreOptions};
 
@@ -279,10 +280,31 @@ impl Verifier {
         detector_config: DetectorConfig,
         options: StoreOptions,
     ) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_durable_faulted(dir, shards, detector_config, options, None)
+    }
+
+    /// [`Verifier::open_durable`] with a deterministic fault schedule
+    /// armed on the store before it is shared — the chaos-test entry
+    /// point: the scheduled WAL/snapshot operations fail exactly where
+    /// the schedule says, exercising the read-only degraded latch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Verifier::open_durable`].
+    pub fn open_durable_faulted(
+        dir: &Path,
+        shards: usize,
+        detector_config: DetectorConfig,
+        options: StoreOptions,
+        faults: Option<StoreFaults>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
         let (mut registry, report) = store::recover(dir, shards, detector_config)?;
         let verifier = {
             let telemetry = TelemetryRegistry::new();
             let mut store = DeviceStore::open(dir, options)?;
+            if let Some(faults) = faults {
+                store.inject_faults(faults);
+            }
             store.attach_telemetry(&telemetry);
             registry.attach_store(Arc::new(store));
             let metrics = VerifierMetrics::new(&telemetry);

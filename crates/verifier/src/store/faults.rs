@@ -1,0 +1,126 @@
+//! Deterministic fault injection for the durable store.
+//!
+//! The transport-layer [`FaultPlan`](ropuf_proto::FaultPlan) bends
+//! byte streams; this module bends the disk. A [`StoreFaults`] pins an
+//! injected `Err` to an exact operation index on each of the store's
+//! three fallible syscall families — WAL append, WAL fsync, snapshot
+//! rename — so a chaos run can make the write-ahead log fail at a
+//! known, replayable point and prove the serving stack latches its
+//! read-only degraded mode instead of corrupting state or lying about
+//! durability.
+//!
+//! Injection is one-shot per family: the nth operation fails, later
+//! ones succeed again. That is the interesting shape — the degraded
+//! latch is permanent by design, so what matters is the transition,
+//! and a store that keeps appending flag records after the latch keeps
+//! its log coherent for the post-mortem.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operation index that never fires.
+const NEVER: u64 = u64::MAX;
+
+/// A deterministic schedule of injected store failures: the nth
+/// operation of each family returns an injected `Err`. Thread-safe;
+/// attach one to a [`DeviceStore`](crate::DeviceStore) with
+/// [`DeviceStore::inject_faults`](crate::DeviceStore::inject_faults)
+/// before sharing it.
+#[derive(Debug)]
+pub struct StoreFaults {
+    fail_append_at: u64,
+    fail_sync_at: u64,
+    fail_rename_at: u64,
+    appends_seen: AtomicU64,
+    syncs_seen: AtomicU64,
+    renames_seen: AtomicU64,
+}
+
+impl Default for StoreFaults {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreFaults {
+    /// A schedule that never fires until armed with the builders.
+    pub fn new() -> Self {
+        Self {
+            fail_append_at: NEVER,
+            fail_sync_at: NEVER,
+            fail_rename_at: NEVER,
+            appends_seen: AtomicU64::new(0),
+            syncs_seen: AtomicU64::new(0),
+            renames_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Fails the `nth` WAL append (0-based).
+    pub fn fail_append_at(mut self, nth: u64) -> Self {
+        self.fail_append_at = nth;
+        self
+    }
+
+    /// Fails the `nth` WAL fsync (0-based).
+    pub fn fail_sync_at(mut self, nth: u64) -> Self {
+        self.fail_sync_at = nth;
+        self
+    }
+
+    /// Fails the `nth` snapshot rename (0-based).
+    pub fn fail_rename_at(mut self, nth: u64) -> Self {
+        self.fail_rename_at = nth;
+        self
+    }
+
+    fn fire(seen: &AtomicU64, nth: u64, what: &'static str) -> io::Result<()> {
+        let op = seen.fetch_add(1, Ordering::Relaxed);
+        if op == nth {
+            return Err(io::Error::other(format!("injected {what} fault (op {op})")));
+        }
+        Ok(())
+    }
+
+    /// Called by the store before each WAL append.
+    pub(crate) fn on_append(&self) -> io::Result<()> {
+        Self::fire(&self.appends_seen, self.fail_append_at, "wal append")
+    }
+
+    /// Called by the store before each WAL fsync.
+    pub(crate) fn on_sync(&self) -> io::Result<()> {
+        Self::fire(&self.syncs_seen, self.fail_sync_at, "wal fsync")
+    }
+
+    /// Called by the store before each snapshot rename.
+    pub(crate) fn on_rename(&self) -> io::Result<()> {
+        Self::fire(&self.renames_seen, self.fail_rename_at, "snapshot rename")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_op_fails_once_then_recovers() {
+        let faults = StoreFaults::new().fail_append_at(2);
+        assert!(faults.on_append().is_ok()); // op 0
+        assert!(faults.on_append().is_ok()); // op 1
+        let err = faults.on_append().unwrap_err(); // op 2
+        assert!(err.to_string().contains("injected wal append"));
+        assert!(faults.on_append().is_ok(), "one-shot: op 3 succeeds");
+        // Other families untouched.
+        assert!(faults.on_sync().is_ok());
+        assert!(faults.on_rename().is_ok());
+    }
+
+    #[test]
+    fn unarmed_schedule_never_fires() {
+        let faults = StoreFaults::new();
+        for _ in 0..64 {
+            assert!(faults.on_append().is_ok());
+            assert!(faults.on_sync().is_ok());
+            assert!(faults.on_rename().is_ok());
+        }
+    }
+}

@@ -37,6 +37,7 @@
 //!   whose records survived, in order, and never a flag whose record
 //!   was dropped.
 
+pub mod faults;
 pub mod snapshot;
 pub mod wal;
 
@@ -44,11 +45,12 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::detector::{DetectorConfig, FlagReason};
 use crate::registry::{EnrollmentRecord, RegistryError, ShardedRegistry};
+use faults::StoreFaults;
 use snapshot::SnapshotV2Error;
 use wal::{WalDecodeError, WalReader, WalRecord};
 
@@ -222,7 +224,15 @@ struct StoreMetrics {
     wal_bytes: ropuf_telemetry::Counter,
     wal_fsyncs: ropuf_telemetry::Counter,
     wal_rotations: ropuf_telemetry::Counter,
+    /// Transitions into the read-only degraded mode (0 → 1 in any
+    /// single process lifetime; the latch never clears).
+    degraded_transitions: ropuf_telemetry::Counter,
+    /// Injected faults that actually fired, by kind.
+    faults_injected: [ropuf_telemetry::Counter; 3],
 }
+
+/// `faults.injected{kind}` label values, in [`StoreMetrics`] order.
+const FAULT_KINDS: [&str; 3] = ["wal_append", "wal_fsync", "snapshot_rename"];
 
 /// The durable half of a registry: owns the store directory, the
 /// active WAL segment, and the compaction machinery. Thread-safe —
@@ -234,6 +244,11 @@ pub struct DeviceStore {
     options: StoreOptions,
     active: Mutex<ActiveSegment>,
     io_errors: AtomicU64,
+    /// Latched `true` on the first WAL append/fsync failure: the store
+    /// can no longer promise write-ahead durability, so the serving
+    /// layer must refuse mutations (read-only degraded mode).
+    degraded: AtomicBool,
+    faults: Option<StoreFaults>,
     metrics: StoreMetrics,
 }
 
@@ -268,8 +283,19 @@ impl DeviceStore {
                 bytes: 0,
             }),
             io_errors: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            faults: None,
             metrics: StoreMetrics::default(),
         })
+    }
+
+    /// Arms a deterministic fault schedule: the scheduled WAL
+    /// append/fsync and snapshot-rename operations return injected
+    /// errors, exercising the same degraded paths a real disk failure
+    /// would. Called before the store is shared (`&mut self`), like
+    /// [`DeviceStore::attach_telemetry`].
+    pub fn inject_faults(&mut self, faults: StoreFaults) {
+        self.faults = Some(faults);
     }
 
     /// Registers this store's WAL counters (`verifier.wal.*`) in
@@ -280,6 +306,9 @@ impl DeviceStore {
             wal_bytes: telemetry.counter("verifier.wal.bytes", &[]),
             wal_fsyncs: telemetry.counter("verifier.wal.fsyncs", &[]),
             wal_rotations: telemetry.counter("verifier.wal.rotations", &[]),
+            degraded_transitions: telemetry.counter("server.degraded_transitions", &[]),
+            faults_injected: FAULT_KINDS
+                .map(|kind| telemetry.counter("faults.injected", &[("kind", kind)])),
         };
     }
 
@@ -300,10 +329,53 @@ impl DeviceStore {
         self.io_errors.load(Ordering::Relaxed)
     }
 
+    /// `true` once any WAL append or fsync has failed: write-ahead
+    /// durability is gone and the serving layer must refuse mutations.
+    /// The latch never clears within a process — recovery from a disk
+    /// failure is a restart decision, not something to flap on.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Latches the read-only degraded mode, counting the transition
+    /// exactly once (`server.degraded_transitions`).
+    fn mark_degraded(&self) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            self.metrics.degraded_transitions.inc();
+        }
+    }
+
+    /// Runs the armed fault schedule's hook for one operation family,
+    /// counting an injection when it fires.
+    fn faulted(
+        &self,
+        kind: usize,
+        hook: impl FnOnce(&StoreFaults) -> std::io::Result<()>,
+        context: &'static str,
+    ) -> Result<(), StoreError> {
+        if let Some(faults) = &self.faults {
+            if let Err(error) = hook(faults) {
+                self.metrics.faults_injected[kind].inc();
+                return Err(StoreError::Io { context, error });
+            }
+        }
+        Ok(())
+    }
+
     /// Appends one framed buffer under the lock, rotating afterwards
-    /// if the segment passed its size threshold.
+    /// if the segment passed its size threshold. Any failure — real or
+    /// injected — latches the degraded mode before it propagates.
     fn append_locked(&self, buf: &[u8]) -> Result<(), StoreError> {
         let mut active = self.active.lock().expect("store lock poisoned");
+        let result = self.append_under_lock(&mut active, buf);
+        if result.is_err() {
+            self.mark_degraded();
+        }
+        result
+    }
+
+    fn append_under_lock(&self, active: &mut ActiveSegment, buf: &[u8]) -> Result<(), StoreError> {
+        self.faulted(0, StoreFaults::on_append, "append wal record")?;
         active
             .file
             .write_all(buf)
@@ -311,11 +383,12 @@ impl DeviceStore {
         active.bytes += buf.len() as u64;
         self.metrics.wal_bytes.add(buf.len() as u64);
         if self.options.sync_policy == SyncPolicy::EveryRecord {
+            self.faulted(1, StoreFaults::on_sync, "sync wal record")?;
             active.file.sync_data().map_err(io_err("sync wal record"))?;
             self.metrics.wal_fsyncs.inc();
         }
         if active.bytes >= self.options.segment_bytes {
-            self.rotate_locked(&mut active)?;
+            self.rotate_locked(active)?;
         }
         Ok(())
     }
@@ -367,19 +440,25 @@ impl DeviceStore {
     /// [`StoreError::Io`] if the fsync fails.
     pub fn sync(&self) -> Result<(), StoreError> {
         let active = self.active.lock().expect("store lock poisoned");
-        active
-            .file
-            .sync_data()
-            .map_err(io_err("sync wal segment"))?;
+        let result = self
+            .faulted(1, StoreFaults::on_sync, "sync wal segment")
+            .and_then(|()| active.file.sync_data().map_err(io_err("sync wal segment")));
+        if result.is_err() {
+            self.mark_degraded();
+            return result;
+        }
         self.metrics.wal_fsyncs.inc();
         Ok(())
     }
 
     fn rotate_locked(&self, active: &mut ActiveSegment) -> Result<u64, StoreError> {
-        active
-            .file
-            .sync_data()
-            .map_err(io_err("sync wal segment"))?;
+        let synced = self
+            .faulted(1, StoreFaults::on_sync, "sync wal segment")
+            .and_then(|()| active.file.sync_data().map_err(io_err("sync wal segment")));
+        if let Err(error) = synced {
+            self.mark_degraded();
+            return Err(error);
+        }
         self.metrics.wal_fsyncs.inc();
         self.metrics.wal_rotations.inc();
         let closed = active.seq;
@@ -433,6 +512,9 @@ impl DeviceStore {
             tmp.write_all(bytes).map_err(io_err("write snapshot"))?;
             tmp.sync_all().map_err(io_err("sync snapshot"))?;
         }
+        // A failed rename leaves the previous snapshot + WAL authoritative
+        // — compaction is retryable, so it does not latch degraded mode.
+        self.faulted(2, StoreFaults::on_rename, "install snapshot")?;
         fs::rename(&tmp_path, &final_path).map_err(io_err("install snapshot"))?;
         sync_dir(&self.dir);
         if let Ok(files) = list_store_files(&self.dir) {
@@ -627,5 +709,94 @@ mod tests {
         assert_eq!(parse_name("other.txt"), None);
         // Temp files from an interrupted compaction are not store files.
         assert_eq!(parse_name("snapshot-00000000000000000007.v2.tmp"), None);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ropuf-store-faults-{tag}-{}", std::process::id()))
+    }
+
+    fn record() -> EnrollmentRecord {
+        EnrollmentRecord {
+            scheme_tag: 1,
+            helper: vec![7; 16],
+            key_digest: [9; 32],
+        }
+    }
+
+    #[test]
+    fn injected_wal_append_fault_latches_degraded_once() {
+        let dir = scratch_dir("append");
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = DeviceStore::open(&dir, StoreOptions::default()).unwrap();
+        store.inject_faults(StoreFaults::new().fail_append_at(1));
+        store.attach_telemetry(&ropuf_telemetry::Registry::new());
+        let record = record();
+
+        assert!(store.log_enrolls([(1u64, &record)].into_iter()).is_ok());
+        assert!(!store.is_degraded(), "healthy append must not latch");
+
+        let err = store
+            .log_enrolls([(2u64, &record)].into_iter())
+            .unwrap_err();
+        assert!(err.to_string().contains("injected wal append"));
+        assert!(store.is_degraded(), "failed append must latch");
+
+        // One-shot fault: later appends succeed, the latch stays.
+        assert!(store.log_enrolls([(3u64, &record)].into_iter()).is_ok());
+        assert!(store.is_degraded(), "latch never clears");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fsync_fault_latches_and_counts_transition_once() {
+        let dir = scratch_dir("fsync");
+        let _ = fs::remove_dir_all(&dir);
+        let telemetry = ropuf_telemetry::Registry::new();
+        let mut store = DeviceStore::open(
+            &dir,
+            StoreOptions {
+                sync_policy: SyncPolicy::EveryRecord,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        store.inject_faults(StoreFaults::new().fail_sync_at(0));
+        store.attach_telemetry(&telemetry);
+        let record = record();
+
+        assert!(store.log_enrolls([(1u64, &record)].into_iter()).is_err());
+        assert!(store.is_degraded());
+        // A second failure path must not double-count the transition.
+        let _ = store.sync();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter_total("server.degraded_transitions"), 1);
+        assert_eq!(snap.counter_total("faults.injected"), 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rename_fault_fails_compaction_without_latching() {
+        let dir = scratch_dir("rename");
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = DeviceStore::open(&dir, StoreOptions::default()).unwrap();
+        store.inject_faults(StoreFaults::new().fail_rename_at(0));
+        store.attach_telemetry(&ropuf_telemetry::Registry::new());
+
+        store.rotate().unwrap();
+        let seq = store.active_segment_seq() - 1;
+        let err = store
+            .install_snapshot(seq, b"not a real snapshot")
+            .unwrap_err();
+        assert!(err.to_string().contains("injected snapshot rename"));
+        assert!(
+            !store.is_degraded(),
+            "compaction failure is retryable, not a durability loss"
+        );
+        // The retry (op 1) goes through.
+        store.install_snapshot(seq, b"not a real snapshot").unwrap();
+
+        let _ = fs::remove_dir_all(&dir);
     }
 }
