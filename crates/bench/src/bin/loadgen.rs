@@ -4,10 +4,10 @@
 //! ```text
 //! loadgen [--server loopback|blocking|evented] [--devices N]
 //!         [--rounds R] [--seed S] [--shards M] [--threads T]
-//!         [--workers W] [--loops L] [--connections C] [--churn]
-//!         [--smoke] [--loopback] [--json PATH] [--telemetry]
+//!         [--workers W] [--loops L] [--busy-poll] [--connections C]
+//!         [--churn] [--smoke] [--loopback] [--json PATH] [--telemetry]
 //!         [--telemetry-json PATH] [--trace-threshold-us U] [--port P]
-//!         [--chaos SEED [--fault-rate R]]
+//!         [--assert-p999-us U] [--chaos SEED [--fault-rate R]]
 //! ```
 //!
 //! Builds a deterministic [`TrafficPlan`] (first quarter of the fleet:
@@ -28,6 +28,24 @@
 //!   own one connection each until EOF);
 //! * `--churn` — a fresh connection per device replay (accept/teardown
 //!   pressure).
+//!
+//! `--loops L` sizes the evented backend's event-loop fleet; the
+//! default is `min(available_parallelism, 4)` — the committed tail
+//! numbers were once silently measured at `loops: 1`, so the resolved
+//! value is printed and recorded in the JSON artifact. `--busy-poll`
+//! arms each loop's short zero-timeout spin before the blocking wait.
+//!
+//! In the held-connection evented shape every connection is probed
+//! with `LoopInfo` after its handshake and auth traffic is routed
+//! loop-affine: a device's requests prefer connections that landed on
+//! `shard_for(id, shards) % loops` — the loop whose registry shard
+//! owns the device — falling back to plain round-robin when the probe
+//! found no connection there. Probe ops are folded into the exact
+//! telemetry gate below.
+//!
+//! `--assert-p999-us U` turns the printed tail into a hard gate: the
+//! run aborts when client-observed p999 exceeds `U` microseconds
+//! (CI's guardband against tail regressions).
 //!
 //! Acceptance shape (asserted, not just printed): nonzero throughput,
 //! **every** attacked device rejected at the wire with the
@@ -82,7 +100,16 @@ use ropuf_server::{
 };
 #[cfg(target_os = "linux")]
 use ropuf_server::{EventedConfig, EventedServer};
-use ropuf_verifier::{DetectorConfig, Verifier};
+use ropuf_verifier::{shard_for, DetectorConfig, Verifier};
+
+/// `--loops` default: one event loop per available core, capped at 4.
+/// Resolved (not hardcoded `1`) because the committed tail numbers
+/// were once silently measured single-loop; the chosen value is
+/// printed and recorded in the JSON artifact so a run is never
+/// ambiguous about its topology.
+fn default_loops() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
+}
 
 /// Which serving backend replays the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,11 +144,50 @@ struct DeviceOutcome {
     flag_reason: Option<String>,
 }
 
+/// One replay thread's set of live connections, with optional
+/// loop-affine routing (evented held shape).
+struct ClientPool<T: Transport> {
+    clients: Vec<Client<T>>,
+    affinity: Option<PoolAffinity>,
+}
+
+/// Routing table from the per-connection `LoopInfo` probe: which pool
+/// slots landed on which event loop, plus the shard geometry mapping
+/// a device id to its owning loop — `shard_for(id, shards) % loops`,
+/// the same arithmetic the server's affinity counters use.
+struct PoolAffinity {
+    shards: usize,
+    loops: usize,
+    by_loop: Vec<Vec<usize>>,
+}
+
+impl<T: Transport> ClientPool<T> {
+    fn plain(clients: Vec<Client<T>>) -> Self {
+        Self {
+            clients,
+            affinity: None,
+        }
+    }
+
+    /// Picks the pool slot for a device's next request: loop-affine
+    /// when the probe found connections on the device's owning loop,
+    /// plain round-robin otherwise.
+    fn pick(&self, rr: usize, device_id: u64) -> usize {
+        if let Some(a) = &self.affinity {
+            let owner = shard_for(device_id, a.shards) % a.loops.max(1);
+            if let Some(subset) = a.by_loop.get(owner).filter(|s| !s.is_empty()) {
+                return subset[rr % subset.len()];
+            }
+        }
+        rr % self.clients.len()
+    }
+}
+
 /// Replays every request of one device, in order, round-robining the
 /// requests across the thread's connection pool (a single-client pool
 /// is the classic one-connection-per-thread shape).
 fn replay_device<T: Transport>(
-    pool: &mut [Client<T>],
+    pool: &mut ClientPool<T>,
     rr: &mut usize,
     device: &DeviceTraffic,
     latencies: &mut Histogram,
@@ -137,7 +203,8 @@ fn replay_device<T: Transport>(
         flag_reason: None,
     };
     for (i, item) in device.requests.iter().enumerate() {
-        let client = &mut pool[*rr % pool.len()];
+        let slot = pool.pick(*rr, device.device_id);
+        let client = &mut pool.clients[slot];
         *rr += 1;
         let t0 = Instant::now();
         // Borrowed replay: the recorded item is encoded straight from
@@ -155,7 +222,7 @@ fn replay_device<T: Transport>(
             Err(e) => panic!("device {}: transport failure: {e}", device.device_id),
         }
     }
-    outcome.flag_reason = pool[0]
+    outcome.flag_reason = pool.clients[0]
         .query_verdict(device.device_id)
         .expect("enrolled device must be queryable")
         .map(|(_, reason)| reason.label().to_string());
@@ -207,7 +274,7 @@ where
 /// connections for the whole run.
 fn run_pools<T: Transport + Send>(
     plan: &TrafficPlan,
-    pools: Vec<Vec<Client<T>>>,
+    pools: Vec<ClientPool<T>>,
 ) -> (Vec<DeviceOutcome>, Histogram) {
     let workers = pools
         .into_iter()
@@ -237,7 +304,7 @@ where
     let workers = (0..threads.max(1))
         .map(|_| {
             move |device: &DeviceTraffic, latencies: &mut Histogram| {
-                let mut pool = vec![connect()];
+                let mut pool = ClientPool::plain(vec![connect()]);
                 replay_device(&mut pool, &mut 0, device, latencies)
             }
         })
@@ -246,12 +313,18 @@ where
 }
 
 /// Opens `count` TCP connections, completes the handshake on each, and
-/// partitions them round-robin into `threads` pools.
+/// partitions them round-robin into `threads` pools. With `affine`
+/// (`(shards, loops)` — the evented backend), every connection is
+/// additionally probed with `LoopInfo` so replay can route each
+/// device's traffic to a connection on its owning loop. Returns the
+/// pools plus the number of probe ops issued (they count toward the
+/// exact telemetry gate).
 fn open_held_pools(
     addr: std::net::SocketAddr,
     count: usize,
     threads: usize,
-) -> Vec<Vec<Client<TcpTransport>>> {
+    affine: Option<(usize, usize)>,
+) -> (Vec<ClientPool<TcpTransport>>, u64) {
     let mut pools: Vec<Vec<Client<TcpTransport>>> =
         (0..threads.max(1)).map(|_| Vec::new()).collect();
     for i in 0..count {
@@ -265,7 +338,49 @@ fn open_held_pools(
     // Fewer connections than threads leaves trailing pools empty; a
     // pool-less thread has nothing to replay with, so shed it.
     pools.retain(|pool| !pool.is_empty());
-    pools
+    let Some((shards, loops)) = affine else {
+        return (pools.into_iter().map(ClientPool::plain).collect(), 0);
+    };
+    let loops = loops.max(1);
+    let mut probe_ops = 0u64;
+    let mut per_loop = vec![0u64; loops];
+    let pools = pools
+        .into_iter()
+        .map(|mut clients| {
+            let mut by_loop: Vec<Vec<usize>> = vec![Vec::new(); loops];
+            for (slot, client) in clients.iter_mut().enumerate() {
+                let (loop_id, loops_total) = client.loop_info().expect("LoopInfo probe");
+                probe_ops += 1;
+                assert_eq!(
+                    loops_total as usize, loops,
+                    "server must report the configured loop count"
+                );
+                assert!(
+                    (loop_id as usize) < loops,
+                    "loop id {loop_id} out of range (loops {loops})"
+                );
+                per_loop[loop_id as usize] += 1;
+                by_loop[loop_id as usize].push(slot);
+            }
+            ClientPool {
+                clients,
+                affinity: Some(PoolAffinity {
+                    shards,
+                    loops,
+                    by_loop,
+                }),
+            }
+        })
+        .collect();
+    println!(
+        "loop-affinity probe: {count} held connections per loop [{}]; auth traffic routed to shard_for(id, {shards}) % {loops}",
+        per_loop
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    (pools, probe_ops)
 }
 
 /// The live mid-run scraper (`--telemetry`): one held connection that
@@ -383,6 +498,8 @@ fn main() {
         "threads",
         "workers",
         "loops",
+        "busy-poll",
+        "assert-p999-us",
         "smoke",
         "loopback",
         "server",
@@ -418,7 +535,8 @@ fn main() {
         .get_usize("threads")
         .unwrap_or(if smoke { 2 } else { 4 });
     let mut workers = flags.get_usize("workers").unwrap_or(4);
-    let loops = flags.get_usize("loops").unwrap_or(1);
+    let loops = flags.get_usize("loops").unwrap_or_else(default_loops);
+    let busy_poll = flags.has("busy-poll");
     let connections = flags.get_usize("connections");
     let churn = flags.has("churn");
     let port = flags.get_usize("port");
@@ -544,6 +662,10 @@ fn main() {
     let bind_addr = format!("127.0.0.1:{}", port.unwrap_or(0));
     let exact_gates = port.is_none();
     let sample_interval = std::time::Duration::from_millis(250);
+    // LoopInfo probes issued while opening held pools (evented only);
+    // they land on the server's request counter, so the exact gate
+    // must account for them.
+    let mut probe_ops = 0u64;
     let (outcomes, latencies) = match backend {
         Backend::Loopback => {
             println!(
@@ -553,7 +675,7 @@ fn main() {
                 .map(|_| {
                     let mut client = Client::new(LoopbackTransport::new(Arc::clone(&handler)));
                     client.hello("loadgen").expect("handshake");
-                    vec![client]
+                    ClientPool::plain(vec![client])
                 })
                 .collect();
             run_pools(&plan, pools)
@@ -580,6 +702,8 @@ fn main() {
                 "blocking",
                 None,
                 exact_gates,
+                None,
+                &mut probe_ops,
             );
             scrape_report = scraper.map(|s| s.finish(addr));
             server_stats = Some(ServerStats {
@@ -597,12 +721,19 @@ fn main() {
         Backend::Evented => {
             let config = EventedConfig {
                 loops,
+                busy_poll,
                 slow_trace_threshold: trace_threshold,
                 trace_capacity: 2048,
                 sample_interval,
                 series_capacity: 2048,
                 ..EventedConfig::default()
             };
+            println!(
+                "evented topology: {loops} event loop(s) (default min(available_parallelism, 4) = {}), reuseport {}, busy-poll {}",
+                default_loops(),
+                if config.reuseport { "on" } else { "off" },
+                if busy_poll { "on" } else { "off" },
+            );
             let server = EventedServer::spawn(bind_addr.as_str(), Arc::clone(&handler), config)
                 .expect("bind localhost");
             let addr = server.local_addr();
@@ -620,6 +751,8 @@ fn main() {
                 "evented",
                 Some(&gauge),
                 exact_gates,
+                Some((shards, loops)),
+                &mut probe_ops,
             );
             scrape_report = scraper.map(|s| s.finish(addr));
             let (evicted_idle, evicted_slow) = server.evictions();
@@ -639,7 +772,9 @@ fn main() {
     /// address; asserts the held-connection gauge when the evented
     /// server handle is available (`exact_gauge` false — a fixed
     /// `--port` with external observers attached — weakens equality to
-    /// a lower bound).
+    /// a lower bound). `affine` (`(shards, loops)`, evented held shape
+    /// only) arms the LoopInfo probe + loop-affine routing; the probe
+    /// op count accumulates into `probe_ops`.
     #[allow(clippy::too_many_arguments)]
     fn run_tcp(
         plan: &TrafficPlan,
@@ -650,6 +785,8 @@ fn main() {
         backend_name: &str,
         held_gauge: Option<&dyn Fn() -> usize>,
         exact_gauge: bool,
+        affine: Option<(usize, usize)>,
+        probe_ops: &mut u64,
     ) -> (Vec<DeviceOutcome>, Histogram) {
         if churn {
             println!(
@@ -670,14 +807,15 @@ fn main() {
                             TcpTransport::connect(addr).expect("connect to own server"),
                         );
                         client.hello("loadgen").expect("handshake");
-                        vec![client]
+                        ClientPool::plain(vec![client])
                     })
                     .collect();
                 run_pools(plan, pools)
             }
             Some(count) => {
                 let t0 = Instant::now();
-                let pools = open_held_pools(addr, count, threads);
+                let (pools, probes) = open_held_pools(addr, count, threads, affine);
+                *probe_ops += probes;
                 println!(
                     "transport: TCP {addr} ({backend_name}), {count} connections held concurrently (opened + handshaken in {:.0} ms), {threads} client thread(s)",
                     t0.elapsed().as_secs_f64() * 1e3,
@@ -783,6 +921,16 @@ fn main() {
             total + plan.devices.len(),
         );
     }
+    // Tail gate (--assert-p999-us): the printed p999 becomes a hard
+    // floor CI can guardband against.
+    if let Some(limit_us) = flags.get_u64("assert-p999-us") {
+        let p999_us = s.p999 as f64 / 1e3;
+        assert!(
+            s.p999 <= limit_us.saturating_mul(1000),
+            "client-observed p999 {p999_us:.1} us exceeds the --assert-p999-us {limit_us} us gate"
+        );
+        println!("tail gate: p999 {p999_us:.1} us <= {limit_us} us — ok");
+    }
     let mean_flag_at = attackers
         .iter()
         .filter_map(|o| o.wire_flagged_at)
@@ -809,6 +957,7 @@ fn main() {
             connections.unwrap_or(threads.max(1))
         } as u64;
         let client_ops = hellos
+            + probe_ops
             + total as u64
             + plan.devices.len() as u64
             + scrape.scraper_ops
@@ -819,7 +968,7 @@ fn main() {
                 served,
                 client_ops,
                 "server-side request counter must equal the client-side op count exactly \
-                 ({hellos} handshakes + {total} auths + {} verdict queries + {} scraper ops + {} final ops)",
+                 ({hellos} handshakes + {probe_ops} loop probes + {total} auths + {} verdict queries + {} scraper ops + {} final ops)",
                 plan.devices.len(),
                 scrape.scraper_ops,
                 scrape.final_ops,
@@ -972,7 +1121,7 @@ fn main() {
             None => "null".to_string(),
         };
         let artifact = format!(
-            "{{\n  \"schema\": \"ropuf-bench-loadgen/v1\",\n  \"mode\": \"{}\",\n  \"server\": \"{}\",\n  \"connection_shape\": \"{}\",\n  \"config\": {{\"devices\": {devices}, \"rounds\": {rounds}, \"seed\": {master_seed}, \"shards\": {shards}, \"threads\": {threads}, \"workers\": {workers}, \"loops\": {loops}, \"connections\": {}}},\n  \"requests\": {total},\n  \"ops_per_s\": {ops:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \"max\": {:.1}}},\n  \"server_stats\": {stats_json}\n}}\n",
+            "{{\n  \"schema\": \"ropuf-bench-loadgen/v1\",\n  \"mode\": \"{}\",\n  \"server\": \"{}\",\n  \"connection_shape\": \"{}\",\n  \"config\": {{\"devices\": {devices}, \"rounds\": {rounds}, \"seed\": {master_seed}, \"shards\": {shards}, \"threads\": {threads}, \"workers\": {workers}, \"loops\": {loops}, \"busy_poll\": {busy_poll}, \"connections\": {}}},\n  \"requests\": {total},\n  \"ops_per_s\": {ops:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \"max\": {:.1}}},\n  \"server_stats\": {stats_json}\n}}\n",
             if smoke { "smoke" } else { "full" },
             backend.name(),
             if churn {
@@ -1147,7 +1296,9 @@ mod chaos {
         let connections = flags
             .get_usize("connections")
             .unwrap_or(if smoke { 64 } else { 1024 });
-        let loops = flags.get_usize("loops").unwrap_or(1);
+        let loops = flags
+            .get_usize("loops")
+            .unwrap_or_else(super::default_loops);
 
         ropuf_bench::header(
             "LOADGEN --chaos — deterministic fault injection against the resilient stack",
@@ -1192,6 +1343,7 @@ mod chaos {
 
         let config = EventedConfig {
             loops,
+            busy_poll: flags.has("busy-poll"),
             overload: overload_policy(),
             ..EventedConfig::default()
         };

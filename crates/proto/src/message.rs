@@ -32,6 +32,7 @@ mod ty {
     pub const METRICS_SNAPSHOT: u8 = 0x08;
     pub const TRACE_DUMP: u8 = 0x09;
     pub const TIMESERIES_DUMP: u8 = 0x0A;
+    pub const LOOP_INFO: u8 = 0x0B;
     pub const HELLO_OK: u8 = 0x81;
     pub const ENROLL_OK: u8 = 0x82;
     pub const VERDICT: u8 = 0x83;
@@ -42,6 +43,7 @@ mod ty {
     pub const METRICS_BIN: u8 = 0x88;
     pub const TRACE_BIN: u8 = 0x89;
     pub const TIMESERIES_BIN: u8 = 0x8A;
+    pub const LOOP_INFO_OK: u8 = 0x8B;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -323,6 +325,12 @@ pub enum Request {
     /// Ask for the server's retained time-series history (periodic
     /// delta snapshots) as a `ropuf-timeseries/v1` blob.
     TimeSeriesDump,
+    /// Ask which event loop owns this connection. Multi-loop evented
+    /// servers answer with the accepting loop's id; single-threaded
+    /// backends (blocking, loopback) answer `(0, 1)`. Topology-aware
+    /// clients use this to route a device's traffic to a connection on
+    /// the loop that owns the device's registry shard.
+    LoopInfo,
 }
 
 impl Request {
@@ -358,6 +366,7 @@ impl Request {
             Request::MetricsSnapshot => RequestRef::MetricsSnapshot,
             Request::TraceDump => RequestRef::TraceDump,
             Request::TimeSeriesDump => RequestRef::TimeSeriesDump,
+            Request::LoopInfo => RequestRef::LoopInfo,
         }
     }
 
@@ -450,6 +459,8 @@ pub enum RequestRef<'a> {
     TraceDump,
     /// See [`Request::TimeSeriesDump`].
     TimeSeriesDump,
+    /// See [`Request::LoopInfo`].
+    LoopInfo,
 }
 
 impl<'a> RequestRef<'a> {
@@ -481,6 +492,7 @@ impl<'a> RequestRef<'a> {
             RequestRef::MetricsSnapshot => Request::MetricsSnapshot,
             RequestRef::TraceDump => Request::TraceDump,
             RequestRef::TimeSeriesDump => Request::TimeSeriesDump,
+            RequestRef::LoopInfo => Request::LoopInfo,
         }
     }
 
@@ -527,6 +539,7 @@ impl<'a> RequestRef<'a> {
             RequestRef::MetricsSnapshot => out.put_u8(ty::METRICS_SNAPSHOT),
             RequestRef::TraceDump => out.put_u8(ty::TRACE_DUMP),
             RequestRef::TimeSeriesDump => out.put_u8(ty::TIMESERIES_DUMP),
+            RequestRef::LoopInfo => out.put_u8(ty::LOOP_INFO),
         }
     }
 
@@ -569,6 +582,7 @@ impl<'a> RequestRef<'a> {
             ty::METRICS_SNAPSHOT => RequestRef::MetricsSnapshot,
             ty::TRACE_DUMP => RequestRef::TraceDump,
             ty::TIMESERIES_DUMP => RequestRef::TimeSeriesDump,
+            ty::LOOP_INFO => RequestRef::LoopInfo,
             other => return Err(DecodeError::UnknownMessage(other)),
         };
         r.finish()?;
@@ -724,6 +738,15 @@ pub enum Response {
         /// The time-series blob.
         bytes: Vec<u8>,
     },
+    /// Answer to [`Request::LoopInfo`]: which event loop serves this
+    /// connection, out of how many.
+    LoopInfoOk {
+        /// Id of the loop that owns this connection (`0`-based).
+        loop_id: u32,
+        /// Total event loops the server runs (`1` for single-threaded
+        /// backends).
+        loops: u32,
+    },
     /// Typed failure.
     Error {
         /// What went wrong.
@@ -799,6 +822,11 @@ impl Response {
                 out.put_u8(ty::TIMESERIES_BIN);
                 out.put_bytes(bytes);
             }
+            Response::LoopInfoOk { loop_id, loops } => {
+                out.put_u8(ty::LOOP_INFO_OK);
+                out.put_u32(*loop_id);
+                out.put_u32(*loops);
+            }
             Response::Error { code, detail } => {
                 out.put_u8(ty::ERROR);
                 out.put_u8(code.code());
@@ -861,6 +889,10 @@ impl Response {
             ty::TIMESERIES_BIN => Response::TimeSeriesBin {
                 bytes: r.bytes("timeseries", crate::frame::MAX_FRAME as usize)?,
             },
+            ty::LOOP_INFO_OK => Response::LoopInfoOk {
+                loop_id: r.u32()?,
+                loops: r.u32()?,
+            },
             ty::ERROR => Response::Error {
                 code: ErrorCode::from_code(r.u8()?)?,
                 detail: r.string("detail", MAX_BYTES)?,
@@ -916,6 +948,7 @@ mod tests {
             Request::MetricsSnapshot,
             Request::TraceDump,
             Request::TimeSeriesDump,
+            Request::LoopInfo,
         ];
         for request in requests {
             let bytes = request.encode();
@@ -956,6 +989,10 @@ mod tests {
             },
             Response::TimeSeriesBin {
                 bytes: b"RPUFTSR1\x01\x00opaque-to-this-layer".to_vec(),
+            },
+            Response::LoopInfoOk {
+                loop_id: 3,
+                loops: 4,
             },
             Response::Error {
                 code: ErrorCode::DeviceFlagged,

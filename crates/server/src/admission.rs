@@ -96,6 +96,32 @@ const CLASSES: [RequestClass; 5] = [
     RequestClass::Other,
 ];
 
+/// Ready events below this depth contribute nothing to pressure: batch
+/// sizes in the tens are the evented loop's normal operating point,
+/// not overload.
+pub const READY_BACKLOG_GRACE: u64 = 256;
+
+/// Pressure (in pending-out-byte equivalents) each ready event beyond
+/// [`READY_BACKLOG_GRACE`] adds: a deep ready list means that many
+/// more frames are already committed to decode + handle + flush ahead
+/// of this one.
+pub const READY_EVENT_COST: u64 = 4096;
+
+/// The evented backend's pressure signal: the connection's unsent
+/// response bytes **plus** the depth of the epoll ready list still
+/// waiting behind the event being serviced. Pending-out bytes alone
+/// (PR 9) miss a ready-wait-dominated overload — thousands of
+/// connections with empty out-buffers all going ready at once — so
+/// backlog beyond [`READY_BACKLOG_GRACE`] is folded in at
+/// [`READY_EVENT_COST`] byte-equivalents per event.
+pub fn evented_pressure(pending_out_bytes: u64, ready_backlog: u64) -> u64 {
+    pending_out_bytes.saturating_add(
+        ready_backlog
+            .saturating_sub(READY_BACKLOG_GRACE)
+            .saturating_mul(READY_EVENT_COST),
+    )
+}
+
 /// Overload thresholds. Pressure is whatever unit the backend
 /// measures: queued out-buffer bytes (evented) or in-flight
 /// connections (blocking).
@@ -227,7 +253,50 @@ mod tests {
             assert_eq!(RequestClass::of(scrape), RequestClass::Scrape);
         }
         assert_eq!(RequestClass::of(0x01), RequestClass::Other);
+        // LoopInfo is topology discovery, admitted like the handshake.
+        assert_eq!(RequestClass::of(0x0B), RequestClass::Other);
         assert_eq!(RequestClass::of(0xEE), RequestClass::Other);
+    }
+
+    #[test]
+    fn ready_backlog_trips_brownout_with_empty_out_buffers() {
+        let t = telemetry();
+        let gate = Admission::new(
+            OverloadPolicy {
+                brownout_pressure: 64 * 1024,
+                max_pressure: 512 * 1024,
+                retry_after_ms: 2,
+            },
+            &t,
+        );
+        // Normal batch depths add no pressure at all.
+        assert_eq!(evented_pressure(0, 0), 0);
+        assert_eq!(evented_pressure(0, READY_BACKLOG_GRACE), 0);
+        assert_eq!(
+            gate.check(RequestClass::Verdict, evented_pressure(0, 64)),
+            None
+        );
+        // A ready list deep past the grace band is overload even when
+        // not a single byte is queued for write — the PR 9 signal
+        // (pending-out only) could never see this.
+        let deep = READY_BACKLOG_GRACE + 64 * 1024 / READY_EVENT_COST;
+        assert!(evented_pressure(0, deep) >= 64 * 1024);
+        assert!(gate
+            .check(RequestClass::Verdict, evented_pressure(0, deep))
+            .is_some());
+        // And the two signals compose: bytes already near the budget
+        // need only a shallow backlog to cross it.
+        assert!(gate
+            .check(
+                RequestClass::Scrape,
+                evented_pressure(60 * 1024, READY_BACKLOG_GRACE + 1)
+            )
+            .is_some());
+        // Auth still serves through brown-out either way.
+        assert_eq!(
+            gate.check(RequestClass::Auth, evented_pressure(0, deep)),
+            None
+        );
     }
 
     #[test]

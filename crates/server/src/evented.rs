@@ -2,7 +2,8 @@
 //! per-connection state machines.
 //!
 //! ```text
-//!   event loop 0 .. N-1 (std::thread each, own epoll instance)
+//!   event loop 0 .. N-1 (std::thread each, own epoll instance,
+//!                        own SO_REUSEPORT accept queue)
 //!   ┌────────────────────────────────────────────────────────────┐
 //!   │ epoll_wait ──▶ listener readable?  accept until WouldBlock │
 //!   │           ──▶ waker readable?      drain, re-check flags   │
@@ -16,9 +17,9 @@
 //!   │          └──────────────────────────────── append response │
 //!   │                                                 │          │
 //!   │   ┌─────────────────────────┐  write readiness  ▼          │
-//!   │   │ draining write buffer   │◀──────── bounded out-buffer  │
-//!   │   └─────────────────────────┘   (backpressure: stop        │
-//!   │                                  reading while over-full)  │
+//!   │   │ drain out-queue: one    │◀──────── bounded out-queue   │
+//!   │   │ writev() per readiness  │   (backpressure: stop        │
+//!   │   └─────────────────────────┘    reading while over-full)  │
 //!   └────────────────────────────────────────────────────────────┘
 //!        │ all loops share one Arc<dyn RequestHandler>
 //!        ▼
@@ -39,17 +40,41 @@
 //! hostile or dead peers: an idle timeout between requests and a
 //! stricter mid-frame timeout that defeats slow-loris trickles.
 //!
+//! # Tail-latency discipline
+//!
+//! Three mechanisms keep the p999 flat when thousands of connections
+//! are held open:
+//!
+//! * **Per-loop accept queues** — with [`EventedConfig::reuseport`]
+//!   (the default on IPv4) every loop binds its own `SO_REUSEPORT`
+//!   listener, so the kernel shards incoming connections across loops
+//!   and an accept never wakes more than one thread.
+//! * **Vectored flush** — responses are queued one segment per frame
+//!   (the segmented `OutQueue`) and drained with a single gathered `writev` per
+//!   readiness instead of one `write` per frame; a pipelined burst
+//!   leaves in one syscall and a partially-accepted burst advances by
+//!   byte count with no buffer compaction.
+//! * **Loop-affine sharding** — clients that ask
+//!   [`Request::LoopInfo`](ropuf_proto::Request::LoopInfo) per
+//!   connection can steer a device's traffic to the loop its registry
+//!   shard folds onto (`shard % loops`); the `server.affinity`
+//!   counters measure how well they steered. Cross-loop requests are
+//!   served identically — affinity is an optimization, never a
+//!   correctness requirement.
+//!
 //! Protocol semantics are **identical** to the blocking server: both
 //! funnel decoded [`RequestRef`]s through the same shared
 //! [`RequestHandler`], malformed frames are answered with a typed
 //! [`ErrorCode::MalformedRequest`] before the connection closes, and
 //! oversized responses degrade to [`ErrorCode::ResponseTooLarge`]. The
-//! equivalence suite replays identical traffic through both backends
-//! and asserts bit-for-bit identical response bytes.
+//! equivalence suite replays identical traffic through both backends —
+//! and through every loop/reuseport topology — and asserts bit-for-bit
+//! identical response bytes.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -60,11 +85,12 @@ use ropuf_proto::{
     append_frame, ErrorCode, FrameAccum, FrameError, FramePoll, RequestRef, Response,
 };
 
-use ropuf_telemetry::{Sampler, TraceRecord};
+use ropuf_telemetry::{Counter, Sampler, TraceRecord};
 
-use crate::admission::{Admission, OverloadPolicy, RequestClass};
+use crate::admission::{evented_pressure, Admission, OverloadPolicy, RequestClass};
 use crate::handler::RequestHandler;
 use crate::sys::epoll::{event, Epoll, Event};
+use crate::sys::net;
 use crate::telemetry::{elapsed_ns, request_device_hash, LaneStats, ServerTelemetry};
 
 /// Tuning knobs of the evented server. [`EventedConfig::default`] is
@@ -75,6 +101,18 @@ pub struct EventedConfig {
     /// connections stay on the loop that accepted them. `0` is
     /// promoted to 1.
     pub loops: usize,
+    /// Give every loop its own `SO_REUSEPORT` accept queue (IPv4
+    /// only): the kernel shards incoming connections across loops and
+    /// an accept wakes exactly one thread. When off — or when the
+    /// address is IPv6, or the reuseport bind is refused — all loops
+    /// fall back to sharing one listener.
+    pub reuseport: bool,
+    /// Spin briefly on zero-timeout polls before parking in
+    /// `epoll_wait`: readiness surfaces without a sleep/wake
+    /// transition, shaving scheduler latency off the tail at the price
+    /// of burning idle CPU. For latency-critical deployments with
+    /// cores to spare.
+    pub busy_poll: bool,
     /// A connection with no complete frame for this long — and no
     /// frame in progress — is evicted.
     pub idle_timeout: Duration,
@@ -108,11 +146,14 @@ pub struct EventedConfig {
     /// ~8.5 minutes of history in ~140 KiB.
     pub series_capacity: usize,
     /// Admission budget. On this backend pressure is a connection's
-    /// pending out-buffer bytes — the direct measure of a peer that
-    /// asks faster than it reads. Sensible budgets sit below
-    /// [`EventedConfig::max_write_buffer`], so cheap `Overloaded`
-    /// answers go out *before* backpressure stops reading entirely.
-    /// Disabled by default.
+    /// pending out-buffer bytes plus the loop's remaining ready-event
+    /// backlog (see
+    /// [`evented_pressure`]) — the
+    /// direct measures of a peer that asks faster than it reads and a
+    /// loop that wakes to more work than it can finish. Sensible
+    /// budgets sit below [`EventedConfig::max_write_buffer`], so cheap
+    /// `Overloaded` answers go out *before* backpressure stops reading
+    /// entirely. Disabled by default.
     pub overload: OverloadPolicy,
 }
 
@@ -120,6 +161,8 @@ impl Default for EventedConfig {
     fn default() -> Self {
         Self {
             loops: 1,
+            reuseport: true,
+            busy_poll: false,
             idle_timeout: Duration::from_secs(60),
             frame_timeout: Duration::from_secs(10),
             max_write_buffer: 1024 * 1024,
@@ -164,9 +207,54 @@ pub struct EventedServer {
     sampler: Option<Sampler>,
 }
 
+/// Binds one listener per loop. With `reuseport` on and an IPv4
+/// address, every loop gets its **own** kernel accept queue on the
+/// same address; otherwise (reuseport off, IPv6, or the reuseport
+/// bind refused) one listener is bound and cloned per loop.
+fn bind_listeners(
+    addr: &impl ToSocketAddrs,
+    loops: usize,
+    reuseport: bool,
+) -> io::Result<(Vec<TcpListener>, SocketAddr)> {
+    if reuseport {
+        let v4 = addr.to_socket_addrs()?.find_map(|a| match a {
+            SocketAddr::V4(v4) => Some(v4),
+            SocketAddr::V6(_) => None,
+        });
+        if let Some(v4) = v4 {
+            if let Ok(first) = net::bind_reuseport(v4) {
+                // Port 0 resolves on the first bind; the siblings join
+                // the same reuseport group on the resolved port.
+                let local = first.local_addr()?;
+                if let SocketAddr::V4(resolved) = local {
+                    let mut listeners = vec![first];
+                    for _ in 1..loops {
+                        listeners.push(net::bind_reuseport(resolved)?);
+                    }
+                    return Ok((listeners, local));
+                }
+            }
+            // Refused (exotic kernel / container policy): take the
+            // shared-listener path below — correctness is identical,
+            // only accept scalability differs.
+        }
+    }
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let mut listeners = Vec::with_capacity(loops);
+    for _ in 1..loops {
+        listeners.push(listener.try_clone()?);
+    }
+    listeners.push(listener);
+    Ok((listeners, local))
+}
+
 impl EventedServer {
     /// Binds `addr` (port 0 = ephemeral) and starts `config.loops`
-    /// event-loop threads sharing the listener.
+    /// event-loop threads — each owning its own `SO_REUSEPORT` accept
+    /// queue when [`EventedConfig::reuseport`] applies, sharing one
+    /// listener otherwise.
     ///
     /// # Errors
     ///
@@ -176,9 +264,8 @@ impl EventedServer {
         handler: Arc<dyn RequestHandler>,
         config: EventedConfig,
     ) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
+        let loops = config.loops.max(1);
+        let (listeners, local_addr) = bind_listeners(&addr, loops, config.reuseport)?;
         let telemetry = ServerTelemetry::new(
             "evented",
             config.slow_trace_threshold,
@@ -196,19 +283,18 @@ impl EventedServer {
         });
         let sampler = shared.telemetry.start_sampler();
 
-        // A failure partway through (fd exhaustion on a clone, a pair
-        // or spawn error) must not leak the loops already running, so
-        // fallible setup is collected and unwound explicitly.
+        // A failure partway through (a pair or spawn error) must not
+        // leak the loops already running, so fallible setup is
+        // collected and unwound explicitly.
         let mut threads = Vec::new();
-        for loop_id in 0..config.loops.max(1) {
-            let setup = (|| -> io::Result<(TcpListener, UnixStream, UnixStream)> {
-                let listener = listener.try_clone()?;
+        for (loop_id, listener) in listeners.into_iter().enumerate() {
+            let setup = (|| -> io::Result<(UnixStream, UnixStream)> {
                 let (wake_tx, wake_rx) = UnixStream::pair()?;
                 wake_rx.set_nonblocking(true)?;
                 wake_tx.set_nonblocking(true)?;
-                Ok((listener, wake_tx, wake_rx))
+                Ok((wake_tx, wake_rx))
             })();
-            let (listener, wake_tx, wake_rx) = match setup {
+            let (wake_tx, wake_rx) = match setup {
                 Ok(parts) => parts,
                 Err(e) => {
                     Self::stop_loops(&shared, &mut threads, true);
@@ -337,7 +423,7 @@ enum Teardown {
     SlowFrame,
 }
 
-/// A response queued in a connection's out-buffer whose flush-wait
+/// A response queued in a connection's out-queue whose flush-wait
 /// clock is still running: the trace record is finalized (and its
 /// flush-wait phase recorded) only once the socket has accepted every
 /// byte up to `end`.
@@ -346,7 +432,7 @@ struct PendingFlush {
     /// Absolute out-stream offset (total bytes ever queued on this
     /// connection) at which this response ends.
     end: u64,
-    /// When the response landed in the out-buffer — the flush-wait
+    /// When the response landed in the out-queue — the flush-wait
     /// clock's start.
     queued_at: Instant,
     /// The partially-filled record from
@@ -354,16 +440,160 @@ struct PendingFlush {
     record: TraceRecord,
 }
 
+/// Recycled-segment pool cap per connection: enough to serve a
+/// pipelined burst allocation-free, small enough that thousands of
+/// idle connections hold no meaningful memory.
+const OUT_POOL: usize = 8;
+
+/// A connection's outbound bytes: one segment per encoded response
+/// frame, drained oldest-first with gathered writes.
+///
+/// Keeping frames in separate segments (instead of one flat `Vec`)
+/// buys two things on the flush path: a pipelined burst of responses
+/// leaves in a **single `writev`** instead of one `write` per frame,
+/// and a partially-accepted burst advances by byte count — the old
+/// flat-buffer `drain(..sent)` compaction memmove is gone entirely.
+/// Fully-drained segments recycle through a bounded pool under the
+/// same [`SCRATCH_RETAIN`](ropuf_proto::SCRATCH_RETAIN) retention rule
+/// as every other reused buffer.
+#[derive(Debug, Default)]
+struct OutQueue {
+    /// Encoded frames not yet fully accepted by the socket, oldest
+    /// first.
+    segs: VecDeque<Vec<u8>>,
+    /// Bytes of the front segment already accepted.
+    head: usize,
+    /// Total unsent bytes across all segments.
+    pending: usize,
+    /// Drained segments awaiting reuse.
+    pool: Vec<Vec<u8>>,
+}
+
+impl OutQueue {
+    fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Frames `payload` (`[len u32 le][payload]`) into its own
+    /// segment. Returns the framed byte count, or the
+    /// [`FrameError::Oversize`] verdict with the queue unchanged.
+    fn push_frame(&mut self, payload: &[u8]) -> Result<usize, FrameError> {
+        let mut seg = self.pool.pop().unwrap_or_default();
+        seg.clear();
+        match append_frame(&mut seg, payload) {
+            Ok(()) => {
+                let n = seg.len();
+                self.pending += n;
+                self.segs.push_back(seg);
+                Ok(n)
+            }
+            Err(e) => {
+                self.recycle(seg);
+                Err(e)
+            }
+        }
+    }
+
+    /// Fills `bufs` with the unsent byte ranges, oldest first (the
+    /// front segment minus its accepted prefix, then whole segments).
+    /// Returns how many slices were produced.
+    fn fill_slices<'a>(&'a self, bufs: &mut [&'a [u8]]) -> usize {
+        let mut n = 0;
+        for (i, seg) in self.segs.iter().enumerate() {
+            if n == bufs.len() {
+                break;
+            }
+            let slice = if i == 0 { &seg[self.head..] } else { &seg[..] };
+            if !slice.is_empty() {
+                bufs[n] = slice;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Marks `n` bytes as accepted by the socket: whole segments are
+    /// popped and recycled, a mid-segment landing just moves the head.
+    fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.pending, "advance past pending bytes");
+        self.pending -= n;
+        while n > 0 {
+            // `n <= pending` means the queue can never run dry here;
+            // the sink reported bytes the queue handed it.
+            let Some(seg) = self.segs.pop_front() else {
+                break;
+            };
+            let left = seg.len() - self.head;
+            if n >= left {
+                n -= left;
+                self.head = 0;
+                self.recycle(seg);
+            } else {
+                self.head += n;
+                self.segs.push_front(seg);
+                n = 0;
+            }
+        }
+    }
+
+    fn recycle(&mut self, seg: Vec<u8>) {
+        // Retention rule: one giant snapshot frame must not pin
+        // MAX_FRAME of capacity in the pool forever.
+        if self.pool.len() < OUT_POOL && seg.capacity() <= ropuf_proto::SCRATCH_RETAIN {
+            self.pool.push(seg);
+        }
+    }
+
+    /// Drains through `write_bufs` — one gathered write per call —
+    /// until the queue empties or the sink reports `WouldBlock`.
+    /// Returns the total bytes accepted.
+    ///
+    /// # Errors
+    ///
+    /// The sink's fatal error; a sink that accepts zero bytes of a
+    /// non-empty queue surfaces as [`io::ErrorKind::WriteZero`] (the
+    /// transport is gone).
+    fn drain_with(
+        &mut self,
+        mut write_bufs: impl FnMut(&[&[u8]]) -> io::Result<usize>,
+    ) -> io::Result<usize> {
+        let mut total = 0;
+        while !self.is_empty() {
+            let written = {
+                let mut bufs: [&[u8]; net::MAX_IOVECS] = [&[]; net::MAX_IOVECS];
+                let n = self.fill_slices(&mut bufs);
+                match write_bufs(&bufs[..n]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "sink accepted no bytes",
+                        ))
+                    }
+                    Ok(w) => w,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            self.advance(written);
+            total += written;
+        }
+        Ok(total)
+    }
+}
+
 /// One connection's full state: socket, incremental frame reader,
-/// bounded response buffer, and the timer bookkeeping.
+/// bounded response queue, and the timer bookkeeping.
 #[derive(Debug)]
 struct Conn {
     stream: TcpStream,
     accum: FrameAccum,
-    /// Encoded-but-unsent response bytes (frames laid end to end).
-    out: Vec<u8>,
-    /// Prefix of `out` already written to the socket.
-    sent: usize,
+    /// Encoded-but-unsent response frames.
+    out: OutQueue,
     /// Interest bits currently registered with epoll.
     interest: u32,
     /// Last observable progress: connection accepted, a complete
@@ -382,8 +612,7 @@ struct Conn {
     /// Whether the first complete frame has been observed (the
     /// accept-to-first-frame histogram records exactly once).
     saw_first_frame: bool,
-    /// Total bytes ever appended to `out` (monotonic, survives the
-    /// compaction `flush_out` performs on the buffer itself).
+    /// Total bytes ever queued for this connection (monotonic).
     queued_total: u64,
     /// Total bytes the socket has ever accepted (monotonic).
     sent_total: u64,
@@ -394,11 +623,11 @@ struct Conn {
 
 impl Conn {
     fn pending_out(&self) -> usize {
-        self.out.len() - self.sent
+        self.out.pending()
     }
 
     /// Finalizes every queued trace record whose response bytes the
-    /// socket has now fully accepted, crediting the elapsed out-buffer
+    /// socket has now fully accepted, crediting the elapsed out-queue
     /// residency as the flush-wait phase.
     fn settle_flushed(&mut self, telemetry: &ServerTelemetry) {
         while self
@@ -418,14 +647,28 @@ const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKER: u64 = 1;
 const CONN_BASE: u64 = 2;
 
+/// Ready-list bounds: start small (most wake-ups carry a handful of
+/// events) and double whenever the kernel fills the list, so a loop
+/// holding thousands of connections reaches [`EVENTS_MAX`]-event
+/// drains without every idle server paying for the allocation.
+const EVENTS_MIN: usize = 256;
+const EVENTS_MAX: usize = 4096;
+
+/// How long [`EventedConfig::busy_poll`] spins on zero-timeout polls
+/// before parking in a blocking wait.
+const BUSY_POLL_SPIN: Duration = Duration::from_micros(200);
+
 struct EventLoop {
     epoll: Epoll,
     listener: TcpListener,
     waker: UnixStream,
     config: EventedConfig,
     /// Which loop thread this is — the `worker` field of the trace
-    /// records this loop emits.
+    /// records this loop emits, and the answer to `LoopInfo`.
     loop_id: u32,
+    /// Total loops in this server (≥ 1) — `LoopInfo`'s denominator and
+    /// the affinity fold's modulus.
+    loops_total: u32,
     conns: Vec<Option<Conn>>,
     free: VecDeque<usize>,
     /// Response-encode scratch shared by every connection on this loop
@@ -438,7 +681,18 @@ struct EventLoop {
     /// This loop's saturation counters and high-water gauge, resolved
     /// once at `run` entry (registry lookups are too slow per-frame).
     lane: Option<LaneStats>,
-    /// Largest pending out-buffer any connection on this loop has
+    /// Loop-affinity counters `(local, remote)`, resolved once at
+    /// `run` entry.
+    affinity: Option<(Counter, Counter)>,
+    /// Registry shard count behind the handler (0 = unsharded) — the
+    /// affinity accounting's modulus, resolved once at `run` entry.
+    shard_count: usize,
+    /// Ready events still waiting behind the one being serviced in the
+    /// current batch — folded into admission pressure so a loop that
+    /// wakes to a wall of work sheds from the front of it, not after
+    /// digging through.
+    ready_backlog: u64,
+    /// Largest pending out-queue any connection on this loop has
     /// reached; the gauge is only touched when this grows.
     out_highwater: usize,
 }
@@ -459,12 +713,16 @@ impl EventLoop {
             waker,
             config,
             loop_id,
+            loops_total: config.loops.max(1) as u32,
             conns: Vec::new(),
             free: VecDeque::new(),
             encode_scratch: Vec::new(),
             draining: false,
             drain_deadline: None,
             lane: None,
+            affinity: None,
+            shard_count: 0,
+            ready_backlog: 0,
             out_highwater: 0,
         })
     }
@@ -481,25 +739,45 @@ impl EventLoop {
         ((finest.as_millis() / 4).clamp(1, 50)) as i32
     }
 
+    /// One epoll wait honoring the busy-poll mode: spin on
+    /// zero-timeout polls for [`BUSY_POLL_SPIN`] (readiness surfaces
+    /// without a sleep/wake transition), then park normally. Stop
+    /// requests still land promptly in the spin window — the waker
+    /// write makes the loop's epoll readable.
+    fn wait_ready(&self, events: &mut [Event], tick: i32) -> io::Result<usize> {
+        if self.config.busy_poll {
+            let deadline = Instant::now() + BUSY_POLL_SPIN;
+            loop {
+                let n = self.epoll.wait(events, 0)?;
+                if n > 0 {
+                    return Ok(n);
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        self.epoll.wait(events, tick)
+    }
+
     fn run(&mut self, handler: &dyn RequestHandler, shared: &Shared) {
         self.lane = Some(shared.telemetry.lane(self.loop_id));
-        let mut events = vec![Event::default(); 1024];
+        self.affinity = Some(shared.telemetry.affinity_counters());
+        self.shard_count = handler.shard_count();
+        let mut events = vec![Event::default(); EVENTS_MIN];
         let tick = self.tick_ms();
         loop {
             let wait_start = Instant::now();
-            let n = match self.epoll.wait(&mut events, tick) {
+            let n = match self.wait_ready(&mut events, tick) {
                 Ok(n) => n,
                 Err(_) => break, // epoll itself failed: abandon ship
             };
-            // Everything serviced from this wake-up measures its
-            // ready-wait phase from here: the kernel said "ready" now,
-            // and whatever sits behind earlier events in the batch (or
-            // behind earlier pipelined frames) waits its turn.
-            let ready_at = Instant::now();
+            let batch_start = Instant::now();
             if n > 0 {
                 shared.telemetry.ready_batch(n as u64);
             }
-            for ev in &events[..n] {
+            for (i, ev) in events[..n].iter().enumerate() {
                 match ev.token() {
                     TOKEN_LISTENER => self.accept_ready(shared),
                     TOKEN_WAKER => {
@@ -508,9 +786,30 @@ impl EventLoop {
                     }
                     token => {
                         let index = (token - CONN_BASE) as usize;
-                        self.service(index, ev.writable(), ready_at, handler, shared);
+                        // Events still queued behind this one feed the
+                        // admission pressure for every frame serviced
+                        // from it.
+                        self.ready_backlog = (n - i - 1) as u64;
+                        // Ready-wait is stamped when *this
+                        // connection's* drain actually starts — not
+                        // once per batch. The time earlier events in
+                        // the batch held the loop is already on the
+                        // books as their own decode/handle/flush
+                        // phases; stamping the whole batch at the
+                        // kernel's return double-billed it onto every
+                        // later peer's ready-wait.
+                        self.service(index, ev.writable(), Instant::now(), handler, shared);
                     }
                 }
+            }
+            self.ready_backlog = 0;
+            // Adaptive batch drain: a full ready list means the kernel
+            // had more to report — grow the list so a loop holding
+            // thousands of hot connections services them in one sweep
+            // instead of re-entering epoll_wait per slice.
+            if n == events.len() && events.len() < EVENTS_MAX {
+                let doubled = (events.len() * 2).min(EVENTS_MAX);
+                events.resize(doubled, Event::default());
             }
             self.sweep_timers(shared);
             if shared.force.load(Ordering::SeqCst) {
@@ -541,11 +840,12 @@ impl EventLoop {
                 }
             }
             // Saturation accounting: wall covers the whole iteration
-            // (park included), busy only the part after the kernel
-            // returned. busy/wall is the loop's utilization.
+            // (park and busy-poll spin included), busy only the part
+            // after the kernel returned. busy/wall is the loop's
+            // utilization.
             if let Some(lane) = &self.lane {
                 let end = Instant::now();
-                lane.busy_ns.add(elapsed_ns(ready_at, end));
+                lane.busy_ns.add(elapsed_ns(batch_start, end));
                 lane.wall_ns.add(elapsed_ns(wait_start, end));
             }
         }
@@ -571,8 +871,7 @@ impl EventLoop {
                     let conn = Conn {
                         stream,
                         accum: FrameAccum::new(),
-                        out: Vec::new(),
-                        sent: 0,
+                        out: OutQueue::default(),
                         interest: event::IN | event::RDHUP,
                         last_activity: now,
                         frame_deadline: None,
@@ -601,11 +900,16 @@ impl EventLoop {
     /// flush pending output, read/handle frames (pipelined) until the
     /// socket runs dry or backpressure pauses it, flush again, then
     /// re-register interest.
+    ///
+    /// `drain_start` is when this connection's turn actually began —
+    /// the ready-wait anchor for every frame serviced in this pass
+    /// (pipelined frames behind the first accumulate the time earlier
+    /// frames held the loop: genuine queueing, attributed).
     fn service(
         &mut self,
         index: usize,
         writable: bool,
-        ready_at: Instant,
+        drain_start: Instant,
         handler: &dyn RequestHandler,
         shared: &Shared,
     ) {
@@ -646,22 +950,22 @@ impl EventLoop {
                     shared.telemetry.request_started();
                     let msg_type = conn.accum.payload().first().copied().unwrap_or(0);
                     // Admission off the type byte alone, metered by
-                    // this connection's unsent response bytes: a shed
-                    // request costs a small error frame, never a decode
-                    // or a verifier call, and the connection lives on.
-                    if let Some(shed) = shared
-                        .admission
-                        .check(RequestClass::of(msg_type), conn.pending_out() as u64)
-                    {
+                    // this connection's unsent response bytes plus the
+                    // ready backlog still queued behind it on the
+                    // loop: a shed request costs a small error frame,
+                    // never a decode or a verifier call, and the
+                    // connection lives on.
+                    if let Some(shed) = shared.admission.check(
+                        RequestClass::of(msg_type),
+                        evented_pressure(conn.pending_out() as u64, self.ready_backlog),
+                    ) {
                         let t2 = Instant::now();
-                        let before = conn.out.len();
                         let queued = queue_response(conn, &shed, &mut self.encode_scratch);
-                        conn.queued_total += (conn.out.len() - before) as u64;
                         let t3 = Instant::now();
                         let record = shared.telemetry.observe_queued(
                             msg_type,
                             0,
-                            elapsed_ns(ready_at, t0),
+                            elapsed_ns(drain_start, t0),
                             0,
                             elapsed_ns(t0, t2),
                             elapsed_ns(t2, t3),
@@ -683,6 +987,26 @@ impl EventLoop {
                     let keep_going = match decoded {
                         Ok(request) => {
                             let device_hash = request_device_hash(&request);
+                            // Loop-affinity accounting: the device
+                            // hash is the same splitmix64 the registry
+                            // shards by, so `hash % shards` *is* the
+                            // device's shard, and a shard is local
+                            // when it folds onto this loop. Cross-loop
+                            // requests are served identically — the
+                            // counters measure how well topology-aware
+                            // clients steered, nothing more.
+                            if device_hash != 0 && self.shard_count != 0 {
+                                if let Some((local, remote)) = &self.affinity {
+                                    let shard = device_hash % self.shard_count as u64;
+                                    if shard % u64::from(self.loops_total)
+                                        == u64::from(self.loop_id)
+                                    {
+                                        local.add(1);
+                                    } else {
+                                        remote.add(1);
+                                    }
+                                }
+                            }
                             let response = match request {
                                 // The handler only knows the verifier's
                                 // metrics; the serving layer folds its
@@ -696,22 +1020,23 @@ impl EventLoop {
                                 RequestRef::TimeSeriesDump => {
                                     shared.telemetry.timeseries_response()
                                 }
+                                // Topology discovery is answered by
+                                // the loop itself: the handler cannot
+                                // know which accept queue a socket
+                                // landed on.
+                                RequestRef::LoopInfo => Response::LoopInfoOk {
+                                    loop_id: self.loop_id,
+                                    loops: self.loops_total,
+                                },
                                 request => handler.handle_ref(request),
                             };
                             let t2 = Instant::now();
-                            let before = conn.out.len();
                             let queued = queue_response(conn, &response, &mut self.encode_scratch);
-                            conn.queued_total += (conn.out.len() - before) as u64;
                             let t3 = Instant::now();
                             let record = shared.telemetry.observe_queued(
                                 msg_type,
                                 device_hash,
-                                // Pipelined frames behind this one re-use
-                                // the same wake-up anchor, so their
-                                // ready-wait grows by exactly the time
-                                // earlier frames held the loop: genuine
-                                // queueing, attributed.
-                                elapsed_ns(ready_at, t0),
+                                elapsed_ns(drain_start, t0),
                                 elapsed_ns(t0, t1),
                                 elapsed_ns(t1, t2),
                                 elapsed_ns(t2, t3),
@@ -728,7 +1053,6 @@ impl EventLoop {
                             // Same contract as the blocking server: a
                             // typed answer, then the connection ends.
                             let t2 = Instant::now();
-                            let before = conn.out.len();
                             let answered = queue_response(
                                 conn,
                                 &Response::Error {
@@ -737,12 +1061,11 @@ impl EventLoop {
                                 },
                                 &mut self.encode_scratch,
                             );
-                            conn.queued_total += (conn.out.len() - before) as u64;
                             let t3 = Instant::now();
                             let record = shared.telemetry.observe_queued(
                                 msg_type,
                                 0,
-                                elapsed_ns(ready_at, t0),
+                                elapsed_ns(drain_start, t0),
                                 elapsed_ns(t0, t1),
                                 elapsed_ns(t1, t2),
                                 elapsed_ns(t2, t3),
@@ -800,7 +1123,7 @@ impl EventLoop {
             return;
         }
 
-        // Out-buffer peak is measured *before* the flush below: this
+        // Out-queue peak is measured *before* the flush below: this
         // is the residency the responses just queued actually saw.
         let pending = conn.pending_out();
         if pending > self.out_highwater {
@@ -909,14 +1232,18 @@ impl EventLoop {
     }
 }
 
-/// Encodes `response` and appends it to the connection's out-buffer.
-/// An oversize response degrades to the same typed
+/// Encodes `response` and appends it to the connection's out-queue
+/// (one segment per frame), advancing `queued_total` by the framed
+/// byte count. An oversize response degrades to the same typed
 /// [`ErrorCode::ResponseTooLarge`] answer the blocking server gives.
 /// Returns `false` only when even the fallback cannot be queued.
 fn queue_response(conn: &mut Conn, response: &Response, scratch: &mut Vec<u8>) -> bool {
     response.encode_into(scratch);
-    let queued = match append_frame(&mut conn.out, scratch) {
-        Ok(()) => true,
+    let queued = match conn.out.push_frame(scratch) {
+        Ok(n) => {
+            conn.queued_total += n as u64;
+            true
+        }
         Err(FrameError::Oversize(n)) => {
             let fallback = Response::Error {
                 code: ErrorCode::ResponseTooLarge,
@@ -926,7 +1253,13 @@ fn queue_response(conn: &mut Conn, response: &Response, scratch: &mut Vec<u8>) -
                 ),
             };
             fallback.encode_into(scratch);
-            append_frame(&mut conn.out, scratch).is_ok()
+            match conn.out.push_frame(scratch) {
+                Ok(n) => {
+                    conn.queued_total += n as u64;
+                    true
+                }
+                Err(_) => false,
+            }
         }
         Err(_) => false,
     };
@@ -937,37 +1270,24 @@ fn queue_response(conn: &mut Conn, response: &Response, scratch: &mut Vec<u8>) -
     queued
 }
 
-/// Writes as much pending output as the socket accepts. Returns
-/// `false` when the transport died. Re-bounds the out-buffer once it
-/// fully drains (the 64 KiB retention rule).
+/// Drains as much pending output as the socket accepts — one gathered
+/// `writev` per attempt instead of one `write` per frame, so a
+/// pipelined burst of responses leaves in a single syscall. Returns
+/// `false` when the transport died.
 fn flush_out(conn: &mut Conn) -> bool {
-    while conn.sent < conn.out.len() {
-        match conn.stream.write(&conn.out[conn.sent..]) {
-            Ok(0) => return false,
-            Ok(n) => {
-                conn.sent += n;
-                conn.sent_total += n as u64;
-                conn.last_activity = Instant::now();
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return false,
+    if conn.out.is_empty() {
+        return true;
+    }
+    let fd = conn.stream.as_raw_fd();
+    match conn.out.drain_with(|bufs| net::writev(fd, bufs)) {
+        Ok(0) => true,
+        Ok(written) => {
+            conn.sent_total += written as u64;
+            conn.last_activity = Instant::now();
+            true
         }
+        Err(_) => false,
     }
-    if conn.sent == conn.out.len() && !conn.out.is_empty() {
-        conn.out.clear();
-        conn.sent = 0;
-        ropuf_proto::frame::bound_scratch(&mut conn.out);
-    } else if conn.sent > ropuf_proto::SCRATCH_RETAIN {
-        // Partial drain: compact the already-written prefix so a
-        // connection that pipelines forever against a slightly-slow
-        // reader cannot grow `out` without bound — the high-water mark
-        // must measure *pending* bytes against a buffer that holds
-        // only pending bytes.
-        conn.out.drain(..conn.sent);
-        conn.sent = 0;
-    }
-    true
 }
 
 #[cfg(test)]
@@ -976,6 +1296,7 @@ mod tests {
     use crate::handler::VerifierHandler;
     use crate::tcp::TcpTransport;
     use crate::transport::Client;
+    use ropuf_proto::{FaultPlan, FaultyStream, Request, RATE_ONE};
     use ropuf_verifier::{DetectorConfig, Verifier};
 
     fn spawn_default() -> EventedServer {
@@ -1126,8 +1447,10 @@ mod tests {
         server.shutdown();
     }
 
-    #[test]
-    fn multiple_loops_share_the_listener() {
+    /// Drives `loops`-loop serving end to end: 6 concurrent clients
+    /// all get accepted and answered whatever listener topology is in
+    /// effect, and each connection learns its loop coordinates.
+    fn exercise_multi_loop(reuseport: bool) {
         let verifier = Arc::new(Verifier::new(2, DetectorConfig::default()));
         let handler: Arc<dyn RequestHandler> = Arc::new(VerifierHandler::new(verifier));
         let server = EventedServer::spawn(
@@ -1135,6 +1458,7 @@ mod tests {
             handler,
             EventedConfig {
                 loops: 3,
+                reuseport,
                 ..EventedConfig::default()
             },
         )
@@ -1145,10 +1469,182 @@ mod tests {
                 scope.spawn(move || {
                     let mut client = Client::new(TcpTransport::connect(addr).unwrap());
                     client.hello(&format!("loop-share-{t}")).unwrap();
+                    let (loop_id, loops) = client.loop_info().unwrap();
+                    assert_eq!(loops, 3);
+                    assert!(loop_id < 3, "loop id {loop_id} out of range");
                 });
             }
         });
         assert_eq!(server.accepted_total(), 6);
         server.shutdown();
+    }
+
+    #[test]
+    fn multiple_loops_serve_with_reuseport_listeners() {
+        exercise_multi_loop(true);
+    }
+
+    #[test]
+    fn multiple_loops_serve_sharing_one_listener() {
+        exercise_multi_loop(false);
+    }
+
+    #[test]
+    fn single_threaded_handler_answers_loop_zero_of_one() {
+        let verifier = Arc::new(Verifier::new(2, DetectorConfig::default()));
+        let handler = Arc::new(VerifierHandler::new(verifier));
+        let mut client = Client::new(crate::transport::LoopbackTransport::new(handler));
+        assert_eq!(client.loop_info().unwrap(), (0, 1));
+    }
+
+    /// A handler that holds the loop for a long time on every hello —
+    /// the tool for proving batch peers don't inherit each other's
+    /// service time as ready-wait.
+    struct SleepyHello;
+
+    impl RequestHandler for SleepyHello {
+        fn handle(&self, request: Request) -> Response {
+            match request {
+                Request::Hello { protocol, client } => {
+                    std::thread::sleep(Duration::from_millis(200));
+                    Response::HelloOk {
+                        protocol,
+                        server: client,
+                    }
+                }
+                _ => Response::Error {
+                    code: ErrorCode::MalformedRequest,
+                    detail: "sleepy handler only speaks hello".into(),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn batch_peers_do_not_inherit_ready_wait() {
+        let handler: Arc<dyn RequestHandler> = Arc::new(SleepyHello);
+        let server = EventedServer::spawn(
+            "127.0.0.1:0",
+            handler,
+            EventedConfig {
+                slow_trace_threshold: Duration::ZERO,
+                ..EventedConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        // One client's hello holds the single loop ~200 ms while three
+        // more connect and send; their frames then land in one ready
+        // batch and are serviced back to back, each sleeping 200 ms.
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut client = Client::new(TcpTransport::connect(addr).unwrap());
+                client.hello("first").unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            for t in 0..3 {
+                scope.spawn(move || {
+                    let mut client = Client::new(TcpTransport::connect(addr).unwrap());
+                    client.hello(&format!("batched-{t}")).unwrap();
+                });
+            }
+        });
+        let mut probe = Client::new(TcpTransport::connect(addr).unwrap());
+        let trace = probe.trace_dump().unwrap();
+        let hellos: Vec<_> = trace
+            .records
+            .iter()
+            .filter(|r| r.msg_type == 0x01)
+            .collect();
+        assert_eq!(hellos.len(), 4, "{:?}", trace.records);
+        for record in &hellos {
+            // Under the batch-level stamp this regression test guards
+            // against, the last-served peer booked the ~400 ms its
+            // batch-mates spent in the handler as its own ready-wait.
+            // Re-stamped at drain start, ready-wait is microseconds.
+            assert!(
+                record.ready_ns < 100_000_000,
+                "batch peer inherited ready-wait: {record:?}"
+            );
+            assert_eq!(
+                record.total_ns,
+                record.ready_ns
+                    + record.decode_ns
+                    + record.handle_ns
+                    + record.flush_ns
+                    + record.flush_wait_ns,
+                "phase sum drifted: {record:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_queue_survives_arbitrary_write_chunking() {
+        // Every write is truncated to 1–8 bytes (RATE_ONE partial-io):
+        // the gathered drain must still deliver the exact byte stream
+        // a flat buffer would have.
+        let mut queue = OutQueue::default();
+        let mut expect = Vec::new();
+        for i in 0..32usize {
+            let payload: Vec<u8> = (0..i * 7 + 1)
+                .map(|b| (b as u8).wrapping_mul(31).wrapping_add(i as u8))
+                .collect();
+            queue.push_frame(&payload).unwrap();
+            append_frame(&mut expect, &payload).unwrap();
+        }
+        assert_eq!(queue.pending(), expect.len());
+        let mut sink = Vec::new();
+        let mut faulty = FaultyStream::new(&mut sink, FaultPlan::new(77).with_partial_io(RATE_ONE));
+        let written = queue
+            .drain_with(|bufs| {
+                // A writev the kernel cut short: accept slices in
+                // order, stop at the first partial acceptance.
+                let mut total = 0;
+                for buf in bufs {
+                    let n = faulty.write(buf)?;
+                    total += n;
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Ok(total)
+            })
+            .unwrap();
+        assert_eq!(written, expect.len());
+        assert!(queue.is_empty());
+        drop(faulty);
+        assert_eq!(sink, expect, "chunked writev drain reordered bytes");
+    }
+
+    #[test]
+    fn out_queue_recycles_only_bounded_segments() {
+        let mut queue = OutQueue::default();
+        queue.push_frame(&[1u8; 100]).unwrap();
+        queue
+            .push_frame(&vec![2u8; ropuf_proto::SCRATCH_RETAIN * 2])
+            .unwrap();
+        let queued = queue.pending();
+        let drained = queue
+            .drain_with(|bufs| Ok(bufs.iter().map(|b| b.len()).sum()))
+            .unwrap();
+        assert_eq!(drained, queued);
+        assert!(queue.is_empty());
+        // The small segment came back to the pool; the oversized one
+        // was dropped (retention rule).
+        assert_eq!(queue.pool.len(), 1);
+        assert!(queue.pool[0].capacity() <= ropuf_proto::SCRATCH_RETAIN);
+    }
+
+    #[test]
+    fn out_queue_rejects_oversize_frames_untouched() {
+        let mut queue = OutQueue::default();
+        let oversize = vec![0u8; ropuf_proto::MAX_FRAME as usize + 1];
+        assert!(matches!(
+            queue.push_frame(&oversize),
+            Err(FrameError::Oversize(_))
+        ));
+        assert!(queue.is_empty());
+        assert_eq!(queue.segs.len(), 0);
     }
 }

@@ -36,6 +36,14 @@ pub trait RequestHandler: Send + Sync {
     fn handle_ref(&self, request: RequestRef<'_>) -> Response {
         self.handle(request.into_owned())
     }
+
+    /// Registry shard count behind this handler, or `0` when the
+    /// handler has no sharded registry. The evented server uses this
+    /// for the device-id → loop affinity accounting; the default opts
+    /// out.
+    fn shard_count(&self) -> usize {
+        0
+    }
 }
 
 /// Converts the verifier's flag reason to its wire representation.
@@ -230,7 +238,19 @@ impl RequestHandler for VerifierHandler {
             RequestRef::TimeSeriesDump => Response::TimeSeriesBin {
                 bytes: ropuf_telemetry::TimeSeriesSnapshot::default().encode(),
             },
+            // Topology discovery: the handler itself is single-context,
+            // so it answers loop 0 of 1. The evented server intercepts
+            // this request and substitutes the accepting loop's real
+            // coordinates.
+            RequestRef::LoopInfo => Response::LoopInfoOk {
+                loop_id: 0,
+                loops: 1,
+            },
         }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.verifier.registry().shard_count()
     }
 }
 

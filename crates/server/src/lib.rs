@@ -24,8 +24,9 @@
 //!   buffers, slow-client eviction, and graceful shutdown. Same
 //!   handler, same wire semantics, proven equivalent by the
 //!   `equivalence` test suite.
-//! * [`sys`] (Linux) — the in-tree `epoll` syscall wrapper (no `libc`
-//!   crate; the workspace stays dependency-free).
+//! * [`sys`] (Linux) — the in-tree `epoll`, `SO_REUSEPORT`, and
+//!   `writev` syscall wrappers (no `libc` crate; the workspace stays
+//!   dependency-free).
 //! * [`telemetry`] — [`ServerTelemetry`]: backend-labeled request and
 //!   connection metrics, per-message-type phase latency histograms,
 //!   and the slow-request trace ring; scrapeable mid-run over the wire
@@ -54,9 +55,9 @@
 //! For the socket path, see [`TcpServer`] and the `loadgen` binary in
 //! `crates/bench`.
 
-// `deny`, not `forbid`: the epoll syscall wrapper in `sys::epoll` is
-// the one sanctioned `#[allow(unsafe_code)]` island (FFI boundary
-// only); everything else stays unsafe-free.
+// `deny`, not `forbid`: the syscall wrappers in `sys::epoll` and
+// `sys::net` are the sanctioned `#[allow(unsafe_code)]` islands (FFI
+// boundary only); everything else stays unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -71,7 +72,7 @@ pub mod telemetry;
 pub mod traffic;
 pub mod transport;
 
-pub use admission::{Admission, OverloadPolicy, RequestClass};
+pub use admission::{evented_pressure, Admission, OverloadPolicy, RequestClass};
 #[cfg(target_os = "linux")]
 pub use evented::{EventedConfig, EventedServer};
 pub use handler::{wire_reason, wire_verdict, RequestHandler, VerifierHandler};

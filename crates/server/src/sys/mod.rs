@@ -4,10 +4,13 @@
 //! `libc`/`mio`/`tokio`. [`epoll`] declares the four `epoll` syscall
 //! entry points itself (they live in the C library every Linux `std`
 //! binary already links) and wraps them in a safe, minimal readiness
-//! API. This is the **only** module in the workspace that contains
-//! `unsafe` code, and the unsafety is confined to the FFI boundary:
-//! every pointer handed to the kernel is derived from a live Rust
-//! allocation whose length is passed alongside it.
+//! API; [`net`] does the same for `SO_REUSEPORT` listener binding and
+//! vectored writes (`writev`). These are the **only** modules in the
+//! workspace that contain `unsafe` code, and the unsafety is confined
+//! to the FFI boundary: every pointer handed to the kernel is derived
+//! from a live Rust allocation whose length is passed alongside it.
 
 #[cfg(target_os = "linux")]
 pub mod epoll;
+#[cfg(target_os = "linux")]
+pub mod net;

@@ -1,0 +1,246 @@
+//! Safe minimal wrappers over the two socket syscalls the evented
+//! server's tail-latency work needs: `SO_REUSEPORT` listener binding
+//! and vectored writes (`writev`).
+//!
+//! No `libc` crate, same as [`epoll`](super::epoll): the syscall entry
+//! points are declared directly and resolve against the C library
+//! `std` already links on Linux.
+//!
+//! * [`bind_reuseport`] builds an IPv4 listener with `SO_REUSEPORT`
+//!   set **before** `bind`, so N event loops can each own an
+//!   independent kernel accept queue on the same address — the kernel
+//!   load-balances incoming connections across the queues instead of
+//!   waking every loop for every connection (no thundering herd, no
+//!   shared accept lock).
+//! * [`writev`] submits many response frames to a socket in a single
+//!   syscall — the evented server's out-queue keeps one buffer per
+//!   encoded frame and drains a whole pipelined burst per readiness
+//!   with one gather write instead of one `write` per frame.
+
+#![allow(unsafe_code)]
+
+use std::ffi::{c_int, c_void};
+use std::io;
+use std::net::{SocketAddrV4, TcpListener};
+use std::os::fd::{FromRawFd, RawFd};
+
+const AF_INET: c_int = 2;
+const SOCK_STREAM: c_int = 1;
+/// `SOCK_NONBLOCK` == `O_NONBLOCK`.
+const SOCK_NONBLOCK: c_int = 0o4000;
+/// `SOCK_CLOEXEC` == `O_CLOEXEC`.
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+const LISTEN_BACKLOG: c_int = 1024;
+
+/// The kernel's `struct sockaddr_in`, hand-laid-out (16 bytes): family,
+/// big-endian port, big-endian address, zero padding.
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
+/// One gather-write segment, mirroring the kernel's `struct iovec`.
+#[repr(C)]
+struct IoVec {
+    base: *const u8,
+    len: usize,
+}
+
+/// Most segments a single [`writev`] call submits. Bursts longer than
+/// this simply take another call on the next loop pass — well under
+/// the kernel's `UIO_MAXIOV` (1024).
+pub const MAX_IOVECS: usize = 64;
+
+extern "C" {
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const SockAddrIn, addrlen: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    #[link_name = "writev"]
+    fn sys_writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Binds a non-blocking IPv4 listener with `SO_REUSEPORT` (and
+/// `SO_REUSEADDR`) set before `bind`, so several listeners can share
+/// `addr` and the kernel spreads incoming connections across their
+/// independent accept queues. Port `0` picks an ephemeral port —
+/// read it back via [`TcpListener::local_addr`] before binding the
+/// sibling listeners.
+///
+/// # Errors
+///
+/// The raw `socket`/`setsockopt`/`bind`/`listen` failure; the fd is
+/// closed on every error path.
+pub fn bind_reuseport(addr: SocketAddrV4) -> io::Result<TcpListener> {
+    // SAFETY: no pointers involved; the return value is checked.
+    let fd = cvt(unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    let result = (|| -> io::Result<()> {
+        let one: c_int = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            // SAFETY: `one` is a live c_int and its exact size is
+            // passed alongside the pointer.
+            cvt(unsafe {
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    (&one as *const c_int).cast::<c_void>(),
+                    std::mem::size_of::<c_int>() as u32,
+                )
+            })?;
+        }
+        let sockaddr = SockAddrIn {
+            family: AF_INET as u16,
+            port_be: addr.port().to_be(),
+            addr_be: u32::from(*addr.ip()).to_be(),
+            zero: [0; 8],
+        };
+        // SAFETY: `sockaddr` is a live, properly laid out
+        // sockaddr_in and its exact size is passed alongside it.
+        cvt(unsafe { bind(fd, &sockaddr, std::mem::size_of::<SockAddrIn>() as u32) })?;
+        cvt(unsafe { listen(fd, LISTEN_BACKLOG) })?;
+        Ok(())
+    })();
+    match result {
+        // SAFETY: `fd` is a live listening socket this function owns;
+        // ownership transfers to the TcpListener exactly once.
+        Ok(()) => Ok(unsafe { TcpListener::from_raw_fd(fd) }),
+        Err(e) => {
+            // SAFETY: `fd` came from `socket` above and is closed once.
+            let _ = unsafe { close(fd) };
+            Err(e)
+        }
+    }
+}
+
+/// Gather-writes up to [`MAX_IOVECS`] buffers to `fd` in one syscall,
+/// returning how many bytes the socket accepted (possibly landing
+/// mid-buffer — the caller's queue advances by byte count). Empty
+/// buffers are skipped; an all-empty call returns `Ok(0)` without
+/// entering the kernel.
+///
+/// # Errors
+///
+/// The raw `writev` failure — `WouldBlock` and `Interrupted` surface
+/// as their usual [`io::ErrorKind`]s for the caller to handle.
+pub fn writev(fd: RawFd, bufs: &[&[u8]]) -> io::Result<usize> {
+    let mut vecs: [IoVec; MAX_IOVECS] = std::array::from_fn(|_| IoVec {
+        base: std::ptr::null(),
+        len: 0,
+    });
+    let mut count = 0;
+    for buf in bufs.iter().filter(|b| !b.is_empty()).take(MAX_IOVECS) {
+        vecs[count] = IoVec {
+            base: buf.as_ptr(),
+            len: buf.len(),
+        };
+        count += 1;
+    }
+    if count == 0 {
+        return Ok(0);
+    }
+    // SAFETY: the first `count` entries point at live slices that
+    // outlive the call; the kernel only reads them.
+    let n = unsafe { sys_writev(fd, vecs.as_ptr(), count as c_int) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::{Ipv4Addr, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn reuseport_listeners_share_an_address() {
+        let first = bind_reuseport(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)).expect("first bind");
+        let addr = first.local_addr().expect("local addr");
+        let port = match addr {
+            std::net::SocketAddr::V4(v4) => v4.port(),
+            other => panic!("ipv4 listener reported {other}"),
+        };
+        // A second listener on the *same* resolved port must succeed —
+        // the whole point of SO_REUSEPORT.
+        let second = bind_reuseport(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port))
+            .expect("second bind on same port");
+        // And both accept queues actually receive connections: connect
+        // repeatedly until each listener has accepted at least once
+        // (the kernel hashes by 4-tuple, so a handful of distinct
+        // source ports covers both).
+        let (mut got_first, mut got_second) = (false, false);
+        let mut held = Vec::new();
+        for _ in 0..64 {
+            if got_first && got_second {
+                break;
+            }
+            held.push(TcpStream::connect(addr).expect("connect"));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            if let Ok((s, _)) = first.accept() {
+                got_first = true;
+                drop(s);
+            }
+            if let Ok((s, _)) = second.accept() {
+                got_second = true;
+                drop(s);
+            }
+        }
+        assert!(
+            got_first || got_second,
+            "no listener ever accepted a connection"
+        );
+    }
+
+    #[test]
+    fn nonblocking_accept_would_block_when_idle() {
+        let listener = bind_reuseport(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)).expect("bind");
+        match listener.accept() {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+            Ok(_) => panic!("accept succeeded with no peer"),
+        }
+    }
+
+    #[test]
+    fn writev_gathers_many_buffers_in_one_call() {
+        let (a, mut b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let bufs: Vec<&[u8]> = vec![b"one-", b"", b"two-", b"three"];
+        let n = writev(a.as_raw_fd(), &bufs).expect("writev");
+        assert_eq!(n, 13, "all non-empty bytes accepted at once");
+        let mut read = vec![0u8; 13];
+        b.read_exact(&mut read).unwrap();
+        assert_eq!(&read, b"one-two-three");
+    }
+
+    #[test]
+    fn writev_of_nothing_is_a_no_op() {
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        assert_eq!(writev(a.as_raw_fd(), &[]).unwrap(), 0);
+        let empty: Vec<&[u8]> = vec![b"", b""];
+        assert_eq!(writev(a.as_raw_fd(), &empty).unwrap(), 0);
+    }
+}

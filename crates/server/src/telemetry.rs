@@ -37,14 +37,15 @@ pub(crate) fn msg_label(msg_type: u8) -> &'static str {
         0x08 => "metrics",
         0x09 => "trace",
         0x0A => "timeseries",
+        0x0B => "loop-info",
         _ => "other",
     }
 }
 
 /// The wire bytes `msg_label` distinguishes, in label-table order.
 /// `0x00` stands in for the "other" bucket.
-const MSG_TYPES: [u8; 11] = [
-    0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x00,
+const MSG_TYPES: [u8; 12] = [
+    0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x00,
 ];
 
 /// Request-lifecycle phases, in lifecycle order (shared with the
@@ -53,7 +54,7 @@ const PHASES: [&str; 5] = SERIES_PHASES;
 
 fn msg_slot(msg_type: u8) -> usize {
     match msg_type {
-        0x01..=0x0A => (msg_type - 1) as usize,
+        0x01..=0x0B => (msg_type - 1) as usize,
         _ => MSG_TYPES.len() - 1,
     }
 }
@@ -206,6 +207,23 @@ impl ServerTelemetry {
             "server.shed",
             &[("backend", self.backend.as_str()), ("class", class)],
         )
+    }
+
+    /// Registers (idempotently) and returns the pair of
+    /// `server.affinity` counters — `result=local` / `result=remote` —
+    /// tallying device-carrying requests that landed on (resp. missed)
+    /// the event loop owning their registry shard. Cold path: called
+    /// once per loop at startup.
+    pub(crate) fn affinity_counters(&self) -> (Counter, Counter) {
+        let local = self.registry.counter(
+            "server.affinity",
+            &[("backend", self.backend.as_str()), ("result", "local")],
+        );
+        let remote = self.registry.counter(
+            "server.affinity",
+            &[("backend", self.backend.as_str()), ("result", "remote")],
+        );
+        (local, remote)
     }
 
     /// Registers (idempotently) and returns the saturation handles for
@@ -424,7 +442,7 @@ mod tests {
 
     #[test]
     fn msg_labels_cover_every_wire_byte() {
-        for ty in 0x01..=0x0Au8 {
+        for ty in 0x01..=0x0Bu8 {
             assert_ne!(msg_label(ty), "other", "byte {ty:#04x} should be named");
         }
         assert_eq!(msg_label(0x00), "other");

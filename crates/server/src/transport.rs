@@ -354,6 +354,24 @@ impl<T: Transport> Client<T> {
             _ => Err(ClientError::UnexpectedResponse("TimeSeriesBin")),
         }
     }
+
+    /// Which event loop this connection landed on: `(loop_id, loops)`.
+    ///
+    /// Multi-loop evented servers answer with the accepting loop's
+    /// coordinates; single-threaded backends (and loopback) answer
+    /// `(0, 1)`. Topology-aware clients use this to steer device
+    /// traffic onto connections owned by the device's shard-affine
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// Transport/shape failures.
+    pub fn loop_info(&mut self) -> Result<(u32, u32), ClientError> {
+        match self.exchange(&Request::LoopInfo)? {
+            Response::LoopInfoOk { loop_id, loops } => Ok((loop_id, loops)),
+            _ => Err(ClientError::UnexpectedResponse("LoopInfoOk")),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,11 @@ fn handler() -> Arc<dyn RequestHandler> {
     Arc::new(VerifierHandler::new(verifier))
 }
 
-/// Runs `scenario` against a fresh instance of each backend.
+/// Runs `scenario` against a fresh instance of each backend — the
+/// blocking pool, the single-loop evented server, and a four-loop
+/// evented server with per-loop `SO_REUSEPORT` accept queues (the
+/// tail-latency topology): hostile bytes must be handled identically
+/// whichever loop the kernel hashes the connection onto.
 fn for_each_backend(scenario: impl Fn(&str, SocketAddr)) {
     let blocking = TcpServer::spawn("127.0.0.1:0", handler(), 2).expect("bind blocking");
     scenario("blocking", blocking.local_addr());
@@ -38,6 +42,19 @@ fn for_each_backend(scenario: impl Fn(&str, SocketAddr)) {
         .expect("bind evented");
     scenario("evented", evented.local_addr());
     evented.shutdown();
+
+    let multi_loop = EventedServer::spawn(
+        "127.0.0.1:0",
+        handler(),
+        EventedConfig {
+            loops: 4,
+            reuseport: true,
+            ..EventedConfig::default()
+        },
+    )
+    .expect("bind multi-loop evented");
+    scenario("evented-multiloop", multi_loop.local_addr());
+    multi_loop.shutdown();
 }
 
 fn hello_frame() -> Vec<u8> {
@@ -369,6 +386,50 @@ fn many_concurrent_connections_are_served() {
             "held connection {i} must be served"
         );
     }
+    assert_eq!(server.requests_served(), fan as u64);
+    server.shutdown();
+}
+
+#[test]
+fn held_fan_spreads_across_reuseport_loops() {
+    // The same held-open fan against the multi-loop topology: the
+    // kernel hashes the connections across per-loop accept queues,
+    // every one is served, and the loops really did share the work —
+    // with 256 distinct 4-tuples over 2 queues, a topology where one
+    // loop accepted everything means reuseport binding is broken.
+    let server = spawn_evented(EventedConfig {
+        loops: 2,
+        reuseport: true,
+        ..EventedConfig::default()
+    });
+    let addr = server.local_addr();
+    let fan = 256;
+    let mut streams: Vec<TcpStream> = (0..fan)
+        .map(|_| TcpStream::connect(addr).expect("connect fan"))
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.open_connections() < fan && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.open_connections(), fan, "all held open at once");
+    let mut seen_loops = std::collections::HashSet::new();
+    for (i, stream) in streams.iter_mut().enumerate() {
+        let mut writer = FrameWriter::new(stream.try_clone().unwrap());
+        writer.write_request(&Request::LoopInfo).unwrap();
+        match read_response(stream) {
+            Response::LoopInfoOk { loop_id, loops } => {
+                assert_eq!(loops, 2);
+                assert!(loop_id < 2, "connection {i} reported loop {loop_id}");
+                seen_loops.insert(loop_id);
+            }
+            other => panic!("connection {i}: unexpected {other:?}"),
+        }
+    }
+    assert_eq!(
+        seen_loops.len(),
+        2,
+        "kernel never spread 256 connections across 2 accept queues"
+    );
     assert_eq!(server.requests_served(), fan as u64);
     server.shutdown();
 }

@@ -93,7 +93,8 @@ pub mod store;
 
 pub use detector::{AuthVerdict, DetectorConfig, DeviceDetector, FlagReason};
 pub use registry::{
-    DeviceHandle, EnrollmentRecord, RegistryError, ShardedRegistry, SnapshotError, SCHEMA,
+    shard_for, DeviceHandle, EnrollmentRecord, RegistryError, ShardedRegistry, SnapshotError,
+    SCHEMA,
 };
 pub use service::{
     auth_key, client_tag, device_auth_response, AuthQuery, AuthRequest, BatchEnrollment,

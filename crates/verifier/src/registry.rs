@@ -66,6 +66,20 @@ pub const MAX_SHARDS: u64 = 1 << 16;
 /// resolve a device id once and keep the handle.
 pub type DeviceHandle = u32;
 
+/// The shard a device id hashes to in a registry of `shards` shards.
+///
+/// This is the pure form of [`ShardedRegistry::shard_of`], exposed so
+/// remote parties (the multi-loop server's affinity accounting, the
+/// load generator's loop-affine routing) can predict placement without
+/// holding a registry. Returns `0` when `shards` is `0` so callers
+/// never divide by zero on an unsharded handler.
+pub fn shard_for(device_id: u64, shards: usize) -> usize {
+    if shards == 0 {
+        return 0;
+    }
+    (mix(device_id) % shards as u64) as usize
+}
+
 /// What the defender stores per enrolled device.
 ///
 /// The `key_digest` is the derived verification credential (see the
@@ -271,7 +285,7 @@ impl ShardedRegistry {
 
     /// Shard index a device id hashes to.
     pub fn shard_of(&self, device_id: u64) -> usize {
-        (mix(device_id) % self.shards.len() as u64) as usize
+        shard_for(device_id, self.shards.len())
     }
 
     /// Enrolls a device. When a durable store is attached, the
